@@ -1,0 +1,169 @@
+"""Ablations of RAP-Track's design choices (DESIGN.md experiment index).
+
+* loop optimization on/off — CFLog impact (section IV-D);
+* fixed-loop elision on/off — CFLog impact (section IV-C);
+* NOP activation padding — required for correctness when the MTB has
+  activation latency (section V-C), removable when it does not;
+* MTB watermark sweep — partial-report count vs buffer budget;
+* shared vs per-site POP stubs — code size (figure 4).
+"""
+
+import pytest
+
+from repro.asm import link
+from repro.cfa.engine import EngineConfig
+from repro.core.pipeline import RapTrackConfig, transform
+from repro.eval.figures import format_table
+from repro.eval.runner import run_method
+from repro.trace.mtb import PACKET_BYTES
+from conftest import save_table
+
+
+def _log_bytes(name, rap_config=None, engine_config=None):
+    run = run_method(name, "rap-track", config=engine_config,
+                     rap_config=rap_config)
+    return run
+
+
+def test_ablation_loop_opt(results_dir):
+    rows = []
+    for name in ("ultrasonic", "syringe", "geiger"):
+        with_opt = _log_bytes(name)
+        without = _log_bytes(name, RapTrackConfig(loop_opt=False))
+        rows.append({
+            "workload": name,
+            "with_loop_opt_B": with_opt.cflog_bytes,
+            "without_B": without.cflog_bytes,
+            "reduction": without.cflog_bytes / max(1, with_opt.cflog_bytes),
+        })
+    save_table(results_dir, "ablation_loop_opt",
+               format_table(rows, "Ablation: loop-condition optimization"))
+    assert all(r["without_B"] >= r["with_loop_opt_B"] for r in rows)
+    assert any(r["reduction"] > 3 for r in rows)
+
+
+def test_ablation_fixed_loops(results_dir):
+    rows = []
+    for name in ("crc32", "matmult", "geiger"):
+        with_fixed = _log_bytes(name)
+        without = _log_bytes(name, RapTrackConfig(fixed_loops=False))
+        rows.append({
+            "workload": name,
+            "with_fixed_elision_B": with_fixed.cflog_bytes,
+            "without_B": without.cflog_bytes,
+        })
+    save_table(results_dir, "ablation_fixed_loops",
+               format_table(rows, "Ablation: fixed-loop elision"))
+    assert all(r["without_B"] >= r["with_fixed_elision_B"] for r in rows)
+
+
+def test_ablation_nop_padding_required_with_latency(results_dir):
+    """Without the NOP padding, an MTB with activation latency misses
+    the packet of every stub. For taken-flavor conditionals the
+    *absence* of a record is evidence (meaning: not taken), so the
+    replay either desyncs or silently reconstructs the wrong path —
+    both unacceptable, which is why the paper adds the NOPs."""
+    from repro.asm import link
+    from repro.cfa.engine import RapTrackEngine
+    from repro.cfa.verifier import Verifier
+    from repro.trace.groundtruth import GroundTruthTracer
+    from repro.tz.keystore import KeyStore
+    from repro.workloads import load_workload
+    from repro.workloads.base import make_mcu
+
+    workload = load_workload("temperature")
+    result = transform(workload.module(), RapTrackConfig(nop_padding=False))
+    image = link(result.module)
+    bound = result.rmap.bind(image)
+    mcu = make_mcu(image, workload)
+    tracer = GroundTruthTracer(record_all=True)
+    mcu.cpu.retire_hooks.append(tracer.on_retire)
+    keystore = KeyStore.provision()
+    engine = RapTrackEngine(mcu, keystore, bound,
+                            EngineConfig(activation_latency=1))
+    attestation = engine.attest(b"x")
+    assert attestation.mtb_packets == 0  # every packet lost to warmup
+    outcome = Verifier(image, bound, keystore.attestation_key).verify(
+        attestation, b"x")
+    lo, hi = image.section_ranges["text"]
+    ground_truth = [pc for pc in tracer.pcs if lo <= pc < hi]
+    assert (not outcome.lossless) or outcome.path != ground_truth
+
+
+def test_ablation_nop_padding_removable_without_latency():
+    """With an idealised zero-latency MTB the padding can be dropped
+    and verification still succeeds (the padding exists only for the
+    hardware's activation window)."""
+    run = run_method("temperature", "rap-track",
+                     config=EngineConfig(activation_latency=0),
+                     rap_config=RapTrackConfig(nop_padding=False))
+    assert run.verified
+
+
+def test_ablation_nop_padding_code_size(results_dir):
+    rows = []
+    for name in ("gps", "prime", "bubblesort"):
+        from repro.workloads import load_workload
+
+        module = load_workload(name).module()
+        padded = link(transform(module, RapTrackConfig()).module)
+        module = load_workload(name).module()
+        bare = link(transform(
+            module, RapTrackConfig(nop_padding=False)).module)
+        rows.append({
+            "workload": name,
+            "padded_B": padded.code_size(),
+            "unpadded_B": bare.code_size(),
+        })
+    save_table(results_dir, "ablation_nop_padding",
+               format_table(rows, "Ablation: MTBAR NOP activation padding"))
+    assert all(r["padded_B"] > r["unpadded_B"] for r in rows)
+
+
+def test_ablation_watermark_sweep(results_dir):
+    rows = []
+    for packets in (16, 64, 512):
+        run = run_method(
+            "bubblesort", "rap-track",
+            config=EngineConfig(watermark=packets * PACKET_BYTES,
+                                mtb_buffer_size=packets * PACKET_BYTES))
+        rows.append({
+            "watermark_packets": packets,
+            "partial_reports": run.partial_reports,
+            "cflog_B": run.cflog_bytes,
+        })
+    save_table(results_dir, "ablation_watermark",
+               format_table(rows, "Ablation: MTB_FLOW watermark sweep"))
+    counts = [r["partial_reports"] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert len({r["cflog_B"] for r in rows}) == 1  # content invariant
+
+
+def test_ablation_shared_pop_stub(results_dir):
+    from repro.workloads import load_workload
+
+    rows = []
+    for name in ("fibcall", "gps"):
+        shared = link(transform(load_workload(name).module(),
+                                RapTrackConfig(share_pop_stub=True)).module)
+        private = link(transform(load_workload(name).module(),
+                                 RapTrackConfig(share_pop_stub=False)).module)
+        rows.append({
+            "workload": name,
+            "shared_stub_B": shared.code_size(),
+            "per_site_stub_B": private.code_size(),
+        })
+    save_table(results_dir, "ablation_pop_stub",
+               format_table(rows, "Ablation: shared MTBAR_POP_ADDR stub"))
+    assert all(r["shared_stub_B"] <= r["per_site_stub_B"] for r in rows)
+
+
+def test_bench_transform_all_workloads(benchmark):
+    """Time the complete offline phase over the whole suite."""
+    from repro.workloads import WORKLOADS, load_workload
+
+    def offline_all():
+        return [transform(load_workload(n).module()) for n in WORKLOADS]
+
+    results = benchmark.pedantic(offline_all, rounds=2, iterations=1)
+    assert len(results) == len(WORKLOADS)

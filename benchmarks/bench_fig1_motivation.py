@@ -1,0 +1,41 @@
+"""Figure 1 reproduction: the paper's motivation.
+
+(a) naive MTB-based logging yields CFLogs 1.9-217x larger than
+    instrumentation-based CFA (paper range); and
+(b) instrumentation-based CFA costs 1.1-14.1x baseline runtime.
+
+Shape targets: the ratio spread must span roughly two orders of
+magnitude across workloads, and the runtime factors must reach well
+past 10x on branch-dense applications while staying near 1x on
+compute-dense ones.
+"""
+
+from repro.eval.figures import fig1_motivation, format_table
+from repro.eval.runner import run_method
+from conftest import save_table
+
+
+def test_fig1a_cflog_blowup_band(all_runs, results_dir):
+    rows = fig1_motivation(all_runs)
+    save_table(results_dir, "fig1_motivation",
+               format_table(rows, "Figure 1: naive-MTB vs instrumentation"))
+    finite = [r["cflog_ratio"] for r in rows
+              if r["cflog_ratio"] != float("inf")]
+    assert min(finite) >= 1.0  # naive is never smaller
+    assert max(finite) > 50  # the 217x end (geiger-style)
+    assert min(finite) < 5  # the 1.9x end (branch-dense apps)
+
+
+def test_fig1b_instrumentation_runtime_band(all_runs):
+    rows = fig1_motivation(all_runs)
+    factors = [r["runtime_factor"] for r in rows]
+    assert max(factors) > 5  # the 14.1x end
+    assert min(factors) < 1.5  # the 1.1x end
+
+
+def test_bench_naive_mtb_attestation(benchmark):
+    """Time one naive-MTB attested execution (temperature)."""
+    result = benchmark.pedantic(
+        lambda: run_method("temperature", "naive-mtb"),
+        rounds=3, iterations=1)
+    assert result.verified

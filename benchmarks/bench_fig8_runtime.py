@@ -1,0 +1,48 @@
+"""Figure 8 reproduction: CPU cycles per method.
+
+Paper bands: RAP-Track adds 2-62% over the naive MTB (== baseline)
+runtime; TRACES adds 7-1309% over baseline. Who-wins must hold on
+every workload: baseline == naive <= rap-track <= traces.
+"""
+
+import pytest
+
+from repro.eval.figures import EVAL_WORKLOADS, fig8_runtime, format_table
+from repro.eval.runner import run_method
+from conftest import save_table
+
+
+def test_fig8_table_and_bands(all_runs, results_dir):
+    rows = fig8_runtime(all_runs)
+    save_table(results_dir, "fig8_runtime",
+               format_table(rows, "Figure 8: runtime (CPU cycles)"))
+    rap = [r["rap_over_naive_pct"] for r in rows]
+    traces = [r["traces_over_base_pct"] for r in rows]
+    assert max(rap) <= 70  # paper: up to 62%
+    assert min(rap) >= 0
+    assert max(traces) > 700  # paper: up to 1309%
+    assert min(traces) >= 0  # paper: down to 7%
+
+
+def test_fig8_ordering_every_workload(all_runs):
+    for name, methods in all_runs.items():
+        base = methods["baseline"].cycles
+        assert methods["naive-mtb"].cycles == base, name
+        assert methods["rap-track"].cycles >= base, name
+        assert methods["traces"].cycles >= methods["rap-track"].cycles, name
+
+
+@pytest.mark.parametrize("method", ["baseline", "naive-mtb",
+                                    "rap-track", "traces"])
+def test_bench_gps_per_method(benchmark, method):
+    """Time the branch-dense GPS workload under each method."""
+    result = benchmark.pedantic(
+        lambda: run_method("gps", method), rounds=3, iterations=1)
+    assert result.verified
+
+
+@pytest.mark.parametrize("method", ["rap-track", "traces"])
+def test_bench_prime_per_method(benchmark, method):
+    result = benchmark.pedantic(
+        lambda: run_method("prime", method), rounds=3, iterations=1)
+    assert result.verified

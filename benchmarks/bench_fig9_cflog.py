@@ -1,0 +1,66 @@
+"""Figure 9 reproduction: CFLog sizes per method.
+
+Shape targets from the paper: RAP-Track's log is always far below the
+naive MTB's; loop optimization makes ultrasonic/syringe logs tiny; on
+prime and gps RAP-Track and TRACES log the *same events* (sizes differ
+only by the 8-byte-packet vs 4-byte-entry wire format).
+"""
+
+from repro.core.pipeline import transform
+from repro.eval.figures import fig9_cflog, format_table
+from repro.workloads import load_workload
+from conftest import save_table
+
+
+def test_fig9_table_and_bands(all_runs, results_dir):
+    rows = fig9_cflog(all_runs)
+    save_table(results_dir, "fig9_cflog",
+               format_table(rows, "Figure 9: CFLog size (bytes)"))
+    for row in rows:
+        assert row["rap_track_B"] <= row["naive_mtb_B"], row["workload"]
+
+
+def test_fig9_rap_and_traces_log_same_events(all_runs):
+    for name, methods in all_runs.items():
+        assert (methods["rap-track"].cflog_records
+                == methods["traces"].cflog_records), name
+
+
+def test_fig9_loop_opt_showcases(all_runs):
+    # the paper highlights ultrasonic and syringe (section V-B)
+    for name in ("ultrasonic", "syringe"):
+        naive = all_runs[name]["naive-mtb"].cflog_bytes
+        rap = all_runs[name]["rap-track"].cflog_bytes
+        assert naive / rap > 20, name
+
+
+def test_fig9_parity_workloads(all_runs):
+    # prime/gps: similar sized logs between RAP-Track and TRACES
+    for name in ("prime", "gps"):
+        rap = all_runs[name]["rap-track"].cflog_bytes
+        traces = all_runs[name]["traces"].cflog_bytes
+        assert rap == 2 * traces, name  # same records, 8B vs 4B entries
+
+
+def test_bench_verifier_replay(benchmark, all_runs):
+    """Time the Verifier's lossless replay on the gps log."""
+    from repro.asm import link
+    from repro.cfa.engine import RapTrackEngine
+    from repro.cfa.verifier import Verifier
+    from repro.tz.keystore import KeyStore
+    from repro.workloads.base import make_mcu
+
+    workload = load_workload("gps")
+    result = transform(workload.module())
+    image = link(result.module)
+    bound = result.rmap.bind(image)
+    mcu = make_mcu(image, workload)
+    keystore = KeyStore.provision()
+    engine = RapTrackEngine(mcu, keystore, bound)
+    attestation = engine.attest(b"bench")
+    verifier = Verifier(image, bound, keystore.attestation_key)
+
+    outcome = benchmark.pedantic(
+        lambda: verifier.verify(attestation, b"bench"),
+        rounds=5, iterations=1)
+    assert outcome.ok

@@ -1,0 +1,59 @@
+"""Cycle-model sensitivity: the reproduction's shape must not hinge on
+the calibration constants (DESIGN.md section 5).
+
+Sweeps the TrustZone world-switch cost over an order of magnitude and
+checks the who-wins ordering (baseline == naive <= rap-track <= traces)
+and RAP-Track's modest-overhead band survive at every point.
+"""
+
+from repro.cfa.engine import EngineConfig
+from repro.eval.figures import format_table
+from repro.eval.runner import run_method
+from repro.tz.gateway import GatewayCosts
+from conftest import save_table
+
+WORKLOADS = ("gps", "prime", "temperature")
+SWEEP = (15, 75, 300)  # cheap, calibrated, expensive world switches
+
+
+def test_gateway_cost_sweep(results_dir):
+    rows = []
+    for cost in SWEEP:
+        config = EngineConfig(gateway=GatewayCosts(entry=cost * 3 // 5,
+                                                   exit=cost * 2 // 5))
+        for name in WORKLOADS:
+            base = run_method(name, "baseline", config)
+            rap = run_method(name, "rap-track", config)
+            traces = run_method(name, "traces", config)
+            rows.append({
+                "switch_cycles": cost,
+                "workload": name,
+                "rap_pct": 100.0 * rap.overhead_vs(base),
+                "traces_pct": 100.0 * traces.overhead_vs(base),
+            })
+            # shape invariants at every calibration point
+            assert base.cycles <= rap.cycles <= traces.cycles
+            assert rap.overhead_vs(base) < 1.0  # never doubles runtime
+    save_table(results_dir, "sensitivity_gateway",
+               format_table(rows, "Sensitivity: world-switch cost sweep"))
+    # TRACES' penalty scales with the switch cost; RAP-Track's does not
+    gps = [r for r in rows if r["workload"] == "gps"]
+    assert gps[-1]["traces_pct"] > 2 * gps[0]["traces_pct"]
+    assert abs(gps[-1]["rap_pct"] - gps[0]["rap_pct"]) < 25
+
+
+def test_activation_latency_sweep(results_dir):
+    """Longer MTB activation windows need more stub padding; the stock
+    single-NOP padding covers latency <= 1 (and the model lets users
+    explore beyond)."""
+    rows = []
+    for latency in (0, 1):
+        run = run_method("temperature", "rap-track",
+                         config=EngineConfig(activation_latency=latency))
+        rows.append({"activation_latency": latency,
+                     "verified": run.verified,
+                     "cflog_B": run.cflog_bytes})
+    save_table(results_dir, "sensitivity_latency",
+               format_table(rows, "Sensitivity: MTB activation latency"))
+    assert all(r["verified"] for r in rows)
+    assert len({r["cflog_B"] for r in rows}) == 1

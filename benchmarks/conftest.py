@@ -1,0 +1,36 @@
+"""Benchmark-session plumbing.
+
+A single session-scoped collection runs every workload under every
+method (with full lossless verification) and caches the metrics; the
+per-figure benches assert the paper's shape bands against it, print the
+reproduced table, and time a representative operation with
+pytest-benchmark. Tables are also written to ``benchmarks/results/``
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval.figures import collect_all
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def all_runs():
+    """Every workload x every method, verified, collected once."""
+    return collect_all()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation tables on the whole workload suite.
+
+Runs every workload under all four systems — unmodified baseline,
+naive MTB tracing, RAP-Track, and the TRACES-style instrumentation
+baseline — with full lossless verification, then prints the figures'
+data (figures 1, 8, 9, 10 and the partial-report analysis).
+
+This is the same machinery the benchmark harness uses; expect a few
+seconds of simulation.
+"""
+
+from repro.eval.figures import (
+    collect_all,
+    fig1_motivation,
+    fig8_runtime,
+    fig9_cflog,
+    fig10_code_size,
+    format_table,
+    partial_report_table,
+)
+
+
+def main() -> None:
+    print("Running all workloads under all methods "
+          "(every run is verified losslessly)...\n")
+    runs = collect_all()
+
+    print(format_table(fig1_motivation(runs),
+                       "Figure 1 — motivation: naive MTB vs "
+                       "instrumentation-based CFA"))
+    print()
+    print(format_table(fig8_runtime(runs),
+                       "Figure 8 — runtime (CPU cycles)"))
+    print()
+    print(format_table(fig9_cflog(runs),
+                       "Figure 9 — CFLog size (bytes)"))
+    print()
+    print(format_table(fig10_code_size(runs),
+                       "Figure 10 — program memory (bytes)"))
+    print()
+    print(format_table(partial_report_table(runs),
+                       "Section V-B — partial reports at the 4 KB MTB limit"))
+
+    rap = [r["rap_over_naive_pct"] for r in fig8_runtime(runs)]
+    traces = [r["traces_over_base_pct"] for r in fig8_runtime(runs)]
+    print(f"\nRAP-Track runtime overhead:  {min(rap):.1f}% .. {max(rap):.1f}%"
+          f"   (paper: 2%..62%)")
+    print(f"TRACES runtime overhead:     {min(traces):.1f}% .. "
+          f"{max(traces):.1f}%   (paper: 7%..1309%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Data-only (control-flow bending) attack visibility.
+
+A ROP attack breaks the CFI policy and lights up as a ``Violation``
+(see ``attack_detection.py``). This demo shows the subtler case the
+paper's lossless-CFA argument targets (section II-D): the attacker
+corrupts only *data* — here, a syringe-pump command stream — so the
+device follows perfectly legal CFG edges and every CFI check passes.
+Because RAP-Track's evidence is lossless, the Verifier still sees the
+behavioural change by auditing the reconstructed path against a
+reference profile.
+"""
+
+from repro.asm import link
+from repro.cfa.audit import audit_paths, conditional_outcome_profile
+from repro.cfa.engine import RapTrackEngine
+from repro.cfa.verifier import Verifier
+from repro.core.pipeline import transform
+from repro.tz.keystore import KeyStore
+from repro.workloads import syringe
+from repro.workloads.base import make_mcu
+
+
+def attest_with_feed(feed_bytes):
+    workload = syringe.make()
+    offline = transform(workload.module())
+    image = link(offline.module)
+    bound = offline.rmap.bind(image)
+    mcu = make_mcu(image, workload)
+    mcu.mmio.device("uart").set_feed(feed_bytes)
+    keystore = KeyStore.provision()
+    engine = RapTrackEngine(mcu, keystore, bound)
+    result = engine.attest(b"bend-demo")
+    outcome = Verifier(image, bound, keystore.attestation_key).verify(
+        result, b"bend-demo")
+    return image, bound, mcu, outcome
+
+
+def main() -> None:
+    # the prescribed therapy: dispense 2 units, then 3 units
+    prescribed = bytes([1, 2, 1, 3])
+    # the attacker rewrites the dose commands: withdraw instead!
+    tampered = bytes([2, 2, 2, 3])
+
+    image, bound, mcu_ok, golden = attest_with_feed(prescribed)
+    print("reference run (prescribed doses):")
+    print(f"  pump position: {mcu_ok.mmio.device('stepper').position}")
+    print(f"  verification:  ok={golden.ok}, "
+          f"violations={len(golden.violations)}")
+
+    image_b, bound_b, mcu_bad, bent = attest_with_feed(tampered)
+    print("\ntampered run (attacker flipped the dose commands):")
+    print(f"  pump position: {mcu_bad.mmio.device('stepper').position} "
+          f"(withdrew instead of dispensing!)")
+    print(f"  verification:  ok={bent.ok}, "
+          f"violations={len(bent.violations)} "
+          f"<- every CFI check passes: the path is 'legal'")
+
+    report = audit_paths(golden.path, bent.path, image=image_b)
+    print("\nlossless-path audit against the reference profile:")
+    print("  " + report.summary().replace("\n", "\n  "))
+
+    ref_profile = conditional_outcome_profile(golden.path, bound)
+    bent_profile = conditional_outcome_profile(bent.path, bound_b)
+    shifted = [s for s in ref_profile
+               if ref_profile[s] != bent_profile.get(s)]
+    print(f"\nconditional sites whose outcome frequency shifted: "
+          f"{len(shifted)}")
+    for site in shifted[:4]:
+        print(f"  {site:#010x}: taken/not-taken "
+              f"{ref_profile[site]} -> {bent_profile.get(site)}")
+
+    assert not report.identical
+    print("\nThe attack never violated the CFG — but the attested path "
+          "exposes it.")
+
+
+if __name__ == "__main__":
+    main()

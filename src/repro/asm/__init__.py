@@ -1,0 +1,36 @@
+"""Assembler toolchain: source text -> Module -> linked Image.
+
+The RAP-Track offline phase (``repro.core``) rewrites a ``Module`` — the
+label-relative instruction IR — and the linker re-lays addresses, which
+mirrors the paper's post-compile binary rewriting with the relocation
+bookkeeping handled symbolically.
+"""
+
+from repro.asm.program import (
+    AsmItem,
+    DataBytes,
+    DataWord,
+    Image,
+    Module,
+    Section,
+    Space,
+)
+from repro.asm.parser import AsmSyntaxError, parse_source
+from repro.asm.assembler import assemble
+from repro.asm.linker import DEFAULT_LAYOUT, LinkError, link
+
+__all__ = [
+    "AsmItem",
+    "DataWord",
+    "DataBytes",
+    "Space",
+    "Section",
+    "Module",
+    "Image",
+    "parse_source",
+    "AsmSyntaxError",
+    "assemble",
+    "link",
+    "LinkError",
+    "DEFAULT_LAYOUT",
+]

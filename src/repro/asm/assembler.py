@@ -1,0 +1,26 @@
+"""Front-door assembly helper."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.asm.linker import DEFAULT_LAYOUT, link
+from repro.asm.parser import parse_source
+from repro.asm.program import Image, Module
+
+
+def assemble(source: str, entry: Optional[str] = None) -> Module:
+    """Assemble source text into a relocatable :class:`Module`.
+
+    ``entry`` overrides any ``.entry`` directive in the source.
+    """
+    module = parse_source(source)
+    if entry is not None:
+        module.entry = entry
+    return module
+
+
+def assemble_and_link(source: str, entry: Optional[str] = None, layout=None) -> Image:
+    """One-step convenience: parse and link with the default memory layout."""
+    module = assemble(source, entry)
+    return link(module, layout or DEFAULT_LAYOUT)

@@ -1,0 +1,113 @@
+"""Layout and symbol resolution: Module -> Image.
+
+The linker assigns every section a base address from the platform memory
+map, lays items out contiguously, resolves labels, and materialises the
+data image. Re-linking after the RAP-Track rewriter moves instructions is
+what keeps trampoline targets consistent (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from repro.asm.program import (
+    DATA,
+    MTBAR,
+    RODATA,
+    TEXT,
+    DataBytes,
+    DataWord,
+    Image,
+    Instr,
+    LinkedItem,
+    Module,
+    Space,
+)
+from repro.isa.operands import Label
+
+#: Default platform memory map (see repro.machine.memmap for the full map).
+DEFAULT_LAYOUT: Dict[str, int] = {
+    TEXT: 0x0020_0000,
+    MTBAR: 0x0030_0000,
+    RODATA: 0x0040_0000,
+    DATA: 0x2000_0000,
+}
+
+
+class LinkError(Exception):
+    """Unresolved symbols or overlapping/overflowing sections."""
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def link(module: Module, layout: Optional[Dict[str, int]] = None) -> Image:
+    """Assign addresses and resolve all labels, producing an Image."""
+    layout = dict(DEFAULT_LAYOUT, **(layout or {}))
+    image = Image(module.entry)
+    image.equates = dict(module.equates)
+
+    # first pass: place items, define symbols
+    for name, section in module.sections.items():
+        if name not in layout:
+            raise LinkError(f"no base address for section {name!r}")
+        cursor = layout[name]
+        base = cursor
+        for item in section.items:
+            if isinstance(item.payload, Instr):
+                cursor = _align(cursor, 2)
+            for label in item.labels:
+                if label in image.symbols:
+                    raise LinkError(f"duplicate symbol: {label}")
+                image.symbols[label] = cursor
+            image.items.append(LinkedItem(cursor, item.payload, name, item.labels))
+            cursor += item.payload.size
+        image.section_ranges[name] = (base, cursor)
+
+    # overlap check
+    ranges = sorted(image.section_ranges.values())
+    for (lo1, hi1), (lo2, _hi2) in zip(ranges, ranges[1:]):
+        if hi1 > lo2:
+            raise LinkError("sections overlap in the memory map")
+
+    # second pass: index instructions and materialise the data image
+    for linked in image.items:
+        payload = linked.payload
+        if isinstance(payload, Instr):
+            image.instr_at[linked.address] = payload
+        elif isinstance(payload, DataWord):
+            value = payload.value
+            if isinstance(value, Label):
+                try:
+                    value = image.addr_of(value.name)
+                except KeyError as exc:
+                    raise LinkError(str(exc)) from exc
+            for i, byte in enumerate(struct.pack("<I", value & 0xFFFFFFFF)):
+                image.data_bytes[linked.address + i] = byte
+        elif isinstance(payload, DataBytes):
+            for i, byte in enumerate(payload.data):
+                image.data_bytes[linked.address + i] = byte
+        elif isinstance(payload, Space):
+            for i in range(payload.length):
+                image.data_bytes[linked.address + i] = 0
+
+    # entry and reference validation
+    if module.entry not in image.symbols:
+        raise LinkError(f"entry symbol {module.entry!r} is undefined")
+    _validate_references(image)
+    return image
+
+
+def _validate_references(image: Image) -> None:
+    """Every Label operand must resolve to a symbol or equate."""
+    for addr, instr in image.instr_at.items():
+        for op in instr.operands:
+            if isinstance(op, Label):
+                try:
+                    image.addr_of(op.name)
+                except KeyError:
+                    raise LinkError(
+                        f"undefined symbol {op.name!r} referenced at {addr:#x}"
+                    ) from None

@@ -1,0 +1,232 @@
+"""Program object model: pre-link modules and post-link images."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.isa.encoding import encode_instr
+from repro.isa.instructions import Instr
+from repro.isa.operands import Label
+
+
+@dataclass(frozen=True)
+class DataWord:
+    """A 32-bit literal or address word (``.word``)."""
+
+    value: Union[int, Label]
+
+    @property
+    def size(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class DataBytes:
+    """Raw bytes (``.byte`` / ``.ascii``)."""
+
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class Space:
+    """Zero-filled reservation (``.space``)."""
+
+    length: int
+
+    @property
+    def size(self) -> int:
+        return self.length
+
+
+Payload = Union[Instr, DataWord, DataBytes, Space]
+
+
+@dataclass
+class AsmItem:
+    """One positioned item: the labels bound to it plus its payload."""
+
+    labels: Tuple[str, ...]
+    payload: Payload
+
+    @property
+    def size(self) -> int:
+        return self.payload.size
+
+
+#: Section names with architectural meaning.
+TEXT = "text"  # MTBDR after rewriting; the whole program before
+MTBAR = "mtbar"  # MTB Activation Region (trampoline stubs)
+RODATA = "rodata"  # flash constants (switch tables, strings)
+DATA = "data"  # RAM-resident mutable data
+
+
+@dataclass
+class Section:
+    """An ordered list of items destined for one memory region."""
+
+    name: str
+    items: List[AsmItem] = field(default_factory=list)
+
+    def add(self, payload: Payload, labels: Tuple[str, ...] = ()) -> AsmItem:
+        item = AsmItem(tuple(labels), payload)
+        self.items.append(item)
+        return item
+
+    def instructions(self) -> Iterator[Instr]:
+        for item in self.items:
+            if isinstance(item.payload, Instr):
+                yield item.payload
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Module:
+    """A relocatable program: sections of labelled items plus an entry."""
+
+    def __init__(self, entry: str = "main"):
+        self.sections: Dict[str, Section] = {}
+        self.entry = entry
+        self.equates: Dict[str, int] = {}
+
+    def section(self, name: str) -> Section:
+        if name not in self.sections:
+            self.sections[name] = Section(name)
+        return self.sections[name]
+
+    @property
+    def text(self) -> Section:
+        return self.section(TEXT)
+
+    @property
+    def mtbar(self) -> Section:
+        return self.section(MTBAR)
+
+    def defined_labels(self) -> Dict[str, Tuple[str, int]]:
+        """Map label -> (section name, item index)."""
+        seen: Dict[str, Tuple[str, int]] = {}
+        for name, sec in self.sections.items():
+            for idx, item in enumerate(sec.items):
+                for label in item.labels:
+                    if label in seen:
+                        raise ValueError(f"duplicate label: {label}")
+                    seen[label] = (name, idx)
+        return seen
+
+    def copy(self) -> "Module":
+        """A structural copy safe to rewrite (payloads are immutable)."""
+        dup = Module(self.entry)
+        dup.equates = dict(self.equates)
+        for name, sec in self.sections.items():
+            new = dup.section(name)
+            for item in sec.items:
+                new.add(item.payload, item.labels)
+        return dup
+
+
+@dataclass
+class LinkedItem:
+    """An item with its final address, exposed for analysis/display."""
+
+    address: int
+    payload: Payload
+    section: str
+    labels: Tuple[str, ...]
+
+
+class Image:
+    """A fully linked program ready to load into the machine."""
+
+    def __init__(self, entry_symbol: str):
+        self.entry_symbol = entry_symbol
+        self.symbols: Dict[str, int] = {}
+        self.instr_at: Dict[int, Instr] = {}
+        self.items: List[LinkedItem] = []
+        self.section_ranges: Dict[str, Tuple[int, int]] = {}
+        self.data_bytes: Dict[int, int] = {}  # address -> byte (data/rodata)
+        self.equates: Dict[str, int] = {}
+
+    # -- symbols ----------------------------------------------------------
+
+    @property
+    def entry(self) -> int:
+        return self.symbols[self.entry_symbol]
+
+    def addr_of(self, label: str) -> int:
+        if label in self.symbols:
+            return self.symbols[label]
+        if label in self.equates:
+            return self.equates[label]
+        raise KeyError(f"undefined symbol: {label}")
+
+    def label_at(self, address: int) -> Optional[str]:
+        for name, addr in self.symbols.items():
+            if addr == address:
+                return name
+        return None
+
+    def resolve(self, name: str) -> int:
+        """Resolver callback for instruction encoding."""
+        return self.addr_of(name)
+
+    # -- geometry -----------------------------------------------------------
+
+    def section_of(self, address: int) -> Optional[str]:
+        for name, (base, end) in self.section_ranges.items():
+            if base <= address < end:
+                return name
+        return None
+
+    def section_size(self, name: str) -> int:
+        if name not in self.section_ranges:
+            return 0
+        base, end = self.section_ranges[name]
+        return end - base
+
+    def code_size(self) -> int:
+        """Total bytes of executable code (text + mtbar)."""
+        return self.section_size(TEXT) + self.section_size(MTBAR)
+
+    # -- bytes ----------------------------------------------------------------
+
+    def code_bytes(self) -> bytes:
+        """Deterministic byte image of all executable sections, in address
+        order — the input to the CFA engine's ``H_MEM`` measurement."""
+        chunks = []
+        for addr in sorted(self.instr_at):
+            chunks.append(struct.pack("<I", addr))
+            chunks.append(encode_instr(self.instr_at[addr], self.resolve))
+        return b"".join(chunks)
+
+    def rodata_word(self, address: int) -> int:
+        """Read a little-endian word from the linked data image."""
+        value = 0
+        for i in range(4):
+            value |= self.data_bytes.get(address + i, 0) << (8 * i)
+        return value
+
+    # -- display ------------------------------------------------------------
+
+    def disassemble(self, section: Optional[str] = None) -> str:
+        lines = []
+        for item in self.items:
+            if section is not None and item.section != section:
+                continue
+            for label in item.labels:
+                lines.append(f"{label}:")
+            payload = item.payload
+            if isinstance(payload, Instr):
+                lines.append(f"  {item.address:#010x}  {payload}")
+            elif isinstance(payload, DataWord):
+                lines.append(f"  {item.address:#010x}  .word {payload.value}")
+            elif isinstance(payload, DataBytes):
+                lines.append(f"  {item.address:#010x}  .byte x{len(payload.data)}")
+            else:
+                lines.append(f"  {item.address:#010x}  .space {payload.length}")
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Comparison baselines used throughout the paper's evaluation.
+
+* ``unmodified`` — the application with no CFA at all (runtime floor);
+* ``naive_mtb`` — MTB tracing of everything, no rewriting (the paper's
+  CFLog-size strawman, figure 1a);
+* ``traces`` — a TRACES-style instrumentation-based CFA with
+  state-of-the-art CFLog optimizations (the paper's main comparison).
+"""
+
+from repro.baselines.unmodified import run_unmodified
+from repro.baselines.naive_mtb import NaiveMtbEngine
+from repro.baselines.traces import TracesEngine, rewrite_for_traces
+
+__all__ = [
+    "run_unmodified",
+    "NaiveMtbEngine",
+    "TracesEngine",
+    "rewrite_for_traces",
+]

@@ -1,0 +1,11 @@
+"""The no-CFA baseline: raw application runtime."""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU, RunResult
+
+
+def run_unmodified(mcu: MCU) -> RunResult:
+    """Run the unmodified application once (runtime floor of figure 8)."""
+    mcu.reset()
+    return mcu.run()

@@ -1,0 +1,25 @@
+"""Control Flow Attestation: engines, reports, protocol, and verifier."""
+
+from repro.cfa.cflog import AddressRecord, BranchRecord, CFLog, LoopRecord
+from repro.cfa.report import AttestationResult, Report
+from repro.cfa.engine import EngineConfig, RapTrackEngine
+from repro.cfa.verifier import VerificationResult, Verifier, Violation
+from repro.cfa.protocol import Challenge, ProtocolError, ProverDevice, VerifierEndpoint
+
+__all__ = [
+    "BranchRecord",
+    "AddressRecord",
+    "LoopRecord",
+    "CFLog",
+    "Report",
+    "AttestationResult",
+    "EngineConfig",
+    "RapTrackEngine",
+    "Verifier",
+    "VerificationResult",
+    "Violation",
+    "Challenge",
+    "ProverDevice",
+    "VerifierEndpoint",
+    "ProtocolError",
+]

@@ -1,0 +1,134 @@
+"""Path auditing on top of lossless verification.
+
+The paper (section II-D, citing the SoK [12]) argues the advantage of
+*lossless* CFA: because Vrf reconstructs the complete path, it can
+detect attacks that never corrupt a branch target — data-only /
+control-flow-bending attacks that steer execution down *legal* CFG
+edges. Such runs pass every CFI policy check (no ``Violation``), but
+their reconstructed path differs from expected behaviour.
+
+This module provides that second-stage assessment: compare a verified
+path against a reference (a golden run, or an expected profile) and
+summarise where behaviour diverged — per-address execution counts, the
+first divergence point, and the conditional sites whose outcome
+frequencies changed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asm.program import Image
+
+
+@dataclass
+class SiteDelta:
+    """Execution-count change at one address."""
+
+    address: int
+    label: Optional[str]
+    reference_count: int
+    observed_count: int
+
+    @property
+    def delta(self) -> int:
+        return self.observed_count - self.reference_count
+
+
+@dataclass
+class AuditReport:
+    """Outcome of comparing an observed path against a reference."""
+
+    identical: bool
+    first_divergence: Optional[int] = None  # path position
+    reference_length: int = 0
+    observed_length: int = 0
+    deltas: List[SiteDelta] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.identical:
+            return ("paths identical "
+                    f"({self.observed_length} instructions)")
+        lines = [
+            f"paths diverge at position {self.first_divergence} "
+            f"(reference {self.reference_length}, "
+            f"observed {self.observed_length} instructions)",
+            "largest per-address execution-count changes:",
+        ]
+        for delta in self.deltas[:8]:
+            name = f" ({delta.label})" if delta.label else ""
+            lines.append(
+                f"  {delta.address:#010x}{name}: "
+                f"{delta.reference_count} -> {delta.observed_count} "
+                f"({delta.delta:+d})")
+        return "\n".join(lines)
+
+
+def audit_paths(reference: Sequence[int], observed: Sequence[int],
+                image: Optional[Image] = None,
+                top: int = 16) -> AuditReport:
+    """Compare two reconstructed paths (sequences of addresses)."""
+    if list(reference) == list(observed):
+        return AuditReport(identical=True,
+                           reference_length=len(reference),
+                           observed_length=len(observed))
+    first = next(
+        (i for i, (a, b) in enumerate(zip(reference, observed)) if a != b),
+        min(len(reference), len(observed)),
+    )
+    ref_counts = Counter(reference)
+    obs_counts = Counter(observed)
+    deltas = []
+    for address in sorted(set(ref_counts) | set(obs_counts)):
+        r, o = ref_counts.get(address, 0), obs_counts.get(address, 0)
+        if r != o:
+            label = image.label_at(address) if image else None
+            deltas.append(SiteDelta(address, label, r, o))
+    deltas.sort(key=lambda d: abs(d.delta), reverse=True)
+    return AuditReport(
+        identical=False,
+        first_divergence=first,
+        reference_length=len(reference),
+        observed_length=len(observed),
+        deltas=deltas[:top],
+    )
+
+
+def conditional_outcome_profile(path: Sequence[int],
+                                bound_map) -> Dict[int, Tuple[int, int]]:
+    """Per-conditional (taken, not_taken) counts from a replayed path.
+
+    For every trampolined conditional site, count how often the next
+    path entry was the taken target versus the fall-through — the
+    behavioural fingerprint a data-only attack perturbs.
+    """
+    positions: Dict[int, List[int]] = {}
+    for index, address in enumerate(path):
+        if address in bound_map.cond_at:
+            positions.setdefault(address, []).append(index)
+    profile: Dict[int, Tuple[int, int]] = {}
+    image = bound_map.image
+    for site, hits in positions.items():
+        info = bound_map.cond_at[site]
+        instr = image.instr_at[site]
+        taken = not_taken = 0
+        for index in hits:
+            if index + 1 >= len(path):
+                continue
+            succ = path[index + 1]
+            if info.flavor == "taken":
+                if succ == info.taken_addr:
+                    taken += 1
+                else:
+                    not_taken += 1
+            elif info.flavor == "not_taken":
+                if succ == info.taken_addr:
+                    taken += 1
+                else:
+                    not_taken += 1
+            else:  # always: unconditional latch
+                taken += 1
+        profile[site] = (taken, not_taken)
+    return profile

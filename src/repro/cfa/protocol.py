@@ -1,0 +1,83 @@
+"""The Vrf <-> Prv challenge-response protocol (paper section II-C).
+
+Modelled as in-process message passing with an optionally adversarial
+channel; only protocol-level properties matter here (nonce freshness,
+MAC rejection, report-chain integrity), per DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Set
+
+from repro.cfa.engine import AttestationEngineBase
+from repro.cfa.report import AttestationResult
+from repro.cfa.verifier import VerificationResult
+
+
+class ProtocolError(Exception):
+    """A protocol-level failure (stale nonce, malformed response)."""
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A fresh attestation request."""
+
+    nonce: bytes
+
+    @classmethod
+    def derive(cls, seed: bytes, counter: int) -> "Challenge":
+        """Deterministic nonce derivation (no wall-clock entropy in the
+        simulation; real deployments use a CSPRNG)."""
+        return cls(hashlib.sha256(seed + counter.to_bytes(8, "little")).digest()[:16])
+
+
+@dataclass
+class ProverDevice:
+    """The Prv side: receives a challenge, runs the engine, responds."""
+
+    engine: AttestationEngineBase
+
+    def handle_request(self, challenge: Challenge) -> AttestationResult:
+        return self.engine.attest(challenge.nonce)
+
+
+class VerifierEndpoint:
+    """The Vrf side: issues fresh challenges and assesses responses."""
+
+    def __init__(self, verifier, seed: bytes = b"vrf-seed"):
+        self.verifier = verifier
+        self.seed = seed
+        self._counter = 0
+        self._outstanding: Optional[Challenge] = None
+        self._seen_nonces: Set[bytes] = set()
+
+    def new_challenge(self) -> Challenge:
+        challenge = Challenge.derive(self.seed, self._counter)
+        self._counter += 1
+        if challenge.nonce in self._seen_nonces:
+            raise ProtocolError("nonce reuse")
+        self._seen_nonces.add(challenge.nonce)
+        self._outstanding = challenge
+        return challenge
+
+    def assess(self, response: AttestationResult) -> VerificationResult:
+        """Verify a response against the outstanding challenge."""
+        if self._outstanding is None:
+            raise ProtocolError("no outstanding challenge")
+        challenge = self._outstanding
+        self._outstanding = None
+        return self.verifier.verify(response, challenge.nonce)
+
+
+def run_attestation(prover: ProverDevice, endpoint: VerifierEndpoint,
+                    tamper: Optional[Callable[[AttestationResult],
+                                              AttestationResult]] = None
+                    ) -> VerificationResult:
+    """One full protocol round; ``tamper`` models a network adversary."""
+    challenge = endpoint.new_challenge()
+    response = prover.handle_request(challenge)
+    if tamper is not None:
+        response = tamper(response)
+    return endpoint.assess(response)

@@ -1,0 +1,16 @@
+"""Secure-World service numbers (SVC immediates).
+
+RAP-Track only ever calls the loop-condition logger (section IV-D); the
+TRACES baseline instruments every tracked event with a dedicated call.
+"""
+
+#: RAP-Track + TRACES: log the loop condition at a simple-loop entry.
+SVC_LOG_LOOP = 2
+
+# TRACES instrumentation services (one per event class).
+SVC_TRACES_COND_TAKEN = 3
+SVC_TRACES_COND_NOT_TAKEN = 4
+SVC_TRACES_IND_CALL = 5
+SVC_TRACES_RET_POP = 6
+SVC_TRACES_LDR = 7
+SVC_TRACES_BX = 8

@@ -1,0 +1,190 @@
+"""SpecCFA-style sub-path speculation (optional extension).
+
+The paper points at CFLog transmission as the system's bottleneck and
+cites SpecCFA (Caulfield et al., ACSAC 2024) for application-aware
+sub-path speculation: Vrf and Prv agree on common record sub-sequences
+("speculated sub-paths"); at runtime the Prv replaces each run of
+matches with one compact token, shrinking the transmitted CFLog without
+losing information (the Verifier expands tokens before replay).
+
+This module implements the core of that idea over our record streams:
+
+* :func:`mine_subpaths` — Vrf-side, offline: mine the most profitable
+  tandem-repeating sub-sequences from a profiling run's CFLog;
+* :func:`compress` / :func:`expand` — the lossless transform;
+* :func:`speculate_result` — Prv-side: rewrite an attestation's report
+  chain with compressed logs (re-signed, so authentication covers what
+  is actually transmitted);
+* :class:`SpeculativeVerifier` — authenticates the compressed chain,
+  expands, and delegates to the ordinary lossless Verifier.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cfa.cflog import CFLog, Record
+from repro.cfa.report import AttestationResult, Report
+from repro.cfa.verifier import VerificationResult, Verifier
+
+
+@dataclass(frozen=True)
+class SpecRecord:
+    """One token: ``count`` consecutive repetitions of sub-path ``path_id``.
+
+    Wire size is one word (path id and count bit-packed), matching the
+    compact encoding SpecCFA targets.
+    """
+
+    path_id: int
+    count: int
+    size_bytes: int = 4
+
+    def pack(self) -> bytes:
+        return struct.pack("<BII", 4, self.path_id, self.count)
+
+
+#: a dictionary of speculated sub-paths: id -> record tuple
+SubPathDict = Dict[int, Tuple[Record, ...]]
+
+
+def mine_subpaths(records: Sequence[Record], *, max_len: int = 8,
+                  top_k: int = 8, min_gain_bytes: int = 16) -> SubPathDict:
+    """Mine profitable sub-paths from a profiling CFLog (Vrf side).
+
+    Scans for sub-sequences that repeat back-to-back (tandem repeats —
+    the shape loops produce) and keeps the ``top_k`` by total byte
+    savings. Deterministic given the input.
+    """
+    gains: Counter = Counter()
+    n = len(records)
+    for length in range(1, max_len + 1):
+        i = 0
+        while i + length <= n:
+            candidate = tuple(records[i:i + length])
+            repeats = 1
+            j = i + length
+            while (j + length <= n
+                   and tuple(records[j:j + length]) == candidate):
+                repeats += 1
+                j += length
+            if repeats >= 2:
+                saved = sum(r.size_bytes for r in candidate) * repeats - 4
+                gains[candidate] += saved
+                i = j
+            else:
+                i += 1
+    chosen = [
+        candidate for candidate, gain in gains.most_common()
+        if gain >= min_gain_bytes
+    ][:top_k]
+    # longer sub-paths first so greedy compression prefers them
+    chosen.sort(key=len, reverse=True)
+    return {path_id: candidate for path_id, candidate in enumerate(chosen)}
+
+
+def compress(records: Sequence[Record],
+             dictionary: SubPathDict) -> List[Record]:
+    """Greedy left-to-right sub-path substitution (Prv side)."""
+    ordered = sorted(dictionary.items(), key=lambda kv: len(kv[1]),
+                     reverse=True)
+    out: List[Record] = []
+    i = 0
+    n = len(records)
+    while i < n:
+        matched = False
+        for path_id, pattern in ordered:
+            length = len(pattern)
+            if tuple(records[i:i + length]) != pattern:
+                continue
+            count = 1
+            j = i + length
+            while tuple(records[j:j + length]) == pattern:
+                count += 1
+                j += length
+            out.append(SpecRecord(path_id, count))
+            i = j
+            matched = True
+            break
+        if not matched:
+            out.append(records[i])
+            i += 1
+    return out
+
+
+def expand(records: Sequence[Record],
+           dictionary: SubPathDict) -> List[Record]:
+    """Invert :func:`compress` (Vrf side, after authentication)."""
+    out: List[Record] = []
+    for record in records:
+        if isinstance(record, SpecRecord):
+            try:
+                pattern = dictionary[record.path_id]
+            except KeyError:
+                raise ValueError(
+                    f"unknown speculated sub-path id {record.path_id}"
+                ) from None
+            out.extend(pattern * record.count)
+        else:
+            out.append(record)
+    return out
+
+
+def speculate_result(result: AttestationResult, dictionary: SubPathDict,
+                     key: bytes) -> AttestationResult:
+    """Rewrite a report chain with compressed CFLogs, re-signed.
+
+    In a deployment the engine compresses before signing; applying the
+    transform to an existing result models the same wire format.
+    """
+    reports = []
+    for report in result.reports:
+        compressed = Report(
+            device_id=report.device_id,
+            method=report.method,
+            challenge=report.challenge,
+            h_mem=report.h_mem,
+            seq=report.seq,
+            final=report.final,
+            cflog=CFLog(compress(report.cflog.records, dictionary)),
+        ).sign(key)
+        reports.append(compressed)
+    return AttestationResult(
+        reports=reports,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        gateway_calls=result.gateway_calls,
+        gateway_cycles=result.gateway_cycles,
+        exit_reason=result.exit_reason,
+        mtb_packets=result.mtb_packets,
+        report_cycles=result.report_cycles,
+    )
+
+
+class SpeculativeVerifier:
+    """Vrf for compressed chains: authenticate, expand, then replay."""
+
+    def __init__(self, verifier: Verifier, dictionary: SubPathDict):
+        self.verifier = verifier
+        self.dictionary = dictionary
+
+    def verify(self, result: AttestationResult,
+               challenge: bytes) -> VerificationResult:
+        authenticated = (
+            result.verify_chain(self.verifier.key)
+            and result.challenge == challenge
+            and all(r.h_mem == self.verifier.expected_h_mem
+                    for r in result.reports)
+        )
+        try:
+            expanded = expand(result.cflog.records, self.dictionary)
+        except ValueError as exc:
+            out = VerificationResult(authenticated=authenticated,
+                                     lossless=False, error=str(exc))
+            return out
+        outcome = self.verifier.replay(expanded)
+        outcome.authenticated = authenticated
+        return outcome

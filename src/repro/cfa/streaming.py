@@ -1,0 +1,84 @@
+"""Streaming verification of partial-report chains.
+
+Section IV-E's partial reports exist because Prv cannot hold the whole
+CFLog; the operational counterpart on the Vrf side is *incremental*
+consumption: authenticate each partial as it arrives (rejecting bad
+chains early, bounding Vrf memory to the running log) and replay once
+the final report lands. :class:`StreamingVerifier` implements that over
+the wire codec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cfa.cflog import Record
+from repro.cfa.report import AttestationResult, Report
+from repro.cfa.verifier import VerificationResult, Verifier
+from repro.cfa.wire import decode_report
+
+
+class StreamError(Exception):
+    """A protocol violation in the incoming report stream."""
+
+
+class StreamingVerifier:
+    """Consumes a report chain one (wire-encoded) report at a time."""
+
+    def __init__(self, verifier: Verifier, challenge: bytes):
+        self.verifier = verifier
+        self.challenge = challenge
+        self._records: List[Record] = []
+        self._next_seq = 0
+        self._finished = False
+        self.rejected: Optional[str] = None
+
+    @property
+    def partials_accepted(self) -> int:
+        return self._next_seq
+
+    def feed_bytes(self, data: bytes) -> None:
+        """Feed one wire-encoded report."""
+        report, consumed = decode_report(data)
+        if consumed != len(data):
+            raise StreamError("trailing bytes after report")
+        self.feed(report)
+
+    def feed(self, report: Report) -> None:
+        """Authenticate and absorb one report, in order."""
+        if self._finished:
+            raise StreamError("stream already finished")
+        if self.rejected:
+            raise StreamError(f"stream already rejected: {self.rejected}")
+        if not report.verify(self.verifier.key):
+            self.rejected = f"bad MAC on report #{report.seq}"
+        elif report.challenge != self.challenge:
+            self.rejected = f"challenge mismatch on report #{report.seq}"
+        elif report.h_mem != self.verifier.expected_h_mem:
+            self.rejected = f"H_MEM mismatch on report #{report.seq}"
+        elif report.seq != self._next_seq:
+            self.rejected = (f"out-of-order report #{report.seq}, "
+                             f"expected #{self._next_seq}")
+        if self.rejected:
+            raise StreamError(self.rejected)
+        self._records.extend(report.cflog.records)
+        self._next_seq += 1
+        if report.final:
+            self._finished = True
+
+    def finish(self) -> VerificationResult:
+        """Replay the accumulated log after the final report."""
+        if not self._finished:
+            raise StreamError("final report not yet received")
+        outcome = self.verifier.replay(self._records)
+        outcome.authenticated = True  # each report was checked on feed
+        return outcome
+
+
+def stream_attestation(result: AttestationResult, verifier: Verifier,
+                       challenge: bytes) -> VerificationResult:
+    """Convenience: push a whole chain through a StreamingVerifier."""
+    stream = StreamingVerifier(verifier, challenge)
+    for report in result.reports:
+        stream.feed(report)
+    return stream.finish()

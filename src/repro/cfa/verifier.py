@@ -1,0 +1,428 @@
+"""Verifier-side report validation and lossless path reconstruction.
+
+``Vrf`` holds the (public) rewritten binary, the linking metadata
+(:class:`~repro.core.rewrite_map.BoundRewriteMap`), and the shared
+attestation key. Verification has three layers:
+
+1. **Authentication** — MAC chain, sequence numbers, challenge
+   freshness, and the expected ``H_MEM``.
+2. **Lossless replay** — the CFLog is replayed against the binary:
+   deterministic transfers are followed statically, fixed loops are
+   unrolled from their static trip counts, loop-opt loops from their
+   logged conditions, and every trampolined site consumes exactly one
+   matching record. Replay succeeding with the log fully consumed means
+   the complete control flow path has been reconstructed.
+3. **Policy evidence** — consumed indirect targets are screened against
+   the binary's legal-target sets and a shadow return stack; mismatches
+   become :class:`Violation` evidence of ROP/JOP-style attacks (the log
+   itself stays authentic — CFA reports attacks, it does not mask them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.asm.program import Image
+from repro.cfa.cflog import AddressRecord, BranchRecord, LoopRecord, Record
+from repro.cfa.report import AttestationResult
+from repro.core.loops import trip_count
+from repro.core.rewrite_map import BoundRewriteMap
+from repro.crypto.hashing import measure_image
+from repro.isa.instructions import InstrKind
+
+#: Replay step guard (a verifier-side runaway protection).
+DEFAULT_MAX_STEPS = 20_000_000
+
+#: The bare-metal exit sentinel (return to the reset value of LR).
+EXIT_SENTINEL = 0xFFFF_FFFE
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One piece of attack evidence surfaced during replay."""
+
+    kind: str  # e.g. "rop-return", "jop-call", "bad-jump-target"
+    address: int  # site address in the attested binary
+    detail: str
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one attestation."""
+
+    authenticated: bool
+    lossless: bool
+    violations: List[Violation] = field(default_factory=list)
+    path: List[int] = field(default_factory=list)
+    consumed: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Authentic, fully reconstructable, and attack-free."""
+        return self.authenticated and self.lossless and not self.violations
+
+
+class ReplayError(Exception):
+    """The log cannot be losslessly replayed against the binary."""
+
+
+class Verifier:
+    """The remote Verifier for trampoline-based CFA (RAP-Track/TRACES)."""
+
+    def __init__(self, image: Image, bound_map: BoundRewriteMap, key: bytes,
+                 max_steps: int = DEFAULT_MAX_STEPS):
+        self.image = image
+        self.map = bound_map
+        self.key = key
+        self.max_steps = max_steps
+        self.expected_h_mem = measure_image(image)
+
+    # -- top level ----------------------------------------------------------
+
+    def verify(self, result: AttestationResult,
+               challenge: bytes) -> VerificationResult:
+        """Authenticate the report chain, then reconstruct the path."""
+        authenticated = (
+            result.verify_chain(self.key)
+            and result.challenge == challenge
+            and all(r.h_mem == self.expected_h_mem for r in result.reports)
+        )
+        out = self.replay(result.cflog.records)
+        out.authenticated = authenticated
+        return out
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, records: Sequence[Record]) -> VerificationResult:
+        """Reconstruct the complete execution path from the CFLog."""
+        result = VerificationResult(authenticated=False, lossless=False)
+        try:
+            self._replay(records, result)
+            result.lossless = result.error is None
+        except ReplayError as exc:
+            result.error = str(exc)
+            result.lossless = False
+        return result
+
+    def _replay(self, records: Sequence[Record],
+                result: VerificationResult) -> None:
+        image, rmap = self.image, self.map
+        pc = image.entry
+        cursor = 0
+        shadow: List[int] = []
+        fixed_state = {}
+        loop_state = {}
+        path = result.path
+        steps = 0
+
+        def peek() -> Optional[Record]:
+            return records[cursor] if cursor < len(records) else None
+
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise ReplayError("replay exceeded the step guard")
+            instr = image.instr_at.get(pc)
+            if instr is None:
+                raise ReplayError(f"replay left the code image at {pc:#010x}")
+            path.append(pc)
+
+            # 1. loop-condition log sites
+            if pc in rmap.loop_at:
+                info = rmap.loop_at[pc]
+                entry = peek()
+                if not isinstance(entry, LoopRecord) or entry.key != pc:
+                    raise ReplayError(
+                        f"missing loop-condition record at {pc:#010x}"
+                    )
+                cursor += 1
+                trips = trip_count(info, entry.value)
+                loop_state[info.latch_addr] = trips - 1
+                pc += instr.size
+                continue
+
+            # 2. trampolined indirect transfers
+            if pc in rmap.indirect_at:
+                info = rmap.indirect_at[pc]
+                entry = peek()
+                if (not isinstance(entry, (BranchRecord, AddressRecord))
+                        or entry.key != info.rec_addr):
+                    raise ReplayError(
+                        f"missing record for indirect transfer at {pc:#010x}"
+                    )
+                cursor += 1
+                if instr.mnemonic == "svc":
+                    # TRACES shape: the instrumented branch follows the svc
+                    path.append(pc + instr.size)
+                dst = entry.dst
+                if dst == EXIT_SENTINEL and not shadow:
+                    break  # top-level return: program exit
+                if info.kind == "call":
+                    shadow.append(self._call_resume(pc))
+                    if dst not in rmap.function_entry_addrs:
+                        result.violations.append(Violation(
+                            "jop-call", pc,
+                            f"indirect call to non-entry {dst:#010x}"))
+                elif info.kind == "return_pop":
+                    if shadow:
+                        expected = shadow.pop()
+                        if dst != expected:
+                            result.violations.append(Violation(
+                                "rop-return", pc,
+                                f"return to {dst:#010x}, "
+                                f"call site expected {expected:#010x}"))
+                    else:
+                        result.violations.append(Violation(
+                            "rop-return", pc,
+                            f"return to {dst:#010x} with empty call stack"))
+                else:  # ldr / bx computed jumps
+                    legal = (dst in rmap.address_taken_addrs
+                             or dst in rmap.function_entry_addrs)
+                    if not legal:
+                        result.violations.append(Violation(
+                            "bad-jump-target", pc,
+                            f"computed jump to {dst:#010x}"))
+                if image.instr_at.get(dst) is None:
+                    raise ReplayError(
+                        f"logged target {dst:#010x} is not code")
+                pc = dst
+                continue
+
+            # 3. trampolined conditionals
+            if pc in rmap.cond_at:
+                info = rmap.cond_at[pc]
+                entry = peek()
+                match = (isinstance(entry, (BranchRecord, AddressRecord))
+                         and entry.key == info.rec_addr)
+                if info.flavor == "always":
+                    # silent-cycle latch: a record is mandatory
+                    if not match:
+                        raise ReplayError(
+                            f"missing record for latch at {pc:#010x}")
+                    cursor += 1
+                    rec = image.instr_at.get(info.rec_addr)
+                    if rec is not None and rec.mnemonic == "svc":
+                        path.append(info.rec_addr)
+                        path.append(info.rec_addr + rec.size)
+                    pc = info.taken_addr
+                elif info.flavor == "taken":
+                    if match:
+                        cursor += 1
+                        rec = image.instr_at.get(info.rec_addr)
+                        if rec is not None and rec.mnemonic == "svc":
+                            # TRACES in-text thunk: svc + direct branch
+                            path.append(info.rec_addr)
+                            path.append(info.rec_addr + rec.size)
+                        pc = info.taken_addr
+                    else:
+                        pc += instr.size
+                else:  # forward-exit: a record means "stayed in the loop"
+                    if match:
+                        cursor += 1
+                        # the in-text consume site (RAP: the inserted
+                        # direct branch; TRACES: the inline svc)
+                        path.append(pc + instr.size)
+                        pc = info.cont_addr
+                    else:
+                        pc = info.taken_addr
+                continue
+
+            # 4. fixed loops: unroll from the static trip count
+            if pc in rmap.fixed_trip_at:
+                remaining = fixed_state.get(pc)
+                if remaining is None:
+                    remaining = rmap.fixed_trip_at[pc] - 1
+                if remaining > 0:
+                    fixed_state[pc] = remaining - 1
+                    pc = self._taken_target(pc, instr)
+                else:
+                    fixed_state.pop(pc, None)
+                    pc += instr.size
+                continue
+
+            # 5. loop-opt latches: governed by the consumed condition
+            if pc in rmap.loop_latches:
+                remaining = loop_state.get(pc)
+                if remaining is None:
+                    raise ReplayError(
+                        f"loop latch at {pc:#010x} reached without "
+                        f"a logged loop condition")
+                if remaining > 0:
+                    loop_state[pc] = remaining - 1
+                    pc = self._taken_target(pc, instr)
+                else:
+                    del loop_state[pc]
+                    pc += instr.size
+                continue
+
+            # 6. untracked instructions
+            kind = instr.kind
+            if kind is InstrKind.BRANCH:
+                if instr.cond is not None:
+                    raise ReplayError(
+                        f"unclassified conditional at {pc:#010x}")
+                pc = self._taken_target(pc, instr)
+            elif kind is InstrKind.CALL:
+                shadow.append(pc + instr.size)
+                pc = self._taken_target(pc, instr)
+            elif kind is InstrKind.INDIRECT_BRANCH:
+                # untracked bx lr: a leaf return through an unspilled LR
+                if not shadow:
+                    break  # entry function returned: program exit
+                pc = shadow.pop()
+            elif instr.mnemonic == "bkpt":
+                break
+            elif instr.writes_pc():
+                raise ReplayError(
+                    f"unclassified pc-writing instruction at {pc:#010x}")
+            elif instr.mnemonic == "svc":
+                raise ReplayError(f"unexpected svc at {pc:#010x}")
+            else:
+                pc += instr.size
+
+        result.consumed = cursor
+        if cursor != len(records):
+            raise ReplayError(
+                f"{len(records) - cursor} CFLog records left after "
+                f"execution reached its end")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _taken_target(self, pc: int, instr) -> int:
+        target = instr.direct_target()
+        if target is None:
+            raise ReplayError(f"no direct target at {pc:#010x}")
+        return self.image.addr_of(target.name)
+
+    def _call_resume(self, site: int) -> int:
+        """Runtime return address of an indirect-call site.
+
+        RAP-Track sites are a single ``bl`` (resume right after it); the
+        TRACES shape is ``svc`` + the original ``blx`` (resume after the
+        pair).
+        """
+        instr = self.image.instr_at[site]
+        if instr.mnemonic == "svc":
+            branch_addr = site + instr.size
+            branch = self.image.instr_at[branch_addr]
+            return branch_addr + branch.size
+        return site + instr.size
+
+
+class NaiveVerifier:
+    """Verifier for the naive-MTB baseline: replay of the *unmodified*
+    binary where every non-sequential transfer consumes one MTB packet."""
+
+    def __init__(self, image: Image, key: bytes,
+                 max_steps: int = DEFAULT_MAX_STEPS):
+        self.image = image
+        self.key = key
+        self.max_steps = max_steps
+        self.expected_h_mem = measure_image(image)
+
+    def verify(self, result: AttestationResult,
+               challenge: bytes) -> VerificationResult:
+        authenticated = (
+            result.verify_chain(self.key)
+            and result.challenge == challenge
+            and all(r.h_mem == self.expected_h_mem for r in result.reports)
+        )
+        out = self.replay(result.cflog.records)
+        out.authenticated = authenticated
+        return out
+
+    def replay(self, records: Sequence[Record]) -> VerificationResult:
+        result = VerificationResult(authenticated=False, lossless=False)
+        try:
+            self._replay(records, result)
+            result.lossless = result.error is None
+        except ReplayError as exc:
+            result.error = str(exc)
+        return result
+
+    def _replay(self, records: Sequence[Record],
+                result: VerificationResult) -> None:
+        image = self.image
+        pc = image.entry
+        cursor = 0
+        shadow: List[int] = []
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise ReplayError("replay exceeded the step guard")
+            instr = image.instr_at.get(pc)
+            if instr is None:
+                raise ReplayError(f"replay left the code image at {pc:#010x}")
+            result.path.append(pc)
+
+            def consume() -> BranchRecord:
+                nonlocal cursor
+                if cursor >= len(records):
+                    raise ReplayError(f"CFLog exhausted at {pc:#010x}")
+                entry = records[cursor]
+                if not isinstance(entry, BranchRecord) or entry.key != pc:
+                    raise ReplayError(
+                        f"CFLog record mismatch at {pc:#010x}")
+                cursor += 1
+                return entry
+
+            kind = instr.kind
+            if kind is InstrKind.BRANCH and instr.cond is None:
+                target = self.image.addr_of(instr.direct_target().name)
+                if target == pc + instr.size:
+                    pc = target  # branch-to-next retires sequentially
+                else:
+                    entry = consume()
+                    pc = entry.dst
+            elif (kind is InstrKind.COMPARE_BRANCH
+                  or (kind is InstrKind.BRANCH and instr.cond is not None)):
+                entry = records[cursor] if cursor < len(records) else None
+                if isinstance(entry, BranchRecord) and entry.key == pc:
+                    cursor += 1
+                    pc = entry.dst
+                else:
+                    pc += instr.size
+            elif kind is InstrKind.CALL:
+                target = self.image.addr_of(instr.direct_target().name)
+                shadow.append(pc + instr.size)
+                if target == pc + instr.size:
+                    pc = target  # call-to-next retires sequentially
+                else:
+                    entry = consume()
+                    pc = entry.dst
+            elif kind is InstrKind.INDIRECT_CALL:
+                entry = consume()
+                shadow.append(pc + instr.size)
+                pc = entry.dst
+            elif kind is InstrKind.INDIRECT_BRANCH:
+                entry = consume()
+                if entry.dst == EXIT_SENTINEL and not shadow:
+                    break  # top-level return: program exit
+                if shadow and entry.dst == shadow[-1]:
+                    shadow.pop()
+                pc = entry.dst
+            elif instr.writes_pc():  # pop {...,pc} / ldr pc
+                entry = consume()
+                if entry.dst == EXIT_SENTINEL and not shadow:
+                    break  # top-level return: program exit
+                if kind is InstrKind.POP and shadow:
+                    expected = shadow.pop()
+                    if entry.dst != expected:
+                        result.violations.append(Violation(
+                            "rop-return", pc,
+                            f"return to {entry.dst:#010x}, "
+                            f"call site expected {expected:#010x}"))
+                pc = entry.dst
+            elif instr.mnemonic == "bkpt":
+                break
+            else:
+                pc += instr.size
+
+        result.consumed = cursor
+        if cursor != len(records):
+            raise ReplayError(
+                f"{len(records) - cursor} CFLog records left after "
+                f"execution reached its end")

@@ -1,0 +1,148 @@
+"""Wire format: serialize/parse report chains for transmission.
+
+The in-memory objects model the protocol; this codec is what actually
+crosses the Prv->Vrf link (and what a fuzzer would attack). The format
+is length-delimited and self-describing:
+
+``report  := header fields cflog mac``, all little-endian, with each
+variable-length field length-prefixed. Records reuse the 9-byte tagged
+encoding of :meth:`Record.pack`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.cfa.cflog import (
+    AddressRecord,
+    BranchRecord,
+    CFLog,
+    LoopRecord,
+    Record,
+)
+from repro.cfa.report import AttestationResult, Report
+
+try:
+    from repro.cfa.speccfa import SpecRecord
+except ImportError:  # pragma: no cover - speccfa is part of the package
+    SpecRecord = None
+
+MAGIC = b"RAPT"
+VERSION = 1
+
+
+class WireError(Exception):
+    """Malformed or truncated wire data."""
+
+
+def _pack_bytes(data: bytes) -> bytes:
+    return struct.pack("<I", len(data)) + data
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise WireError("truncated wire data")
+        out = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def lp_bytes(self) -> bytes:
+        return self.take(self.u32())
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def encode_record(record: Record) -> bytes:
+    return record.pack()
+
+
+def decode_record(reader: _Reader) -> Record:
+    tag = reader.u8()
+    a = reader.u32()
+    b = reader.u32()
+    if tag == 1:
+        return BranchRecord(a, b)
+    if tag == 2:
+        return AddressRecord(a, b)
+    if tag == 3:
+        return LoopRecord(a, b)
+    if tag == 4 and SpecRecord is not None:
+        return SpecRecord(a, b)
+    raise WireError(f"unknown record tag {tag}")
+
+
+def encode_report(report: Report) -> bytes:
+    body = b"".join([
+        _pack_bytes(report.device_id),
+        _pack_bytes(report.method.encode()),
+        _pack_bytes(report.challenge),
+        _pack_bytes(report.h_mem),
+        struct.pack("<IB", report.seq, 1 if report.final else 0),
+        struct.pack("<I", len(report.cflog)),
+        b"".join(encode_record(r) for r in report.cflog),
+        _pack_bytes(report.mac),
+    ])
+    return MAGIC + struct.pack("<B", VERSION) + _pack_bytes(body)
+
+
+def decode_report(data: bytes) -> Tuple[Report, int]:
+    """Parse one report; returns ``(report, bytes_consumed)``."""
+    reader = _Reader(data)
+    if reader.take(4) != MAGIC:
+        raise WireError("bad magic")
+    version = reader.u8()
+    if version != VERSION:
+        raise WireError(f"unsupported version {version}")
+    body = _Reader(reader.lp_bytes())
+    device_id = body.lp_bytes()
+    method = body.lp_bytes().decode()
+    challenge = body.lp_bytes()
+    h_mem = body.lp_bytes()
+    seq, final = struct.unpack("<IB", body.take(5))
+    count = body.u32()
+    records: List[Record] = [decode_record(body) for _ in range(count)]
+    mac = body.lp_bytes()
+    if not body.exhausted:
+        raise WireError("trailing bytes inside report body")
+    report = Report(
+        device_id=device_id, method=method, challenge=challenge,
+        h_mem=h_mem, seq=seq, final=bool(final), cflog=CFLog(records),
+        mac=mac,
+    )
+    return report, reader.pos
+
+
+def encode_result(result: AttestationResult) -> bytes:
+    """Serialize a whole report chain."""
+    return b"".join(encode_report(r) for r in result.reports)
+
+
+def decode_result(data: bytes) -> AttestationResult:
+    """Parse a report chain back into an :class:`AttestationResult`.
+
+    Only the authenticated protocol surface survives the wire — runtime
+    telemetry (cycles etc.) is measurement-side and not transmitted.
+    """
+    reports = []
+    pos = 0
+    while pos < len(data):
+        report, consumed = decode_report(data[pos:])
+        reports.append(report)
+        pos += consumed
+    if not reports:
+        raise WireError("empty chain")
+    return AttestationResult(reports=reports)

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the workload registry;
+* ``run WORKLOAD [--method M]`` — one attested, verified execution;
+* ``figures [--workloads ...]`` — regenerate the paper's tables;
+* ``offline WORKLOAD`` — show the rewriter's output (MTBDR/MTBAR);
+* ``attack`` — the ROP detection demonstration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.asm import link
+from repro.core.pipeline import transform
+from repro.eval.figures import (
+    EVAL_WORKLOADS,
+    collect_all,
+    fig1_motivation,
+    fig8_runtime,
+    fig9_cflog,
+    fig10_code_size,
+    format_table,
+    partial_report_table,
+)
+from repro.eval.runner import METHODS, run_method
+from repro.workloads import WORKLOADS, load_workload
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'workload':12s}  description")
+    print(f"{'-' * 12}  {'-' * 50}")
+    for name in sorted(WORKLOADS):
+        print(f"{name:12s}  {load_workload(name).description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    run = run_method(args.workload, args.method)
+    print(f"workload:        {run.workload}")
+    print(f"method:          {run.method}")
+    print(f"cycles:          {run.cycles}")
+    print(f"instructions:    {run.instructions}")
+    print(f"code size:       {run.code_size} B")
+    if run.method != "baseline":
+        print(f"CFLog:           {run.cflog_records} records, "
+              f"{run.cflog_bytes} B")
+        print(f"partial reports: {run.partial_reports}")
+        print(f"secure calls:    {run.gateway_calls}")
+        print(f"verified:        {'OK' if run.verified else 'FAILED'}")
+    return 0 if run.verified else 1
+
+
+def _cmd_figures(args) -> int:
+    names = args.workloads or list(EVAL_WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {unknown}", file=sys.stderr)
+        return 2
+    runs = collect_all(workloads=names)
+    for title, fig in (
+        ("Figure 1 — motivation", fig1_motivation),
+        ("Figure 8 — runtime (CPU cycles)", fig8_runtime),
+        ("Figure 9 — CFLog size (bytes)", fig9_cflog),
+        ("Figure 10 — program memory (bytes)", fig10_code_size),
+        ("Partial reports (4 KB MTB)", partial_report_table),
+    ):
+        print(format_table(fig(runs), title))
+        print()
+    return 0
+
+
+def _cmd_offline(args) -> int:
+    workload = load_workload(args.workload)
+    result = transform(workload.module())
+    image = link(result.module)
+    print("site classification:")
+    for cls, count in sorted(result.site_counts.items()):
+        print(f"  {cls:24s} {count}")
+    print(f"\nMTBDR ({image.section_size('text')} B):")
+    print(image.disassemble("text"))
+    print(f"\nMTBAR ({image.section_size('mtbar')} B):")
+    print(image.disassemble("mtbar"))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core.classify import classify_module
+    from repro.core.inspect import analysis_report, cfg_to_dot
+
+    workload = load_workload(args.workload)
+    classification = classify_module(workload.module())
+    if args.dot:
+        print(cfg_to_dot(classification, title=args.workload))
+    else:
+        print(analysis_report(classification))
+    return 0
+
+
+def _cmd_attack(_args) -> int:
+    from repro.cfa.engine import RapTrackEngine
+    from repro.cfa.verifier import Verifier
+    from repro.tz.keystore import KeyStore
+    from repro.workloads import vulnerable
+    from repro.workloads.base import make_mcu
+
+    for attack in (False, True):
+        workload = vulnerable.make()
+        offline = transform(workload.module())
+        image = link(offline.module)
+        bound = offline.rmap.bind(image)
+        mcu = make_mcu(image, workload)
+        feed = (vulnerable.attack_feed(image) if attack
+                else vulnerable.benign_feed())
+        mcu.mmio.device("uart").set_feed(feed)
+        keystore = KeyStore.provision()
+        engine = RapTrackEngine(mcu, keystore, bound)
+        result = engine.attest(b"cli-attack-demo")
+        outcome = Verifier(image, bound, keystore.attestation_key).verify(
+            result, b"cli-attack-demo")
+        label = "attack" if attack else "benign"
+        print(f"{label}: device status "
+              f"{mcu.mmio.device('gpio').latches[0]:#x}, "
+              f"verdict {'ACCEPTED' if outcome.ok else 'REJECTED'}")
+        for violation in outcome.violations:
+            print(f"  [{violation.kind}] {violation.detail}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAP-Track reproduction: CFA via parallel MTB/DWT "
+                    "tracking on a simulated ARMv8-M MCU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads") \
+        .set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="attest and verify one workload")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--method", choices=METHODS, default="rap-track")
+    run.set_defaults(func=_cmd_run)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the paper's tables")
+    figures.add_argument("--workloads", nargs="*",
+                         help="subset to evaluate (default: all)")
+    figures.set_defaults(func=_cmd_figures)
+
+    offline = sub.add_parser("offline",
+                             help="show the rewriter output for a workload")
+    offline.add_argument("workload", choices=sorted(WORKLOADS))
+    offline.set_defaults(func=_cmd_offline)
+
+    analyze = sub.add_parser(
+        "analyze", help="static-analysis report / CFG dot export")
+    analyze.add_argument("workload", choices=sorted(WORKLOADS))
+    analyze.add_argument("--dot", action="store_true",
+                         help="emit graphviz dot instead of the report")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    sub.add_parser("attack", help="ROP detection demonstration") \
+        .set_defaults(func=_cmd_attack)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

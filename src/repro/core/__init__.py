@@ -1,0 +1,59 @@
+"""RAP-Track's primary contribution: the offline static analysis phase.
+
+Pipeline (paper section IV):
+
+1. :mod:`repro.core.cfg` builds a control flow graph over the assembled
+   module and :mod:`repro.core.loops` finds natural loops via dominators.
+2. :mod:`repro.core.classify` sorts every control transfer into the
+   paper's categories — statically deterministic (untracked), simple
+   loops eligible for the loop-condition optimization, and
+   non-deterministic transfers that require MTBAR trampolines.
+3. :mod:`repro.core.trampolines` + :mod:`repro.core.rewriter` emit the
+   rewritten module: original code (minus moved branches) in MTBDR, the
+   trampoline stubs in MTBAR, and the :class:`RewriteMap` metadata the
+   Verifier uses for lossless path reconstruction.
+4. :mod:`repro.core.pipeline` wires it together behind
+   :class:`RapTrackConfig` ablation switches.
+"""
+
+from repro.core.cfg import CFG, BasicBlock, build_cfg
+from repro.core.flat import FlatProgram
+from repro.core.dominators import compute_dominators, dominates
+from repro.core.loops import Loop, find_natural_loops
+from repro.core.classify import (
+    BranchClass,
+    ClassifiedSite,
+    classify_module,
+)
+from repro.core.rewrite_map import (
+    CondSite,
+    FixedLoopInfo,
+    IndirectSite,
+    LoopOptSite,
+    RewriteMap,
+)
+from repro.core.rewriter import rewrite_for_rap_track
+from repro.core.pipeline import RapTrackConfig, RapTrackResult, transform
+
+__all__ = [
+    "FlatProgram",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "compute_dominators",
+    "dominates",
+    "Loop",
+    "find_natural_loops",
+    "BranchClass",
+    "ClassifiedSite",
+    "classify_module",
+    "RewriteMap",
+    "CondSite",
+    "IndirectSite",
+    "LoopOptSite",
+    "FixedLoopInfo",
+    "rewrite_for_rap_track",
+    "RapTrackConfig",
+    "RapTrackResult",
+    "transform",
+]

@@ -1,0 +1,182 @@
+"""Control flow graph construction over a flat program.
+
+The CFG is intraprocedural: ``bl``/``blx`` are modelled as falling
+through to their continuation (call edges are kept separately), so
+dominator and natural-loop analysis stay within one function — which is
+what the paper's loop trampolines and loop optimization reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.flat import FlatProgram
+from repro.isa.instructions import Instr, InstrKind
+
+
+def _is_block_terminator(instr: Instr) -> bool:
+    kind = instr.kind
+    if kind in (InstrKind.BRANCH, InstrKind.COMPARE_BRANCH,
+                InstrKind.INDIRECT_BRANCH):
+        return True
+    if kind is InstrKind.POP and instr.writes_pc():
+        return True
+    if kind is InstrKind.LOAD and instr.writes_pc():
+        return True
+    if instr.mnemonic == "bkpt":
+        return True
+    return False
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions ``[start, end)``."""
+
+    bid: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+    @property
+    def terminator_index(self) -> int:
+        return self.end - 1
+
+
+class CFG:
+    """Blocks plus edge sets for one executable section."""
+
+    def __init__(self, flat: FlatProgram):
+        self.flat = flat
+        self.blocks: List[BasicBlock] = []
+        self.block_of_index: Dict[int, int] = {}
+        self.call_edges: List[Tuple[int, int]] = []  # (call instr idx, target idx)
+        self.exit_indices: Set[int] = set()  # returns / computed jumps / bkpt
+
+    def block_at(self, index: int) -> BasicBlock:
+        return self.blocks[self.block_of_index[index]]
+
+    def successors(self, bid: int) -> List[int]:
+        return self.blocks[bid].succs
+
+    def predecessors(self, bid: int) -> List[int]:
+        return self.blocks[bid].preds
+
+    def reachable_from(self, bid: int) -> Set[int]:
+        seen = {bid}
+        stack = [bid]
+        while stack:
+            node = stack.pop()
+            for succ in self.blocks[node].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+def build_cfg(flat: FlatProgram) -> CFG:
+    """Construct the intraprocedural CFG of the text section."""
+    cfg = CFG(flat)
+    count = len(flat)
+    if count == 0:
+        return cfg
+
+    # leaders: entry, all labelled indices, direct targets, fall-throughs
+    leaders: Set[int] = {0}
+    leaders.update(i for i in flat.label_index.values() if i < count)
+    for idx, instr in enumerate(flat.instrs):
+        target = flat.target_index(instr)
+        if target is not None and instr.kind is not InstrKind.CALL:
+            leaders.add(target)
+        if _is_block_terminator(instr) and idx + 1 < count:
+            leaders.add(idx + 1)
+
+    ordered = sorted(leaders)
+    bounds = ordered + [count]
+    for bid, (start, nxt) in enumerate(zip(ordered, bounds[1:])):
+        end = start
+        while end < nxt:
+            end += 1
+            if _is_block_terminator(flat.instrs[end - 1]):
+                break
+        block = BasicBlock(bid, start, end)
+        cfg.blocks.append(block)
+        for i in range(start, end):
+            cfg.block_of_index[i] = bid
+    # adjust: blocks may end early (terminator before next leader); the
+    # leftover tail instructions are dead straight-line code, but we still
+    # index them to their own synthetic blocks
+    covered = set(cfg.block_of_index)
+    tail_start = None
+    extra: List[Tuple[int, int]] = []
+    for i in range(count):
+        if i in covered:
+            if tail_start is not None:
+                extra.append((tail_start, i))
+                tail_start = None
+        elif tail_start is None:
+            tail_start = i
+    if tail_start is not None:
+        extra.append((tail_start, count))
+    for start, end in extra:
+        bid = len(cfg.blocks)
+        cfg.blocks.append(BasicBlock(bid, start, end))
+        for i in range(start, end):
+            cfg.block_of_index[i] = bid
+
+    # interprocedural call edges (any position within a block)
+    for idx, instr in enumerate(flat.instrs):
+        if instr.kind is InstrKind.CALL:
+            target = flat.target_index(instr)
+            if target is not None:
+                cfg.call_edges.append((idx, target))
+
+    # edges
+    for block in cfg.blocks:
+        term = flat.instrs[block.terminator_index]
+        idx = block.terminator_index
+        kind = term.kind
+
+        def add_edge(to_index: int):
+            to_bid = cfg.block_of_index[to_index]
+            if to_bid not in block.succs:
+                block.succs.append(to_bid)
+                cfg.blocks[to_bid].preds.append(block.bid)
+
+        if kind is InstrKind.BRANCH:
+            target = flat.target_index(term)
+            if target is not None and target < count:
+                add_edge(target)
+            if term.cond is not None and idx + 1 < count:
+                add_edge(idx + 1)
+        elif kind is InstrKind.COMPARE_BRANCH:
+            target = flat.target_index(term)
+            if target is not None and target < count:
+                add_edge(target)
+            if idx + 1 < count:
+                add_edge(idx + 1)
+        elif kind is InstrKind.CALL:
+            if idx + 1 < count:
+                add_edge(idx + 1)
+        elif kind is InstrKind.INDIRECT_CALL:
+            if idx + 1 < count:
+                add_edge(idx + 1)
+        elif kind is InstrKind.INDIRECT_BRANCH:
+            # bx: return or computed jump; block exit either way
+            cfg.exit_indices.add(idx)
+        elif kind is InstrKind.POP and term.writes_pc():
+            cfg.exit_indices.add(idx)
+        elif kind is InstrKind.LOAD and term.writes_pc():
+            cfg.exit_indices.add(idx)
+            # switch dispatch: conservatively add edges to address-taken
+            # labels inside this function (used only for policy display)
+        elif term.mnemonic == "bkpt":
+            cfg.exit_indices.add(idx)
+        else:
+            if idx + 1 < count:
+                add_edge(idx + 1)
+    return cfg

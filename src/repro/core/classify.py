@@ -1,0 +1,309 @@
+"""Branch classification (paper sections IV-C and IV-D).
+
+Every control transfer in the attested application is sorted into:
+
+* statically deterministic — direct jumps/calls, leaf returns through an
+  unspilled LR, and fixed-iteration simple loops: left in MTBDR,
+  untracked;
+* simple variable loops — eligible for the loop-condition optimization:
+  one Secure-World log of the loop condition replaces per-iteration
+  records;
+* non-deterministic — indirect calls/jumps, stack returns, conditional
+  branches: moved into MTBAR via trampolines so the MTB records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Set
+
+from repro.asm.program import Module
+from repro.core.cfg import CFG, build_cfg
+from repro.core.flat import FlatProgram
+from repro.core.loops import (
+    Loop,
+    SimpleLoopShape,
+    analyse_simple_loop,
+    find_natural_loops,
+)
+from repro.isa.instructions import InstrKind
+from repro.isa.operands import Reg
+from repro.isa.registers import LR
+
+
+class BranchClass(Enum):
+    """The paper's control-transfer categories."""
+
+    DETERMINISTIC = auto()  # direct b / bl: untracked
+    LEAF_RETURN = auto()  # bx lr with unspilled LR: untracked
+    FIXED_LOOP_LATCH = auto()  # statically known trip count: untracked
+    LOOP_OPT_LATCH = auto()  # simple loop, condition logged at entry
+    COND_NONLOOP = auto()  # trampoline, record taken
+    COND_BACKWARD_LATCH = auto()  # trampoline, record taken (per iteration)
+    COND_FORWARD_EXIT = auto()  # trampoline, record not-taken (per iteration)
+    UNCOND_LATCH = auto()  # silent-cycle breaker: record every execution
+    LOGGED_CALL = auto()  # direct call closing a silent (recursion) cycle
+    RETURN_POP = auto()  # pop {..., pc}
+    INDIRECT_LDR = auto()  # ldr pc, [...]
+    INDIRECT_CALL = auto()  # blx rs
+    INDIRECT_BX = auto()  # bx rs (non-leaf / non-lr)
+
+
+#: Classes that require an MTBAR trampoline.
+TRAMPOLINED = frozenset({
+    BranchClass.COND_NONLOOP,
+    BranchClass.COND_BACKWARD_LATCH,
+    BranchClass.COND_FORWARD_EXIT,
+    BranchClass.UNCOND_LATCH,
+    BranchClass.LOGGED_CALL,
+    BranchClass.RETURN_POP,
+    BranchClass.INDIRECT_LDR,
+    BranchClass.INDIRECT_CALL,
+    BranchClass.INDIRECT_BX,
+})
+
+
+@dataclass
+class ClassifiedSite:
+    """Classification of one control-transfer instruction (by index)."""
+
+    index: int
+    cls: BranchClass
+    shape: Optional[SimpleLoopShape] = None
+    loop: Optional[Loop] = None
+    trip_count: Optional[int] = None  # for FIXED_LOOP_LATCH
+    header_index: Optional[int] = None  # loop header instr index
+
+
+@dataclass
+class Classification:
+    """Full classification of a module's text section."""
+
+    flat: FlatProgram
+    cfg: CFG
+    loops: List[Loop]
+    sites: Dict[int, ClassifiedSite] = field(default_factory=dict)
+    address_taken: Set[str] = field(default_factory=set)
+    function_entry_labels: Set[str] = field(default_factory=set)
+
+    def tracked_sites(self) -> List[ClassifiedSite]:
+        return [s for s in self.sites.values() if s.cls in TRAMPOLINED]
+
+
+def classify_module(module: Module, *, enable_loop_opt: bool = True,
+                    enable_fixed_loops: bool = True) -> Classification:
+    """Run the full static classification over a module."""
+    flat = FlatProgram(module)
+    cfg = build_cfg(flat)
+
+    loops: List[Loop] = []
+    for start in flat.function_starts():
+        entry_bid = cfg.block_of_index.get(start)
+        if entry_bid is not None:
+            loops.extend(find_natural_loops(cfg, entry_bid))
+
+    result = Classification(flat, cfg, loops)
+    result.address_taken = flat.address_taken_labels()
+    for start in flat.function_starts():
+        for label in flat.labels_at[start]:
+            result.function_entry_labels.add(label)
+
+    # innermost-out latch analysis so outer simple loops may treat inner
+    # fixed loops as deterministic
+    deterministic_cond_indices: Set[int] = set()
+    latch_class: Dict[int, ClassifiedSite] = {}
+    for loop in sorted(loops, key=lambda l: len(l.body)):
+        site = _classify_loop_latch(
+            cfg, loop, flat, deterministic_cond_indices,
+            enable_loop_opt=enable_loop_opt,
+            enable_fixed_loops=enable_fixed_loops,
+        )
+        if site is not None:
+            latch_class[site.index] = site
+            if site.cls in (BranchClass.FIXED_LOOP_LATCH,
+                            BranchClass.LOOP_OPT_LATCH):
+                deterministic_cond_indices.add(site.index)
+
+    forward_exits = _single_forward_exits(cfg, loops, flat, latch_class)
+
+    for idx, instr in enumerate(flat.instrs):
+        kind = instr.kind
+        if kind is InstrKind.INDIRECT_CALL:
+            result.sites[idx] = ClassifiedSite(idx, BranchClass.INDIRECT_CALL)
+        elif kind is InstrKind.POP and instr.writes_pc():
+            result.sites[idx] = ClassifiedSite(idx, BranchClass.RETURN_POP)
+        elif kind is InstrKind.LOAD and instr.writes_pc():
+            result.sites[idx] = ClassifiedSite(idx, BranchClass.INDIRECT_LDR)
+        elif kind is InstrKind.INDIRECT_BRANCH:
+            (target,) = instr.operands
+            if (isinstance(target, Reg) and target.num == LR
+                    and not flat.function_writes_lr(idx)):
+                result.sites[idx] = ClassifiedSite(idx, BranchClass.LEAF_RETURN)
+            else:
+                result.sites[idx] = ClassifiedSite(idx, BranchClass.INDIRECT_BX)
+        elif (kind is InstrKind.COMPARE_BRANCH
+              or (kind is InstrKind.BRANCH and instr.cond is not None)):
+            if idx in latch_class:
+                result.sites[idx] = latch_class[idx]
+            else:
+                result.sites[idx] = _classify_plain_cond(
+                    cfg, loops, flat, idx, forward_exits)
+        elif kind in (InstrKind.BRANCH, InstrKind.CALL):
+            result.sites[idx] = ClassifiedSite(idx, BranchClass.DETERMINISTIC)
+
+    # losslessness pass: break silent cycles (see repro.core.silent)
+    from repro.core.silent import find_silent_latches
+
+    loop_logged_headers = {
+        site.header_index for site in result.sites.values()
+        if site.cls is BranchClass.LOOP_OPT_LATCH
+    }
+    latches, calls = find_silent_latches(cfg, result.sites,
+                                         loop_logged_headers)
+    for idx in latches:
+        result.sites[idx] = ClassifiedSite(idx, BranchClass.UNCOND_LATCH)
+    for idx in calls:
+        result.sites[idx] = ClassifiedSite(idx, BranchClass.LOGGED_CALL)
+    return result
+
+
+def _classify_loop_latch(cfg: CFG, loop: Loop, flat: FlatProgram,
+                         det_conds: Set[int], *, enable_loop_opt: bool,
+                         enable_fixed_loops: bool) -> Optional[ClassifiedSite]:
+    """Classify a loop's conditional latch (if it has exactly one)."""
+    if len(loop.latches) != 1:
+        return None
+    latch_block = cfg.blocks[loop.latches[0]]
+    latch_idx = latch_block.terminator_index
+    latch = flat.instrs[latch_idx]
+    is_cond = (latch.kind is InstrKind.COMPARE_BRANCH
+               or (latch.kind is InstrKind.BRANCH and latch.cond is not None))
+    if not is_cond:
+        return None  # unconditional latch: handled via forward-exit sites
+
+    header_index = cfg.blocks[loop.header].start
+    shape = analyse_simple_loop(cfg, loop, ignore_cond_indices=det_conds)
+    if shape is not None:
+        if enable_fixed_loops and shape.init_const is not None:
+            from repro.core.loops import trip_count
+
+            trips = trip_count(shape, shape.init_const)
+            return ClassifiedSite(
+                latch_idx, BranchClass.FIXED_LOOP_LATCH, shape=shape,
+                loop=loop, trip_count=trips, header_index=header_index,
+            )
+        if enable_loop_opt and _loop_opt_placement_ok(cfg, loop, flat):
+            return ClassifiedSite(
+                latch_idx, BranchClass.LOOP_OPT_LATCH, shape=shape,
+                loop=loop, header_index=header_index,
+            )
+    return ClassifiedSite(
+        latch_idx, BranchClass.COND_BACKWARD_LATCH, loop=loop,
+        header_index=header_index,
+    )
+
+
+def _loop_opt_placement_ok(cfg: CFG, loop: Loop, flat: FlatProgram) -> bool:
+    """The loop-condition svc can only be placed before the header when
+    every entry reaches the header by *fall-through* (the latch's branch
+    back to the header label must skip the svc, so a direct entry branch
+    to the same label would bypass the instrumentation)."""
+    header_block = cfg.blocks[loop.header]
+    header_index = header_block.start
+    outside_preds = [p for p in header_block.preds if p not in loop.body]
+    if len(outside_preds) != 1:
+        return False
+    pred = cfg.blocks[outside_preds[0]]
+    if pred.end != header_index:
+        return False  # not the lexical predecessor
+    # the predecessor must actually fall through (not jump) into the header
+    term = flat.instrs[pred.terminator_index]
+    if term.kind is InstrKind.BRANCH and term.cond is None:
+        return False
+    target = flat.target_index(term)
+    if target == header_index:
+        return False
+    # no other instruction may branch directly to the header label
+    for idx, instr in enumerate(flat.instrs):
+        if idx == pred.terminator_index:
+            continue
+        if flat.target_index(instr) == header_index:
+            bid = cfg.block_of_index[idx]
+            if bid not in loop.body:
+                return False
+    return True
+
+
+def _single_forward_exits(cfg: CFG, loops: List[Loop], flat: FlatProgram,
+                          latch_class: Dict[int, ClassifiedSite]
+                          ) -> Set[int]:
+    """Conditional indices that get the figure-7 forward-exit trampoline.
+
+    The not-taken-recording trampoline is applied only when a loop with
+    unconditional latches has exactly *one* forward exit conditional:
+    it then logs one record per iteration, matching the paper. With two
+    or more exits, per-exit not-taken logging would append multiple
+    records per iteration — strictly worse than trampolining the
+    unconditional latch itself (which the silent-cycle pass then does),
+    so multi-exit loops fall back to taken-recording conditionals.
+    """
+    candidates: Dict[int, List[int]] = {}  # loop header -> cond indices
+    eligible: Dict[int, Loop] = {}
+    for loop in loops:
+        latches_conditional = any(
+            _is_conditional(flat, cfg.blocks[latch].terminator_index)
+            for latch in loop.latches
+        )
+        if not latches_conditional:
+            eligible[loop.header] = loop
+
+    for idx, instr in enumerate(flat.instrs):
+        if idx in latch_class:
+            continue
+        if not (instr.kind is InstrKind.COMPARE_BRANCH
+                or (instr.kind is InstrKind.BRANCH
+                    and instr.cond is not None)):
+            continue
+        bid = cfg.block_of_index[idx]
+        containing = [l for l in loops if bid in l.body]
+        if not containing:
+            continue
+        innermost = min(containing, key=lambda l: len(l.body))
+        if innermost.header not in eligible:
+            continue
+        target = flat.target_index(instr)
+        target_bid = (cfg.block_of_index.get(target)
+                      if target is not None else None)
+        exits_loop = target_bid is None or target_bid not in innermost.body
+        forward = target is not None and target > idx
+        if exits_loop and forward:
+            candidates.setdefault(innermost.header, []).append(idx)
+
+    return {idxs[0] for idxs in candidates.values() if len(idxs) == 1}
+
+
+def _classify_plain_cond(cfg: CFG, loops: List[Loop], flat: FlatProgram,
+                         idx: int, forward_exits: Set[int]) -> ClassifiedSite:
+    """A conditional that is not a simple/fixed latch: decide between the
+    taken-recording trampoline and the forward-exit (not-taken) one."""
+    bid = cfg.block_of_index[idx]
+    containing = [l for l in loops if bid in l.body]
+    if containing:
+        innermost = min(containing, key=lambda l: len(l.body))
+        if idx in forward_exits:
+            return ClassifiedSite(idx, BranchClass.COND_FORWARD_EXIT,
+                                  loop=innermost)
+        target = flat.target_index(flat.instrs[idx])
+        forward = target is not None and target > idx
+        if not forward and cfg.blocks[bid].terminator_index == idx \
+                and bid in innermost.latches:
+            return ClassifiedSite(idx, BranchClass.COND_BACKWARD_LATCH,
+                                  loop=innermost)
+    return ClassifiedSite(idx, BranchClass.COND_NONLOOP)
+
+
+def _is_conditional(flat: FlatProgram, idx: int) -> bool:
+    instr = flat.instrs[idx]
+    return (instr.kind is InstrKind.COMPARE_BRANCH
+            or (instr.kind is InstrKind.BRANCH and instr.cond is not None))

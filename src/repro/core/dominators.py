@@ -1,0 +1,88 @@
+"""Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.cfg import CFG
+
+
+def compute_dominators(cfg: CFG, entry: int,
+                       restrict: Optional[Set[int]] = None) -> Dict[int, Optional[int]]:
+    """Immediate dominators of blocks reachable from ``entry``.
+
+    ``restrict`` limits the node universe (used to keep the analysis
+    within one function). Returns ``{block_id: idom_id}`` with the entry
+    mapped to itself.
+    """
+    universe = cfg.reachable_from(entry)
+    if restrict is not None:
+        universe &= restrict
+
+    # reverse postorder
+    order: List[int] = []
+    seen: Set[int] = set()
+
+    def dfs(node: int):
+        stack = [(node, iter(
+            s for s in cfg.blocks[node].succs if s in universe))]
+        seen.add(node)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(
+                        s for s in cfg.blocks[succ].succs if s in universe)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    dfs(entry)
+    rpo = list(reversed(order))
+    rpo_index = {node: i for i, node in enumerate(rpo)}
+
+    idom: Dict[int, Optional[int]] = {node: None for node in rpo}
+    idom[entry] = entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == entry:
+                continue
+            preds = [p for p in cfg.blocks[node].preds
+                     if p in rpo_index and idom.get(p) is not None]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    """Does block ``a`` dominate block ``b`` under the given idom tree?"""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent == node:
+            return node == a
+        node = parent
+    return False

@@ -1,0 +1,103 @@
+"""Human-facing views of the static analysis: CFG dot export and a
+classification report (developer tooling around the offline phase)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.classify import BranchClass, Classification
+
+#: graphviz fill colours by the terminator's class
+_CLASS_COLORS = {
+    BranchClass.DETERMINISTIC: "white",
+    BranchClass.LEAF_RETURN: "white",
+    BranchClass.FIXED_LOOP_LATCH: "palegreen",
+    BranchClass.LOOP_OPT_LATCH: "lightgoldenrod",
+    BranchClass.COND_NONLOOP: "lightblue",
+    BranchClass.COND_BACKWARD_LATCH: "lightblue",
+    BranchClass.COND_FORWARD_EXIT: "lightskyblue",
+    BranchClass.UNCOND_LATCH: "plum",
+    BranchClass.LOGGED_CALL: "plum",
+    BranchClass.RETURN_POP: "salmon",
+    BranchClass.INDIRECT_LDR: "salmon",
+    BranchClass.INDIRECT_CALL: "salmon",
+    BranchClass.INDIRECT_BX: "salmon",
+}
+
+
+def cfg_to_dot(classification: Classification,
+               title: str = "cfg") -> str:
+    """Render the classified CFG as graphviz dot text.
+
+    Blocks are labelled with their instructions; terminators that the
+    rewriter will touch are colour-coded by class (green: statically
+    elided fixed loops; gold: loop-opt; blue: conditional trampolines;
+    salmon: indirect trampolines; plum: silent-cycle breakers).
+    """
+    cfg = classification.cfg
+    flat = classification.flat
+    lines = [f'digraph "{title}" {{',
+             "  node [shape=box, fontname=monospace, style=filled];"]
+    for block in cfg.blocks:
+        body = []
+        for idx in range(block.start, block.end):
+            labels = flat.labels_at[idx]
+            for label in labels:
+                body.append(f"{label}:")
+            body.append(f"  {flat.instrs[idx]}")
+        term_site = classification.sites.get(block.terminator_index)
+        color = _CLASS_COLORS.get(
+            term_site.cls if term_site else BranchClass.DETERMINISTIC,
+            "white")
+        text = "\\l".join(body) + "\\l"
+        lines.append(f'  b{block.bid} [label="{text}", fillcolor={color}];')
+    for block in cfg.blocks:
+        for succ in block.succs:
+            lines.append(f"  b{block.bid} -> b{succ};")
+    for call_idx, target_idx in cfg.call_edges:
+        src = cfg.block_of_index[call_idx]
+        dst = cfg.block_of_index.get(target_idx)
+        if dst is not None:
+            lines.append(f"  b{src} -> b{dst} [style=dashed, color=gray];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def analysis_report(classification: Classification) -> str:
+    """A textual summary of what the offline phase decided and why."""
+    flat = classification.flat
+    by_class: Dict[BranchClass, List[int]] = {}
+    for idx, site in sorted(classification.sites.items()):
+        by_class.setdefault(site.cls, []).append(idx)
+
+    lines = ["=== RAP-Track offline analysis report ==="]
+    lines.append(f"instructions: {len(flat)}")
+    lines.append(f"functions:    {len(flat.function_starts())}")
+    lines.append(f"loops:        {len(classification.loops)}")
+    lines.append("")
+    lines.append("control transfers by class:")
+    for cls in BranchClass:
+        indices = by_class.get(cls, [])
+        if not indices:
+            continue
+        lines.append(f"  {cls.name:22s} {len(indices):4d}")
+        for idx in indices[:6]:
+            site = classification.sites[idx]
+            extra = ""
+            if site.trip_count is not None:
+                extra = f"  (trip count {site.trip_count})"
+            elif site.shape is not None:
+                extra = (f"  (counter r{site.shape.counter_reg}, "
+                         f"step {site.shape.step:+d}, "
+                         f"bound {site.shape.bound})")
+            lines.append(f"      @{idx:4d}: {flat.instrs[idx]}{extra}")
+        if len(indices) > 6:
+            lines.append(f"      ... and {len(indices) - 6} more")
+    lines.append("")
+    tracked = len(classification.tracked_sites())
+    total = len(classification.sites)
+    lines.append(f"tracked (trampolined) sites: {tracked} / {total} "
+                 f"control transfers")
+    lines.append(f"address-taken labels: "
+                 f"{sorted(classification.address_taken) or 'none'}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Metadata shared between the offline phase and the Verifier.
+
+The rewriter emits a :class:`RewriteMap` keyed by fresh labels; after
+linking, :meth:`RewriteMap.bind` resolves every label to its final
+address, producing a :class:`BoundRewriteMap` the Verifier's replay
+consumes. The Verifier is assumed to possess the (public) rewritten
+binary and this linking metadata — the same knowledge the paper's Vrf
+derives from APP's binary (sections II-C, IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.asm.program import Image
+
+
+@dataclass(frozen=True)
+class CondSite:
+    """A trampolined conditional (or silent-latch) branch.
+
+    ``flavor``:
+
+    * ``"taken"`` — non-loop / backward-latch trampolines: a CFLog
+      record means the branch was taken (figures 5-6);
+    * ``"not_taken"`` — forward-loop-exit trampolines: a record means
+      the branch fell through into another loop iteration (figure 7);
+    * ``"always"`` — an unconditional backward latch trampolined to
+      break a silent cycle (see repro.core.silent): exactly one record
+      per execution is mandatory.
+    """
+
+    site_label: str  # the branch instruction
+    rec_label: str  # the recording instruction inside the stub/thunk
+    taken_label: str  # original taken target
+    cont_label: Optional[str] = None  # fall-through continuation (forward)
+    flavor: str = "taken"
+
+
+@dataclass(frozen=True)
+class IndirectSite:
+    """A trampolined indirect transfer (call, return, or computed jump)."""
+
+    kind: str  # "call" | "return_pop" | "ldr" | "bx"
+    site_label: str  # replacement instruction in MTBDR
+    rec_label: str  # recording instruction in MTBAR
+
+
+@dataclass(frozen=True)
+class LoopOptSite:
+    """A loop-condition logging site (paper section IV-D)."""
+
+    site_label: str  # the inserted svc instruction
+    latch_label: str  # the (deterministic, untracked) latch branch
+    counter_reg: int
+    step: int
+    bound: int
+    cond: str
+
+
+@dataclass(frozen=True)
+class FixedLoopInfo:
+    """A statically-deterministic loop: nothing is logged at runtime."""
+
+    latch_label: str
+    trip_count: int  # body executions per loop entry
+
+
+@dataclass
+class RewriteMap:
+    """Everything the Verifier needs beyond the rewritten binary."""
+
+    method: str = "rap-track"
+    cond_sites: List[CondSite] = field(default_factory=list)
+    indirect_sites: List[IndirectSite] = field(default_factory=list)
+    loop_sites: List[LoopOptSite] = field(default_factory=list)
+    fixed_loops: List[FixedLoopInfo] = field(default_factory=list)
+    #: labels whose addresses may legally appear as indirect targets
+    address_taken: Set[str] = field(default_factory=set)
+    #: function entry labels (legal indirect-call targets)
+    function_entries: Set[str] = field(default_factory=set)
+
+    def bind(self, image: Image) -> "BoundRewriteMap":
+        return BoundRewriteMap(self, image)
+
+
+@dataclass(frozen=True)
+class BoundCond:
+    flavor: str
+    rec_addr: int
+    taken_addr: int
+    cont_addr: Optional[int]
+
+
+@dataclass(frozen=True)
+class BoundIndirect:
+    kind: str
+    rec_addr: int
+
+
+@dataclass(frozen=True)
+class BoundLoop:
+    rec_addr: int
+    latch_addr: int
+    counter_reg: int
+    step: int
+    bound: int
+    cond: str
+
+
+class BoundRewriteMap:
+    """Rewrite metadata with all labels resolved to image addresses."""
+
+    def __init__(self, rmap: RewriteMap, image: Image):
+        self.method = rmap.method
+        self.image = image
+        self.cond_at: Dict[int, BoundCond] = {}
+        self.indirect_at: Dict[int, BoundIndirect] = {}
+        self.loop_at: Dict[int, BoundLoop] = {}
+        self.loop_latches: Set[int] = set()
+        self.fixed_trip_at: Dict[int, int] = {}
+        for site in rmap.cond_sites:
+            flavor = "not_taken" if site.cont_label else site.flavor
+            self.cond_at[image.addr_of(site.site_label)] = BoundCond(
+                flavor,
+                image.addr_of(site.rec_label),
+                image.addr_of(site.taken_label),
+                image.addr_of(site.cont_label) if site.cont_label else None,
+            )
+        for ind in rmap.indirect_sites:
+            self.indirect_at[image.addr_of(ind.site_label)] = BoundIndirect(
+                ind.kind, image.addr_of(ind.rec_label)
+            )
+        for loop in rmap.loop_sites:
+            bound = BoundLoop(
+                image.addr_of(loop.site_label),
+                image.addr_of(loop.latch_label),
+                loop.counter_reg,
+                loop.step,
+                loop.bound,
+                loop.cond,
+            )
+            self.loop_at[bound.rec_addr] = bound
+            self.loop_latches.add(bound.latch_addr)
+        for fixed in rmap.fixed_loops:
+            self.fixed_trip_at[image.addr_of(fixed.latch_label)] = fixed.trip_count
+        # policy sets: only real symbols qualify (equates are constants
+        # like MMIO bases, never legal indirect-control targets)
+        self.address_taken_addrs = {
+            image.symbols[name] for name in rmap.address_taken
+            if name in image.symbols
+        }
+        self.function_entry_addrs = {
+            image.symbols[name] for name in rmap.function_entries
+            if name in image.symbols
+        }

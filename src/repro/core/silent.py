@@ -1,0 +1,210 @@
+"""Silent-cycle analysis: the losslessness completion of section IV-C.
+
+Taken-only logging of conditionals is lossless *only if* every cycle in
+the control flow graph produces at least one CFLog record per
+traversal. Otherwise two executions that differ in how many times they
+went around an unlogged ("silent") cycle yield the same log, and the
+Verifier cannot reconstruct the path — exactly the situation the
+paper's loop trampolines (figures 6-7) exist to prevent for the common
+loop shapes.
+
+This module generalises that rule. It builds the subgraph of *silent*
+edges (edges whose traversal is never evidenced in the CFLog), finds
+its strongly connected components, and returns the branches that must
+be additionally logged to break every silent cycle:
+
+* unconditional backward branches (the while-loop latch case), and
+* direct ``bl`` calls that close a cycle through a function —
+  i.e. recursion, where a descent of arbitrary depth would otherwise
+  leave no evidence until the base case.
+
+The analysis is interprocedural: ``bl`` call edges are part of the
+graph, and a call's fall-through (continuation) edge counts as *logged*
+when every return path of the (statically known) callee is tracked,
+because traversing it then always leaves at least the callee's return
+record in the log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.cfg import CFG
+from repro.core.classify import BranchClass, ClassifiedSite
+from repro.isa.instructions import InstrKind
+
+#: classes whose dynamic occurrence always appends a CFLog record
+_ALWAYS_LOGGED_RETURNS = frozenset({
+    BranchClass.RETURN_POP,
+    BranchClass.INDIRECT_BX,
+})
+
+
+def find_silent_latches(cfg: CFG, sites: Dict[int, ClassifiedSite],
+                        loop_logged_headers: Set[int]
+                        ) -> Tuple[List[int], List[int]]:
+    """Branches to additionally log for losslessness.
+
+    Returns ``(uncond_latch_indices, logged_call_indices)``.
+    ``loop_logged_headers`` holds header instruction indices of loop-opt
+    loops: entering such a header (other than via its back edge) passes
+    the inserted svc and is therefore logged.
+    """
+    flat = cfg.flat
+    silent: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
+    call_edges: Dict[int, Tuple[int, int]] = {}  # call idx -> (from, to)
+
+    callee_all_returns_tracked: Dict[int, bool] = {}
+
+    def returns_tracked(entry_idx: int) -> bool:
+        """True if every return path of the function at ``entry_idx``
+        is a tracked (logged) return."""
+        if entry_idx in callee_all_returns_tracked:
+            return callee_all_returns_tracked[entry_idx]
+        start, end = flat.function_extent(entry_idx)
+        tracked = True
+        for idx in range(start, end):
+            site = sites.get(idx)
+            if site is None:
+                continue
+            if site.cls is BranchClass.LEAF_RETURN:
+                tracked = False
+                break
+        callee_all_returns_tracked[entry_idx] = tracked
+        return tracked
+
+    for block in cfg.blocks:
+        term_idx = block.terminator_index
+        instr = flat.instrs[term_idx]
+        site = sites.get(term_idx)
+        cls = site.cls if site is not None else None
+        taken_idx = flat.target_index(instr)
+        taken_bid = (cfg.block_of_index.get(taken_idx)
+                     if taken_idx is not None else None)
+
+        # scan the whole block (blocks are single-entry): every call —
+        # including mid-block ones — contributes a call edge, and a call
+        # whose callee always logs its return makes any traversal
+        # through this block leave a record
+        interior_logged = False
+        for idx in range(block.start, block.end):
+            inner = flat.instrs[idx]
+            inner_cls = sites.get(idx)
+            if inner_cls is not None and inner_cls.cls in (
+                    BranchClass.INDIRECT_CALL,):
+                interior_logged = True
+            if inner.kind is InstrKind.CALL:
+                callee_idx = flat.target_index(inner)
+                callee_bid = (cfg.block_of_index.get(callee_idx)
+                              if callee_idx is not None else None)
+                if callee_bid is not None:
+                    silent[block.bid].add(callee_bid)
+                    call_edges[idx] = (block.bid, callee_bid)
+                if callee_idx is not None and returns_tracked(callee_idx):
+                    interior_logged = True
+
+        for succ in block.succs:
+            is_taken_edge = taken_bid is not None and succ == taken_bid
+            if interior_logged:
+                continue  # the block body always appends a record
+            if cls in (BranchClass.COND_NONLOOP,
+                       BranchClass.COND_BACKWARD_LATCH):
+                if is_taken_edge:
+                    continue  # taken is logged
+            elif cls is BranchClass.COND_FORWARD_EXIT:
+                if not is_taken_edge:
+                    continue  # staying in the loop is logged
+            elif cls in (BranchClass.FIXED_LOOP_LATCH,
+                         BranchClass.LOOP_OPT_LATCH):
+                if is_taken_edge:
+                    continue  # self-resolving bounded back edge
+            elif cls is BranchClass.INDIRECT_CALL:
+                continue  # the call itself is always logged
+            # the svc before a loop-opt header logs every entry edge
+            # that is not the (excluded) latch back edge
+            succ_start = cfg.blocks[succ].start
+            if succ_start in loop_logged_headers and not is_taken_edge:
+                continue
+            silent[block.bid].add(succ)
+
+    latch_breaks: Set[int] = set()
+    call_breaks: Set[int] = set()
+    for component in _cyclic_sccs(silent):
+        found = False
+        for bid in component:
+            block = cfg.blocks[bid]
+            term_idx = block.terminator_index
+            instr = flat.instrs[term_idx]
+            site = sites.get(term_idx)
+            cls = site.cls if site is not None else None
+            breakable = site is None or cls is BranchClass.DETERMINISTIC
+            if (instr.kind is InstrKind.BRANCH and instr.cond is None
+                    and breakable):
+                target = flat.target_index(instr)
+                if (target is not None and target <= term_idx
+                        and cfg.block_of_index.get(target) in component):
+                    latch_breaks.add(term_idx)
+                    found = True
+            for idx in range(block.start, block.end):
+                edge = call_edges.get(idx)
+                if edge is not None and edge[1] in component:
+                    call_breaks.add(idx)
+                    found = True
+        if not found:
+            raise ValueError(
+                "silent cycle with no breakable branch "
+                f"(blocks {sorted(component)})"
+            )
+    return sorted(latch_breaks), sorted(call_breaks)
+
+
+def _cyclic_sccs(graph: Dict[int, Set[int]]) -> List[Set[int]]:
+    """Strongly connected components that contain at least one cycle
+    (size > 1, or a self-loop). Iterative Tarjan."""
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    counter = [0]
+    out: List[Set[int]] = []
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work: List[Tuple[int, object]] = [(root, iter(graph[root]))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or any(
+                        m in graph[m] for m in component):
+                    out.append(component)
+    return out

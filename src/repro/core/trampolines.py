@@ -1,0 +1,54 @@
+"""MTBAR trampoline stub synthesis (paper section IV-C, figures 3-7).
+
+Each stub lives in the MTBAR region. Because the MTB needs a short
+activation window after the DWT start event (non-instant activation),
+stubs are padded with a leading NOP when ``nop_padding`` is on — exactly
+the padding the paper reports adding (section V-C). The *recording
+instruction* (the stub's transfer back out of MTBAR) is the one whose
+``(src, dst)`` packet the MTB captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.asm.program import Section
+from repro.isa.instructions import Instr, make_instr
+
+
+@dataclass(frozen=True)
+class Stub:
+    """One emitted trampoline stub."""
+
+    stub_label: str  # entry of the stub (branch target from MTBDR)
+    rec_label: str  # the recording instruction inside the stub
+
+
+def emit_stub(mtbar: Section, stub_label: str, rec_label: str,
+              rec_instr: Instr, nop_padding: bool) -> Stub:
+    """Append one stub to the MTBAR section.
+
+    Layout: ``[nop]`` (optional activation padding) followed by the
+    recording instruction that performs the original transfer.
+    """
+    if nop_padding:
+        mtbar.add(make_instr("nop"), (stub_label,))
+        mtbar.add(rec_instr, (rec_label,))
+    else:
+        if stub_label == rec_label:
+            mtbar.add(rec_instr, (stub_label,))
+        else:
+            mtbar.add(rec_instr, (stub_label, rec_label))
+    return Stub(stub_label, rec_label)
+
+
+class LabelMint:
+    """Fresh-label factory for rewriter-introduced symbols."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._next = 0
+
+    def fresh(self, tag: str) -> str:
+        label = f"__{self.prefix}_{tag}_{self._next}"
+        self._next += 1
+        return label

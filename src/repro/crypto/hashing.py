@@ -1,0 +1,22 @@
+"""Code measurement (the H_MEM of the attestation report)."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.asm.program import Image
+
+
+def hash_bytes(data: bytes) -> bytes:
+    """SHA-256 digest of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def measure_image(image: Image) -> bytes:
+    """Measure the executable sections of a linked image.
+
+    This is the CFA Engine's ``H_MEM``: a digest over the attested
+    application's code (text + MTBAR), address-qualified so relocation
+    or reordering changes the measurement.
+    """
+    return hash_bytes(image.code_bytes())

@@ -1,0 +1,31 @@
+"""Evaluation harness: method runners and figure/table generators."""
+
+from repro.eval.runner import (
+    METHODS,
+    MethodRun,
+    prepare,
+    run_all_methods,
+    run_method,
+)
+from repro.eval.figures import (
+    fig1_motivation,
+    fig8_runtime,
+    fig9_cflog,
+    fig10_code_size,
+    format_table,
+    partial_report_table,
+)
+
+__all__ = [
+    "METHODS",
+    "MethodRun",
+    "prepare",
+    "run_method",
+    "run_all_methods",
+    "fig1_motivation",
+    "fig8_runtime",
+    "fig9_cflog",
+    "fig10_code_size",
+    "partial_report_table",
+    "format_table",
+]

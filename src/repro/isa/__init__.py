@@ -1,0 +1,56 @@
+"""Instruction-set architecture model.
+
+A Thumb-2-like subset of ARMv8-M sufficient to express the workloads the
+RAP-Track paper evaluates: ALU operations, loads/stores, stack push/pop,
+direct and conditional branches, direct and indirect calls, returns via
+``BX LR`` / ``POP {..,PC}``, and indirect jumps via ``LDR PC, [..]``.
+
+The ISA is *synthetic but proportioned*: instruction byte sizes and cycle
+counts track Cortex-M33 orders of magnitude so that code-size and runtime
+comparisons reproduce the paper's shapes (see DESIGN.md section 5).
+"""
+
+from repro.isa.registers import (
+    LR,
+    PC,
+    REG_COUNT,
+    SP,
+    Flags,
+    parse_reg,
+    reg_name,
+)
+from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+from repro.isa.conditions import CONDITIONS, cond_passed, invert_cond
+from repro.isa.instructions import (
+    BRANCH_MNEMONICS,
+    MNEMONICS,
+    Instr,
+    InstrKind,
+    InstrSpec,
+)
+from repro.isa.encoding import encode_instr, encode_program_bytes
+
+__all__ = [
+    "LR",
+    "PC",
+    "SP",
+    "REG_COUNT",
+    "Flags",
+    "parse_reg",
+    "reg_name",
+    "Reg",
+    "Imm",
+    "Label",
+    "Mem",
+    "RegList",
+    "CONDITIONS",
+    "cond_passed",
+    "invert_cond",
+    "Instr",
+    "InstrKind",
+    "InstrSpec",
+    "MNEMONICS",
+    "BRANCH_MNEMONICS",
+    "encode_instr",
+    "encode_program_bytes",
+]

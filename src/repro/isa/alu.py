@@ -1,0 +1,112 @@
+"""Pure 32-bit ALU arithmetic with ARM flag semantics."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+def u32(value: int) -> int:
+    """Truncate to an unsigned 32-bit value."""
+    return value & MASK32
+
+
+def s32(value: int) -> int:
+    """Interpret a 32-bit value as signed."""
+    value &= MASK32
+    return value - 0x100000000 if value & SIGN_BIT else value
+
+
+def add_with_flags(a: int, b: int, carry_in: int = 0) -> Tuple[int, bool, bool, bool, bool]:
+    """ARM ``ADDS``: return ``(result, n, z, c, v)``.
+
+    Subtraction is expressed as ``add_with_flags(a, ~b, 1)`` following the
+    architecture's AddWithCarry definition.
+    """
+    a &= MASK32
+    b &= MASK32
+    unsigned = a + b + carry_in
+    result = unsigned & MASK32
+    signed = s32(a) + s32(b) + carry_in
+    n = bool(result & SIGN_BIT)
+    z = result == 0
+    c = unsigned > MASK32
+    v = signed != s32(result)
+    return result, n, z, c, v
+
+
+def sub_with_flags(a: int, b: int) -> Tuple[int, bool, bool, bool, bool]:
+    """ARM ``SUBS``/``CMP``: carry means *no borrow*."""
+    return add_with_flags(a, (~b) & MASK32, 1)
+
+
+def logical_flags(result: int, carry: bool) -> Tuple[int, bool, bool, bool]:
+    """Flags for logical/shift results: ``(result, n, z, c)`` (V unaffected)."""
+    result &= MASK32
+    return result, bool(result & SIGN_BIT), result == 0, carry
+
+
+def lsl(value: int, amount: int, carry_in: bool) -> Tuple[int, bool]:
+    """Logical shift left; returns ``(result, carry_out)``."""
+    value &= MASK32
+    if amount == 0:
+        return value, carry_in
+    if amount > 32:
+        return 0, False
+    carry = bool((value >> (32 - amount)) & 1) if amount <= 32 else False
+    return u32(value << amount), carry
+
+
+def lsr(value: int, amount: int, carry_in: bool) -> Tuple[int, bool]:
+    """Logical shift right; returns ``(result, carry_out)``."""
+    value &= MASK32
+    if amount == 0:
+        return value, carry_in
+    if amount > 32:
+        return 0, False
+    carry = bool((value >> (amount - 1)) & 1)
+    return value >> amount, carry
+
+
+def asr(value: int, amount: int, carry_in: bool) -> Tuple[int, bool]:
+    """Arithmetic shift right; returns ``(result, carry_out)``."""
+    value &= MASK32
+    if amount == 0:
+        return value, carry_in
+    if amount >= 32:
+        amount = 32
+    signed = s32(value)
+    carry = bool((signed >> (amount - 1)) & 1)
+    return u32(signed >> amount), carry
+
+
+def ror(value: int, amount: int, carry_in: bool) -> Tuple[int, bool]:
+    """Rotate right; returns ``(result, carry_out)``."""
+    value &= MASK32
+    if amount == 0:
+        return value, carry_in
+    amount %= 32
+    if amount == 0:
+        return value, bool(value & SIGN_BIT)
+    result = u32((value >> amount) | (value << (32 - amount)))
+    return result, bool(result & SIGN_BIT)
+
+
+def udiv(a: int, b: int) -> int:
+    """Unsigned division; divide-by-zero yields 0 (ARM semantics)."""
+    a &= MASK32
+    b &= MASK32
+    return 0 if b == 0 else a // b
+
+
+def sdiv(a: int, b: int) -> int:
+    """Signed division truncating toward zero; divide-by-zero yields 0."""
+    sa, sb = s32(a), s32(b)
+    if sb == 0:
+        return 0
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return u32(quotient)

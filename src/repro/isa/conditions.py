@@ -1,0 +1,91 @@
+"""ARM condition codes and their evaluation against the APSR flags."""
+
+from __future__ import annotations
+
+from repro.isa.registers import Flags
+
+#: Canonical condition-code suffixes (aliases normalised by the parser).
+CONDITIONS = (
+    "eq",
+    "ne",
+    "cs",
+    "cc",
+    "mi",
+    "pl",
+    "vs",
+    "vc",
+    "hi",
+    "ls",
+    "ge",
+    "lt",
+    "gt",
+    "le",
+)
+
+ALIASES = {"hs": "cs", "lo": "cc"}
+
+_INVERSE = {
+    "eq": "ne",
+    "ne": "eq",
+    "cs": "cc",
+    "cc": "cs",
+    "mi": "pl",
+    "pl": "mi",
+    "vs": "vc",
+    "vc": "vs",
+    "hi": "ls",
+    "ls": "hi",
+    "ge": "lt",
+    "lt": "ge",
+    "gt": "le",
+    "le": "gt",
+}
+
+
+def normalise_cond(cond: str) -> str:
+    """Normalise a condition suffix, mapping aliases (hs/lo) to canon."""
+    low = cond.lower()
+    low = ALIASES.get(low, low)
+    if low not in CONDITIONS:
+        raise ValueError(f"unknown condition code: {cond!r}")
+    return low
+
+
+def invert_cond(cond: str) -> str:
+    """Return the logically inverse condition code."""
+    return _INVERSE[normalise_cond(cond)]
+
+
+def cond_passed(cond: str, flags: Flags) -> bool:
+    """Evaluate a condition code against the current flags."""
+    n, z, c, v = flags.n, flags.z, flags.c, flags.v
+    cond = normalise_cond(cond)
+    if cond == "eq":
+        return z
+    if cond == "ne":
+        return not z
+    if cond == "cs":
+        return c
+    if cond == "cc":
+        return not c
+    if cond == "mi":
+        return n
+    if cond == "pl":
+        return not n
+    if cond == "vs":
+        return v
+    if cond == "vc":
+        return not v
+    if cond == "hi":
+        return c and not z
+    if cond == "ls":
+        return (not c) or z
+    if cond == "ge":
+        return n == v
+    if cond == "lt":
+        return n != v
+    if cond == "gt":
+        return (not z) and (n == v)
+    if cond == "le":
+        return z or (n != v)
+    raise AssertionError(cond)

@@ -1,0 +1,47 @@
+"""Deterministic synthetic machine encoding.
+
+Real Thumb-2 encodings are not reproduced; instead each instruction is
+encoded as the first ``size`` bytes of a keyed BLAKE2b digest over its
+canonical resolved text. This gives the two properties the CFA pipeline
+needs from machine code:
+
+* any semantic change to an instruction changes its bytes (so ``H_MEM``
+  detects modification), and
+* the byte length per instruction matches the synthetic size model used
+  for code-size accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, Optional
+
+from repro.isa.instructions import Instr
+from repro.isa.operands import Label
+
+_PERSON = b"repro-isa"
+
+
+def _canonical_text(instr: Instr, resolve: Optional[Callable[[str], int]]) -> str:
+    """Canonical text with label operands resolved to absolute addresses."""
+    parts = [instr.mnemonic, instr.cond or ""]
+    for op in instr.operands:
+        if isinstance(op, Label) and resolve is not None:
+            parts.append(f"@{resolve(op.name):#x}")
+        else:
+            parts.append(str(op))
+    return "|".join(parts)
+
+
+def encode_instr(instr: Instr, resolve: Optional[Callable[[str], int]] = None) -> bytes:
+    """Encode one instruction into ``instr.size`` deterministic bytes."""
+    text = _canonical_text(instr, resolve).encode()
+    digest = hashlib.blake2b(text, digest_size=8, person=_PERSON).digest()
+    return digest[: instr.size]
+
+
+def encode_program_bytes(
+    instrs: Iterable[Instr], resolve: Optional[Callable[[str], int]] = None
+) -> bytes:
+    """Concatenated encoding of an instruction sequence."""
+    return b"".join(encode_instr(i, resolve) for i in instrs)

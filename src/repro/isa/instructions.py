@@ -1,0 +1,215 @@
+"""Instruction objects and per-mnemonic static metadata.
+
+Sizes are synthetic but proportioned to Thumb-2 (2-byte narrow, 4-byte
+wide encodings); cycle counts follow Cortex-M33 orders of magnitude.
+Both only need to be *relatively* faithful: the paper's evaluation
+compares methods against each other on the same ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.isa.operands import Label, Reg
+from repro.isa.registers import PC
+
+
+class InstrKind(Enum):
+    """Coarse instruction classes used by the CPU and the static analyser."""
+
+    ALU = "alu"
+    MOVE = "move"
+    COMPARE = "compare"
+    LOAD = "load"
+    STORE = "store"
+    PUSH = "push"
+    POP = "pop"
+    BRANCH = "branch"  # direct b / b<cond>
+    CALL = "call"  # bl (direct)
+    INDIRECT_CALL = "indirect_call"  # blx rs
+    INDIRECT_BRANCH = "indirect_branch"  # bx rs
+    COMPARE_BRANCH = "compare_branch"  # cbz / cbnz
+    SYSTEM = "system"  # nop, svc, bkpt
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static metadata for one mnemonic."""
+
+    mnemonic: str
+    kind: InstrKind
+    size: int  # bytes
+    cycles: int  # base cycle cost (branch-taken extras added by CPU)
+    operand_count: Tuple[int, ...] = ()  # accepted operand arities
+
+
+def _spec(mnemonic, kind, size, cycles, arities):
+    return InstrSpec(mnemonic, kind, size, cycles, tuple(arities))
+
+
+#: All mnemonics understood by the assembler and CPU.
+MNEMONICS: Dict[str, InstrSpec] = {
+    spec.mnemonic: spec
+    for spec in [
+        # data processing (narrow, 1 cycle)
+        _spec("mov", InstrKind.MOVE, 2, 1, (2,)),
+        _spec("mvn", InstrKind.MOVE, 2, 1, (2,)),
+        _spec("adr", InstrKind.MOVE, 4, 2, (2,)),  # load label address
+        _spec("mov32", InstrKind.MOVE, 4, 2, (2,)),  # 32-bit immediate
+        _spec("add", InstrKind.ALU, 2, 1, (3,)),
+        _spec("sub", InstrKind.ALU, 2, 1, (3,)),
+        _spec("rsb", InstrKind.ALU, 2, 1, (3,)),
+        _spec("adc", InstrKind.ALU, 2, 1, (3,)),
+        _spec("sbc", InstrKind.ALU, 2, 1, (3,)),
+        _spec("and", InstrKind.ALU, 2, 1, (3,)),
+        _spec("orr", InstrKind.ALU, 2, 1, (3,)),
+        _spec("eor", InstrKind.ALU, 2, 1, (3,)),
+        _spec("bic", InstrKind.ALU, 2, 1, (3,)),
+        _spec("lsl", InstrKind.ALU, 2, 1, (3,)),
+        _spec("lsr", InstrKind.ALU, 2, 1, (3,)),
+        _spec("asr", InstrKind.ALU, 2, 1, (3,)),
+        _spec("ror", InstrKind.ALU, 2, 1, (3,)),
+        _spec("mul", InstrKind.ALU, 4, 1, (3,)),
+        _spec("udiv", InstrKind.ALU, 4, 3, (3,)),
+        _spec("sdiv", InstrKind.ALU, 4, 3, (3,)),
+        _spec("cmp", InstrKind.COMPARE, 2, 1, (2,)),
+        _spec("cmn", InstrKind.COMPARE, 2, 1, (2,)),
+        _spec("tst", InstrKind.COMPARE, 2, 1, (2,)),
+        # memory
+        _spec("ldr", InstrKind.LOAD, 2, 2, (2,)),
+        _spec("ldrb", InstrKind.LOAD, 2, 2, (2,)),
+        _spec("ldrh", InstrKind.LOAD, 2, 2, (2,)),
+        _spec("str", InstrKind.STORE, 2, 2, (2,)),
+        _spec("strb", InstrKind.STORE, 2, 2, (2,)),
+        _spec("strh", InstrKind.STORE, 2, 2, (2,)),
+        _spec("push", InstrKind.PUSH, 2, 1, (1,)),
+        _spec("pop", InstrKind.POP, 2, 1, (1,)),
+        # control flow
+        _spec("b", InstrKind.BRANCH, 2, 1, (1,)),
+        _spec("bl", InstrKind.CALL, 4, 2, (1,)),
+        _spec("blx", InstrKind.INDIRECT_CALL, 2, 2, (1,)),
+        _spec("bx", InstrKind.INDIRECT_BRANCH, 2, 2, (1,)),
+        _spec("cbz", InstrKind.COMPARE_BRANCH, 2, 1, (2,)),
+        _spec("cbnz", InstrKind.COMPARE_BRANCH, 2, 1, (2,)),
+        # system
+        _spec("nop", InstrKind.SYSTEM, 2, 1, (0,)),
+        _spec("svc", InstrKind.SYSTEM, 2, 1, (1,)),
+        _spec("bkpt", InstrKind.SYSTEM, 2, 1, (0, 1)),
+    ]
+}
+
+#: Mnemonics whose execution can change the PC non-sequentially.
+BRANCH_MNEMONICS = frozenset(
+    {"b", "bl", "blx", "bx", "cbz", "cbnz", "pop", "ldr"}
+)
+
+#: Extra cycles when a branch is actually taken (pipeline refill).
+TAKEN_BRANCH_PENALTY = 1
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One assembled instruction.
+
+    ``meta`` carries provenance annotations (e.g. trampoline-site ids set
+    by the rewriter, loop-instrumentation markers) that never affect
+    execution semantics or encoding.
+    """
+
+    mnemonic: str
+    operands: Tuple = ()
+    cond: Optional[str] = None
+    meta: Tuple[Tuple[str, object], ...] = field(default=(), compare=False)
+
+    @property
+    def spec(self) -> InstrSpec:
+        return MNEMONICS[self.mnemonic]
+
+    @property
+    def kind(self) -> InstrKind:
+        return self.spec.kind
+
+    @property
+    def size(self) -> int:
+        return self.spec.size
+
+    def get_meta(self, key: str, default=None):
+        for k, v in self.meta:
+            if k == key:
+                return v
+        return default
+
+    def with_meta(self, **kv) -> "Instr":
+        merged = dict(self.meta)
+        merged.update(kv)
+        return replace(self, meta=tuple(sorted(merged.items())))
+
+    # -- structural predicates used by the static analyser ---------------
+
+    def writes_pc(self) -> bool:
+        """True if this instruction may redirect control flow."""
+        kind = self.kind
+        if kind in (
+            InstrKind.BRANCH,
+            InstrKind.CALL,
+            InstrKind.INDIRECT_CALL,
+            InstrKind.INDIRECT_BRANCH,
+            InstrKind.COMPARE_BRANCH,
+        ):
+            return True
+        if kind is InstrKind.POP:
+            (reglist,) = self.operands
+            return PC in reglist
+        if kind is InstrKind.LOAD and self.operands:
+            dest = self.operands[0]
+            return isinstance(dest, Reg) and dest.num == PC
+        return False
+
+    def is_conditional(self) -> bool:
+        return self.cond is not None or self.kind is InstrKind.COMPARE_BRANCH
+
+    def direct_target(self) -> Optional[Label]:
+        """The label a direct branch/call targets, if any."""
+        if self.kind in (InstrKind.BRANCH, InstrKind.CALL):
+            (target,) = self.operands
+            if isinstance(target, Label):
+                return target
+        if self.kind is InstrKind.COMPARE_BRANCH:
+            target = self.operands[1]
+            if isinstance(target, Label):
+                return target
+        return None
+
+    # -- textual form -----------------------------------------------------
+
+    def __str__(self) -> str:
+        name = self.mnemonic + (self.cond or "")
+        if not self.operands:
+            return name
+        return f"{name} " + ", ".join(str(op) for op in self.operands)
+
+
+def make_instr(mnemonic: str, *operands, cond: Optional[str] = None, **meta) -> Instr:
+    """Convenience constructor validating mnemonic and arity."""
+    spec = MNEMONICS.get(mnemonic)
+    if spec is None:
+        raise ValueError(f"unknown mnemonic: {mnemonic!r}")
+    if spec.operand_count and len(operands) not in spec.operand_count:
+        raise ValueError(
+            f"{mnemonic} expects {spec.operand_count} operands, got {len(operands)}"
+        )
+    meta_items = tuple(sorted(meta.items())) if meta else ()
+    return Instr(mnemonic, tuple(operands), cond, meta_items)
+
+
+__all__ = [
+    "Instr",
+    "InstrKind",
+    "InstrSpec",
+    "MNEMONICS",
+    "BRANCH_MNEMONICS",
+    "TAKEN_BRANCH_PENALTY",
+    "make_instr",
+]

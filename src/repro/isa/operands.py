@@ -1,0 +1,86 @@
+"""Operand object model used by the assembler, rewriter, and CPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import reg_name
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    num: int
+
+    def __str__(self) -> str:
+        return reg_name(self.num)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (always written ``#value``)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic reference, resolved through the program symbol table."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base, #offset]`` or ``[base, index, lsl #shift]``."""
+
+    base: Reg
+    offset: int = 0
+    index: Optional[Reg] = None
+    shift: int = 0
+
+    def __str__(self) -> str:
+        if self.index is not None:
+            if self.shift:
+                return f"[{self.base}, {self.index}, lsl #{self.shift}]"
+            return f"[{self.base}, {self.index}]"
+        if self.offset:
+            return f"[{self.base}, #{self.offset}]"
+        return f"[{self.base}]"
+
+
+@dataclass(frozen=True)
+class RegList:
+    """A register list for PUSH/POP, kept in ascending order."""
+
+    regs: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "regs", tuple(sorted(set(self.regs))))
+
+    def __contains__(self, num: int) -> bool:
+        return num in self.regs
+
+    def __len__(self) -> int:
+        return len(self.regs)
+
+    def __iter__(self):
+        return iter(self.regs)
+
+    def without(self, num: int) -> "RegList":
+        """A copy of this list with ``num`` removed."""
+        return RegList(tuple(r for r in self.regs if r != num))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(reg_name(r) for r in self.regs) + "}"
+
+
+Operand = object  # union of Reg | Imm | Label | Mem | RegList

@@ -1,0 +1,65 @@
+"""Register file naming and the APSR flag set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+REG_COUNT = 16
+SP = 13
+LR = 14
+PC = 15
+
+_ALIASES = {"sp": SP, "lr": LR, "pc": PC, "fp": 11, "ip": 12}
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``r0``..``r15``, ``sp``, ``lr``, ``pc``)."""
+    low = name.strip().lower()
+    if low in _ALIASES:
+        return _ALIASES[low]
+    if low.startswith("r"):
+        try:
+            num = int(low[1:])
+        except ValueError:
+            raise ValueError(f"not a register: {name!r}") from None
+        if 0 <= num < REG_COUNT:
+            return num
+    raise ValueError(f"not a register: {name!r}")
+
+
+def reg_name(num: int) -> str:
+    """Canonical name for a register index."""
+    if num == SP:
+        return "sp"
+    if num == LR:
+        return "lr"
+    if num == PC:
+        return "pc"
+    if 0 <= num < REG_COUNT:
+        return f"r{num}"
+    raise ValueError(f"not a register index: {num}")
+
+
+@dataclass
+class Flags:
+    """The N/Z/C/V condition flags of the APSR."""
+
+    n: bool = False
+    z: bool = False
+    c: bool = False
+    v: bool = False
+
+    def copy(self) -> "Flags":
+        return Flags(self.n, self.z, self.c, self.v)
+
+    def as_tuple(self) -> tuple:
+        return (self.n, self.z, self.c, self.v)
+
+    def __str__(self) -> str:
+        bits = [
+            "N" if self.n else "n",
+            "Z" if self.z else "z",
+            "C" if self.c else "c",
+            "V" if self.v else "v",
+        ]
+        return "".join(bits)

@@ -1,0 +1,37 @@
+"""Simulated MCU platform: memory, MMIO bus, CPU core, and the SoC.
+
+Models the parts of a Cortex-M33-class device that the RAP-Track
+evaluation depends on: a cycle-counted CPU, a flat physical memory map
+with MPU-enforced access control, memory-mapped peripherals, and hook
+points where the trace units (``repro.trace``) observe retired
+instructions.
+"""
+
+from repro.machine.faults import (
+    ExecutionLimitExceeded,
+    MachineFault,
+    MemFault,
+    UndefinedInstruction,
+)
+from repro.machine.memmap import MemoryMap, Region, World
+from repro.machine.memory import Memory
+from repro.machine.mmio import MMIOBus, MMIODevice
+from repro.machine.cpu import CPU, RetireEvent
+from repro.machine.mcu import MCU, RunResult
+
+__all__ = [
+    "MachineFault",
+    "MemFault",
+    "UndefinedInstruction",
+    "ExecutionLimitExceeded",
+    "World",
+    "Region",
+    "MemoryMap",
+    "Memory",
+    "MMIOBus",
+    "MMIODevice",
+    "CPU",
+    "RetireEvent",
+    "MCU",
+    "RunResult",
+]

@@ -1,0 +1,311 @@
+"""Cycle-counted CPU core executing linked images.
+
+The core exposes two hook points that the trace infrastructure uses:
+
+* ``pre_hooks`` fire with the PC *before* an instruction executes — this
+  is where the DWT evaluates its comparators and starts/stops the MTB,
+  giving exactly the paper's activation discipline (a transfer is
+  recorded iff the MTB was enabled while the *source* instruction ran).
+* ``retire_hooks`` fire after execution with a :class:`RetireEvent`
+  describing the control transfer; the MTB and the ground-truth tracer
+  subscribe here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.asm.program import Image
+from repro.isa import alu
+from repro.isa.conditions import cond_passed
+from repro.isa.instructions import Instr, InstrKind, TAKEN_BRANCH_PENALTY
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import LR, PC, SP, Flags
+from repro.machine.faults import UndefinedInstruction
+from repro.machine.memmap import STACK_TOP, World
+from repro.machine.memory import Memory
+
+
+@dataclass(frozen=True)
+class RetireEvent:
+    """One retired instruction and the control transfer it produced."""
+
+    src: int
+    dst: int
+    sequential: bool
+    instr: Instr
+
+    @property
+    def non_sequential(self) -> bool:
+        return not self.sequential
+
+
+class CPU:
+    """A single-core, in-order, cycle-counted interpreter."""
+
+    def __init__(self, image: Image, memory: Memory,
+                 world: World = World.NONSECURE):
+        self.image = image
+        self.memory = memory
+        self.world = world
+        self.regs: List[int] = [0] * 16
+        self.flags = Flags()
+        self.cycles = 0
+        self.retired = 0
+        self.halted = False
+        self.pre_hooks: List[Callable[[int], None]] = []
+        self.retire_hooks: List[Callable[[RetireEvent], None]] = []
+        self.svc_handler: Optional[Callable[[int, "CPU"], None]] = None
+        self.reset()
+
+    def reset(self) -> None:
+        self.regs = [0] * 16
+        self.regs[SP] = STACK_TOP
+        self.regs[PC] = self.image.entry
+        self.regs[LR] = 0xFFFF_FFFF  # sentinel: return here = program exit
+        self.flags = Flags()
+        self.cycles = 0
+        self.retired = 0
+        self.halted = False
+
+    # -- operand helpers ----------------------------------------------------
+
+    def _reg_read(self, num: int, pc: int) -> int:
+        if num == PC:
+            return (pc + 4) & alu.MASK32  # architectural PC read-ahead
+        return self.regs[num]
+
+    def _value(self, op, pc: int) -> int:
+        if isinstance(op, Reg):
+            return self._reg_read(op.num, pc)
+        if isinstance(op, Imm):
+            return op.value & alu.MASK32
+        if isinstance(op, Label):
+            return self.image.addr_of(op.name)
+        raise UndefinedInstruction(f"bad operand {op}", pc)
+
+    def _mem_address(self, mem: Mem, pc: int) -> int:
+        address = self._reg_read(mem.base.num, pc) + mem.offset
+        if mem.index is not None:
+            address += self._reg_read(mem.index.num, pc) << mem.shift
+        return address & alu.MASK32
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> RetireEvent:
+        """Execute one instruction; returns its retire event."""
+        pc = self.regs[PC]
+        for hook in self.pre_hooks:
+            hook(pc)
+        self.memory.memmap.check_access(
+            pc, world=self.world, is_write=False, is_fetch=True
+        )
+        instr = self.image.instr_at.get(pc)
+        if instr is None:
+            raise UndefinedInstruction("fetch from non-instruction address", pc)
+
+        next_pc, extra_cycles = self._execute(instr, pc)
+        taken = next_pc != pc + instr.size
+        self.cycles += instr.spec.cycles + extra_cycles
+        if taken:
+            self.cycles += TAKEN_BRANCH_PENALTY
+        self.retired += 1
+        self.regs[PC] = next_pc & alu.MASK32
+
+        event = RetireEvent(pc, next_pc & alu.MASK32, not taken, instr)
+        for hook in self.retire_hooks:
+            hook(event)
+        return event
+
+    # -- per-kind semantics -----------------------------------------------
+
+    def _execute(self, instr: Instr, pc: int):
+        """Returns (next_pc, extra_cycles)."""
+        kind = instr.kind
+        handler = _DISPATCH.get(kind)
+        if handler is None:
+            raise UndefinedInstruction(f"unimplemented kind {kind}", pc)
+        return handler(self, instr, pc)
+
+    def _exec_move(self, instr: Instr, pc: int):
+        dest, src = instr.operands
+        if instr.mnemonic == "adr":
+            value = self.image.addr_of(src.name)
+        else:
+            value = self._value(src, pc)
+            if instr.mnemonic == "mvn":
+                value = (~value) & alu.MASK32
+        if dest.num == PC:
+            raise UndefinedInstruction("mov to pc is not supported", pc)
+        self.regs[dest.num] = value
+        if instr.mnemonic in ("mov", "mvn"):
+            self.flags.n = bool(value & alu.SIGN_BIT)
+            self.flags.z = value == 0
+        return pc + instr.size, 0
+
+    def _exec_alu(self, instr: Instr, pc: int):
+        dest, lhs_op, rhs_op = instr.operands
+        lhs = self._value(lhs_op, pc)
+        rhs = self._value(rhs_op, pc)
+        mnemonic = instr.mnemonic
+        flags = self.flags
+        if mnemonic == "add":
+            result, flags.n, flags.z, flags.c, flags.v = alu.add_with_flags(lhs, rhs)
+        elif mnemonic == "sub":
+            result, flags.n, flags.z, flags.c, flags.v = alu.sub_with_flags(lhs, rhs)
+        elif mnemonic == "rsb":
+            result, flags.n, flags.z, flags.c, flags.v = alu.sub_with_flags(rhs, lhs)
+        elif mnemonic == "adc":
+            result, flags.n, flags.z, flags.c, flags.v = alu.add_with_flags(
+                lhs, rhs, int(flags.c))
+        elif mnemonic == "sbc":
+            result, flags.n, flags.z, flags.c, flags.v = alu.add_with_flags(
+                lhs, (~rhs) & alu.MASK32, int(flags.c))
+        elif mnemonic == "mul":
+            result = alu.u32(lhs * rhs)
+            flags.n, flags.z = bool(result & alu.SIGN_BIT), result == 0
+        elif mnemonic == "udiv":
+            result = alu.udiv(lhs, rhs)
+        elif mnemonic == "sdiv":
+            result = alu.sdiv(lhs, rhs)
+        elif mnemonic in ("and", "orr", "eor", "bic"):
+            if mnemonic == "and":
+                raw = lhs & rhs
+            elif mnemonic == "orr":
+                raw = lhs | rhs
+            elif mnemonic == "bic":
+                raw = lhs & ~rhs
+            else:
+                raw = lhs ^ rhs
+            result, flags.n, flags.z, _ = alu.logical_flags(raw, flags.c)
+        elif mnemonic in ("lsl", "lsr", "asr", "ror"):
+            shifter = {"lsl": alu.lsl, "lsr": alu.lsr, "asr": alu.asr,
+                       "ror": alu.ror}[mnemonic]
+            raw, carry = shifter(lhs, rhs & 0xFF, flags.c)
+            result, flags.n, flags.z, flags.c = alu.logical_flags(raw, carry)
+        else:
+            raise UndefinedInstruction(f"ALU op {mnemonic}", pc)
+        if dest.num == PC:
+            raise UndefinedInstruction("ALU write to pc is not supported", pc)
+        self.regs[dest.num] = result
+        return pc + instr.size, 0
+
+    def _exec_compare(self, instr: Instr, pc: int):
+        lhs_op, rhs_op = instr.operands
+        lhs = self._value(lhs_op, pc)
+        rhs = self._value(rhs_op, pc)
+        flags = self.flags
+        if instr.mnemonic == "cmp":
+            _, flags.n, flags.z, flags.c, flags.v = alu.sub_with_flags(lhs, rhs)
+        elif instr.mnemonic == "cmn":
+            _, flags.n, flags.z, flags.c, flags.v = alu.add_with_flags(lhs, rhs)
+        else:  # tst
+            _, flags.n, flags.z, _ = alu.logical_flags(lhs & rhs, flags.c)
+        return pc + instr.size, 0
+
+    def _exec_load(self, instr: Instr, pc: int):
+        dest, mem = instr.operands
+        if not isinstance(mem, Mem):
+            raise UndefinedInstruction("ldr needs a memory operand", pc)
+        address = self._mem_address(mem, pc)
+        size = {"ldrb": 1, "ldrh": 2}.get(instr.mnemonic, 4)
+        value = self.memory.read(address, size, self.world)
+        if dest.num == PC:
+            # indirect jump (switch dispatch / hijacked pointer)
+            return value & ~1 & alu.MASK32, 0
+        self.regs[dest.num] = value
+        return pc + instr.size, 0
+
+    def _exec_store(self, instr: Instr, pc: int):
+        src, mem = instr.operands
+        if not isinstance(mem, Mem):
+            raise UndefinedInstruction("str needs a memory operand", pc)
+        address = self._mem_address(mem, pc)
+        size = {"strb": 1, "strh": 2}.get(instr.mnemonic, 4)
+        self.memory.write(address, self._reg_read(src.num, pc), size, self.world)
+        return pc + instr.size, 0
+
+    def _exec_push(self, instr: Instr, pc: int):
+        (reglist,) = instr.operands
+        sp = self.regs[SP] - 4 * len(reglist)
+        address = sp
+        for num in reglist:  # ascending: lowest register at lowest address
+            self.memory.write(address, self._reg_read(num, pc), 4, self.world)
+            address += 4
+        self.regs[SP] = sp
+        return pc + instr.size, len(reglist)
+
+    def _exec_pop(self, instr: Instr, pc: int):
+        (reglist,) = instr.operands
+        address = self.regs[SP]
+        next_pc = pc + instr.size
+        for num in reglist:
+            value = self.memory.read(address, 4, self.world)
+            if num == PC:
+                next_pc = value & ~1 & alu.MASK32
+            else:
+                self.regs[num] = value
+            address += 4
+        self.regs[SP] = address
+        return next_pc, len(reglist)
+
+    def _exec_branch(self, instr: Instr, pc: int):
+        (target,) = instr.operands
+        if instr.cond is not None and not cond_passed(instr.cond, self.flags):
+            return pc + instr.size, 0
+        return self._value(target, pc) & ~1, 0
+
+    def _exec_call(self, instr: Instr, pc: int):
+        (target,) = instr.operands
+        self.regs[LR] = (pc + instr.size) & alu.MASK32
+        return self._value(target, pc) & ~1, 0
+
+    def _exec_indirect_call(self, instr: Instr, pc: int):
+        (target,) = instr.operands
+        self.regs[LR] = (pc + instr.size) & alu.MASK32
+        return self._reg_read(target.num, pc) & ~1, 0
+
+    def _exec_indirect_branch(self, instr: Instr, pc: int):
+        (target,) = instr.operands
+        return self._reg_read(target.num, pc) & ~1, 0
+
+    def _exec_compare_branch(self, instr: Instr, pc: int):
+        reg, target = instr.operands
+        value = self._reg_read(reg.num, pc)
+        zero = value == 0
+        take = zero if instr.mnemonic == "cbz" else not zero
+        if take:
+            return self._value(target, pc) & ~1, 0
+        return pc + instr.size, 0
+
+    def _exec_system(self, instr: Instr, pc: int):
+        if instr.mnemonic == "nop":
+            return pc + instr.size, 0
+        if instr.mnemonic == "bkpt":
+            self.halted = True
+            return pc + instr.size, 0
+        if instr.mnemonic == "svc":
+            if self.svc_handler is None:
+                raise UndefinedInstruction("svc with no secure handler", pc)
+            (imm,) = instr.operands
+            self.svc_handler(imm.value, self)
+            return pc + instr.size, 0
+        raise UndefinedInstruction(f"system op {instr.mnemonic}", pc)
+
+
+_DISPATCH = {
+    InstrKind.MOVE: CPU._exec_move,
+    InstrKind.ALU: CPU._exec_alu,
+    InstrKind.COMPARE: CPU._exec_compare,
+    InstrKind.LOAD: CPU._exec_load,
+    InstrKind.STORE: CPU._exec_store,
+    InstrKind.PUSH: CPU._exec_push,
+    InstrKind.POP: CPU._exec_pop,
+    InstrKind.BRANCH: CPU._exec_branch,
+    InstrKind.CALL: CPU._exec_call,
+    InstrKind.INDIRECT_CALL: CPU._exec_indirect_call,
+    InstrKind.INDIRECT_BRANCH: CPU._exec_indirect_branch,
+    InstrKind.COMPARE_BRANCH: CPU._exec_compare_branch,
+    InstrKind.SYSTEM: CPU._exec_system,
+}

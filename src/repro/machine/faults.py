@@ -1,0 +1,27 @@
+"""Machine-level fault hierarchy."""
+
+from __future__ import annotations
+
+
+class MachineFault(Exception):
+    """Base class for all simulated hardware faults."""
+
+
+class MemFault(MachineFault):
+    """An access violated the memory map or MPU configuration."""
+
+    def __init__(self, message: str, address: int):
+        super().__init__(f"{message} @ {address:#010x}")
+        self.address = address
+
+
+class UndefinedInstruction(MachineFault):
+    """Fetch resolved to no instruction, or an unsupported operation."""
+
+    def __init__(self, message: str, address: int):
+        super().__init__(f"{message} @ {address:#010x}")
+        self.address = address
+
+
+class ExecutionLimitExceeded(MachineFault):
+    """The configured instruction budget ran out (runaway program guard)."""

@@ -1,0 +1,92 @@
+"""SoC composition: CPU + memory + MMIO + run loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.asm.program import Image
+from repro.machine.cpu import CPU
+from repro.machine.faults import ExecutionLimitExceeded
+from repro.machine.memmap import MemoryMap
+from repro.machine.memory import Memory
+from repro.machine.mmio import MMIOBus, MMIODevice
+from repro.machine.nvic import EXC_RETURN_MASKED, NVIC
+from repro.isa.registers import PC
+
+#: Returning to the reset value of LR ends the program (bare-metal exit).
+EXIT_PC = 0xFFFF_FFFE
+
+#: Default runaway guard.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    cycles: int
+    instructions: int
+    exit_reason: str  # "bkpt" | "return" | "halted"
+
+    def __str__(self) -> str:
+        return (f"RunResult(cycles={self.cycles}, "
+                f"instructions={self.instructions}, exit={self.exit_reason})")
+
+
+class MCU:
+    """The simulated device: one core, one bus, the loaded image."""
+
+    def __init__(self, image: Image, memmap: Optional[MemoryMap] = None,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS):
+        self.image = image
+        self.memmap = memmap or MemoryMap()
+        self.mmio = MMIOBus()
+        self.memory = Memory(self.memmap, self.mmio)
+        self.memory.load_blob(0, image.data_bytes)
+        self.cpu = CPU(image, self.memory)
+        self.nvic = NVIC()
+        self.max_instructions = max_instructions
+        self._last_cycles = 0
+
+    def attach_device(self, base: int, device: MMIODevice,
+                      name: Optional[str] = None) -> MMIODevice:
+        """Register a peripheral in the MMIO aperture."""
+        return self.mmio.register(base, device, name)
+
+    def reset(self) -> None:
+        """Reset CPU state and peripherals; memory image is preserved."""
+        self.cpu.reset()
+        self.mmio.reset()
+        self._last_cycles = 0
+
+    def run(self, max_instructions: Optional[int] = None) -> RunResult:
+        """Run from the current PC until halt, exit-return, or the guard."""
+        limit = max_instructions or self.max_instructions
+        cpu = self.cpu
+        start_cycles = cpu.cycles
+        start_retired = cpu.retired
+        exit_reason = "halted"
+        while True:
+            if cpu.retired - start_retired >= limit:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {limit} instructions (runaway program?)"
+                )
+            self.nvic.service_if_pending(cpu)
+            cpu.step()
+            elapsed = cpu.cycles - self._last_cycles
+            self._last_cycles = cpu.cycles
+            self.mmio.tick(elapsed)
+            if cpu.regs[PC] == EXC_RETURN_MASKED:
+                self.nvic.exception_return(cpu)
+            if cpu.halted:
+                exit_reason = "bkpt"
+                break
+            if cpu.regs[PC] == EXIT_PC:
+                exit_reason = "return"
+                break
+        return RunResult(
+            cycles=cpu.cycles - start_cycles,
+            instructions=cpu.retired - start_retired,
+            exit_reason=exit_reason,
+        )

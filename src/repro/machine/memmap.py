@@ -1,0 +1,128 @@
+"""Platform physical memory map.
+
+Mirrors the structure of the AN505 Cortex-M33 image the paper prototypes
+on: Non-Secure code flash (split into MTBDR text and the MTBAR stub
+region by the rewriter), Non-Secure SRAM, the MTB's dedicated SRAM,
+Secure flash/SRAM for the CFA engine, and a peripheral aperture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class World(Enum):
+    """TrustZone security state of a bus master or region."""
+
+    NONSECURE = "ns"
+    SECURE = "s"
+
+
+@dataclass
+class Region:
+    """One contiguous region with security and kind attributes."""
+
+    name: str
+    base: int
+    size: int
+    world: World
+    executable: bool = False
+    writable: bool = True
+    mmio: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+# Canonical bases (also used by repro.asm.linker.DEFAULT_LAYOUT).
+NS_TEXT_BASE = 0x0020_0000
+MTBAR_BASE = 0x0030_0000
+RODATA_BASE = 0x0040_0000
+S_FLASH_BASE = 0x1000_0000
+NS_RAM_BASE = 0x2000_0000
+NS_RAM_SIZE = 0x0008_0000
+MTB_SRAM_BASE = 0x3000_0000
+MTB_SRAM_SIZE = 0x0000_4000  # 16 KB dedicated trace SRAM (4 KB used, as M33)
+S_RAM_BASE = 0x3800_0000
+MMIO_BASE = 0x4000_0000
+MMIO_SIZE = 0x0010_0000
+STACK_TOP = NS_RAM_BASE + NS_RAM_SIZE - 16
+
+
+def default_regions() -> List[Region]:
+    return [
+        Region("ns_text", NS_TEXT_BASE, 0x0008_0000, World.NONSECURE,
+               executable=True, writable=True),
+        Region("mtbar", MTBAR_BASE, 0x0004_0000, World.NONSECURE,
+               executable=True, writable=True),
+        Region("rodata", RODATA_BASE, 0x0004_0000, World.NONSECURE,
+               executable=False, writable=False),
+        Region("s_flash", S_FLASH_BASE, 0x0008_0000, World.SECURE,
+               executable=True, writable=False),
+        Region("ns_ram", NS_RAM_BASE, NS_RAM_SIZE, World.NONSECURE),
+        Region("mtb_sram", MTB_SRAM_BASE, MTB_SRAM_SIZE, World.SECURE),
+        Region("s_ram", S_RAM_BASE, 0x0004_0000, World.SECURE),
+        Region("mmio", MMIO_BASE, MMIO_SIZE, World.NONSECURE, mmio=True),
+    ]
+
+
+class MemoryMap:
+    """Region lookup plus runtime MPU-style overrides.
+
+    The CFA engine uses :meth:`lock_region_writes` to make the attested
+    code immutable for the duration of an attested execution, matching
+    the NS-MPU locking step of RAP-Track's CFA Engine (paper section
+    IV-A).
+    """
+
+    def __init__(self, regions: Optional[List[Region]] = None):
+        self.regions = regions if regions is not None else default_regions()
+        self._write_locks: Dict[str, bool] = {}
+
+    def region_at(self, address: int) -> Optional[Region]:
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def by_name(self, name: str) -> Region:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    # -- MPU-style locking -------------------------------------------------
+
+    def lock_region_writes(self, name: str) -> None:
+        self._write_locks[name] = True
+
+    def unlock_region_writes(self, name: str) -> None:
+        self._write_locks.pop(name, None)
+
+    def is_write_locked(self, name: str) -> bool:
+        return self._write_locks.get(name, False)
+
+    def check_access(self, address: int, *, world: World, is_write: bool,
+                     is_fetch: bool = False):
+        """Return the region if the access is legal, else raise MemFault."""
+        from repro.machine.faults import MemFault
+
+        region = self.region_at(address)
+        if region is None:
+            raise MemFault("access to unmapped address", address)
+        if region.world is World.SECURE and world is World.NONSECURE:
+            raise MemFault(
+                f"non-secure access to secure region {region.name}", address
+            )
+        if is_fetch and not region.executable:
+            raise MemFault(f"fetch from non-executable region {region.name}",
+                           address)
+        if is_write and (not region.writable or self.is_write_locked(region.name)):
+            raise MemFault(f"write to protected region {region.name}", address)
+        return region

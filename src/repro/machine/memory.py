@@ -1,0 +1,65 @@
+"""Byte-addressable physical memory with MPU-checked access."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.machine.faults import MemFault
+from repro.machine.memmap import MemoryMap, World
+from repro.machine.mmio import MMIOBus
+
+
+class Memory:
+    """Sparse physical memory front-end.
+
+    Every CPU data access is routed through :meth:`read` / :meth:`write`,
+    which consult the :class:`MemoryMap` (and thus the simulated MPU
+    locks) before touching backing store or the MMIO bus.
+    """
+
+    def __init__(self, memmap: Optional[MemoryMap] = None,
+                 mmio: Optional[MMIOBus] = None):
+        self.memmap = memmap or MemoryMap()
+        self.mmio = mmio or MMIOBus()
+        self._bytes: Dict[int, int] = {}
+
+    # -- raw (unchecked) access for loaders and secure services ----------
+
+    def load_blob(self, base: int, data) -> None:
+        """Loader back-door: install bytes without MPU checks."""
+        if isinstance(data, dict):
+            self._bytes.update(data)
+        else:
+            for i, byte in enumerate(data):
+                self._bytes[base + i] = byte
+
+    def peek(self, address: int, size: int = 4) -> int:
+        """Debug/secure-world read without access checks (not MMIO)."""
+        value = 0
+        for i in range(size):
+            value |= self._bytes.get(address + i, 0) << (8 * i)
+        return value
+
+    def poke(self, address: int, value: int, size: int = 4) -> None:
+        """Debug/secure-world write without access checks (not MMIO)."""
+        for i in range(size):
+            self._bytes[address + i] = (value >> (8 * i)) & 0xFF
+
+    # -- checked access ----------------------------------------------------
+
+    def read(self, address: int, size: int, world: World) -> int:
+        region = self.memmap.check_access(address, world=world, is_write=False)
+        if size == 4 and address % 4 != 0:
+            raise MemFault("unaligned word read", address)
+        if region.mmio:
+            return self.mmio.read(address, size)
+        return self.peek(address, size)
+
+    def write(self, address: int, value: int, size: int, world: World) -> None:
+        region = self.memmap.check_access(address, world=world, is_write=True)
+        if size == 4 and address % 4 != 0:
+            raise MemFault("unaligned word write", address)
+        if region.mmio:
+            self.mmio.write(address, value, size)
+            return
+        self.poke(address, value, size)

@@ -1,0 +1,102 @@
+"""A minimal NVIC model (interrupt controller).
+
+The paper's system model (section III) *disables* Non-Secure interrupts
+during attested execution and defers interrupt-tolerant CFA to related
+work (ISC-FLAT et al.). This model exists to make that guarantee
+testable: peripherals can pend IRQs, unattested firmware services them
+through Cortex-M-style exception entry/return, and the CFA engine's
+disable step provably keeps handlers from running mid-attestation.
+
+Exception entry follows the hardware convention in simplified form: the
+caller-saved frame {r0-r3, r12, lr, return-address, xpsr} is pushed to
+the stack, LR is loaded with the EXC_RETURN magic, and the PC jumps to
+the vector. A ``bx lr`` onto EXC_RETURN unwinds the frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.registers import LR, PC, SP
+from repro.machine.cpu import CPU
+from repro.machine.faults import MachineFault
+
+#: magic LR value signalling exception return (low bits ignored)
+EXC_RETURN = 0xFFFF_FFF1
+EXC_RETURN_MASKED = EXC_RETURN & ~1
+
+_FRAME_REGS = (0, 1, 2, 3, 12, LR)  # plus return address and xPSR
+FRAME_BYTES = 4 * (len(_FRAME_REGS) + 2)
+
+
+class NVIC:
+    """Pending-interrupt bookkeeping and exception entry/return."""
+
+    def __init__(self):
+        self.vectors: Dict[int, int] = {}  # irq -> handler address
+        self.pending: List[int] = []
+        self.ns_enabled = True  # global Non-Secure interrupt enable
+        self.serviced: List[int] = []  # history, for tests/telemetry
+        self._active_depth = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def register_vector(self, irq: int, handler_address: int) -> None:
+        self.vectors[irq] = handler_address
+
+    def raise_irq(self, irq: int) -> None:
+        """Pend an interrupt (peripheral side)."""
+        if irq not in self.vectors:
+            raise MachineFault(f"IRQ {irq} has no vector")
+        if irq not in self.pending:
+            self.pending.append(irq)
+
+    # -- CPU integration -----------------------------------------------------
+
+    def service_if_pending(self, cpu: CPU) -> bool:
+        """Take the highest-priority (lowest-numbered) pending IRQ.
+
+        Called by the run loop between instructions; returns True if an
+        exception entry was performed.
+        """
+        if not self.ns_enabled or not self.pending or self._active_depth:
+            return False
+        irq = min(self.pending)
+        self.pending.remove(irq)
+        self._enter(cpu, irq)
+        return True
+
+    def _enter(self, cpu: CPU, irq: int) -> None:
+        flags = cpu.flags
+        xpsr = (flags.n << 31) | (flags.z << 30) | (flags.c << 29) \
+            | (flags.v << 28) | (irq & 0xFF)
+        frame = [cpu.regs[r] for r in _FRAME_REGS]
+        frame += [cpu.regs[PC], xpsr]
+        sp = cpu.regs[SP] - FRAME_BYTES
+        for i, word in enumerate(frame):
+            cpu.memory.poke(sp + 4 * i, word, 4)
+        cpu.regs[SP] = sp
+        cpu.regs[LR] = EXC_RETURN
+        cpu.regs[PC] = self.vectors[irq] & ~1
+        cpu.cycles += 12  # Cortex-M exception entry latency
+        self.serviced.append(irq)
+        self._active_depth += 1
+
+    def exception_return(self, cpu: CPU) -> None:
+        """Unwind the hardware frame (PC reached EXC_RETURN)."""
+        if self._active_depth == 0:
+            raise MachineFault("exception return with no active exception")
+        sp = cpu.regs[SP]
+        values = [cpu.memory.peek(sp + 4 * i, 4)
+                  for i in range(len(_FRAME_REGS) + 2)]
+        for reg, value in zip(_FRAME_REGS, values):
+            cpu.regs[reg] = value
+        return_address, xpsr = values[-2], values[-1]
+        cpu.flags.n = bool(xpsr & (1 << 31))
+        cpu.flags.z = bool(xpsr & (1 << 30))
+        cpu.flags.c = bool(xpsr & (1 << 29))
+        cpu.flags.v = bool(xpsr & (1 << 28))
+        cpu.regs[SP] = sp + FRAME_BYTES
+        cpu.regs[PC] = return_address & ~1
+        cpu.cycles += 10  # exception return latency
+        self._active_depth -= 1

@@ -1,0 +1,7 @@
+"""Hardware trace units: Micro Trace Buffer and DWT comparators."""
+
+from repro.trace.mtb import MTB, MTBPacket
+from repro.trace.dwt import DWT, RangeComparator
+from repro.trace.groundtruth import GroundTruthTracer
+
+__all__ = ["MTB", "MTBPacket", "DWT", "RangeComparator", "GroundTruthTracer"]

@@ -1,0 +1,68 @@
+"""Data Watchpoint and Trace (DWT) unit model.
+
+The Cortex-M33 DWT provides four comparators. RAP-Track pairs them into
+two PC ranges (paper section IV-B):
+
+* an MTBAR range whose match asserts ``MTB_TSTART``;
+* an MTBDR range whose match asserts ``MTB_TSTOP``.
+
+The unit is evaluated with the PC of the instruction *about to execute*
+(a CPU pre-hook), so a branch whose source lies in MTBAR is recorded
+(including MTBAR→MTBDR exits) while MTBDR→MTBAR entries are not — the
+activation discipline the paper defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.trace.mtb import MTB
+
+#: Hardware comparator budget on the Cortex-M33.
+COMPARATOR_SLOTS = 4
+
+
+@dataclass(frozen=True)
+class RangeComparator:
+    """A PC range built from two comparators (base and limit)."""
+
+    action: str  # "start" | "stop"
+    lo: int
+    hi: int  # exclusive
+
+    SLOT_COST = 2
+
+    def matches(self, pc: int) -> bool:
+        return self.lo <= pc < self.hi
+
+
+class DWT:
+    """PC-range comparators that gate the MTB."""
+
+    def __init__(self, mtb: MTB):
+        self.mtb = mtb
+        self.ranges: List[RangeComparator] = []
+
+    def configure_range(self, action: str, lo: int, hi: int) -> RangeComparator:
+        """Program one PC range; enforces the 4-comparator budget."""
+        if action not in ("start", "stop"):
+            raise ValueError(f"unknown DWT action: {action}")
+        used = sum(r.SLOT_COST for r in self.ranges) + RangeComparator.SLOT_COST
+        if used > COMPARATOR_SLOTS:
+            raise ValueError("out of DWT comparator slots")
+        comparator = RangeComparator(action, lo, hi)
+        self.ranges.append(comparator)
+        return comparator
+
+    def clear(self) -> None:
+        self.ranges = []
+
+    def evaluate(self, pc: int) -> None:
+        """CPU pre-hook: assert TSTART/TSTOP based on the upcoming PC."""
+        for comparator in self.ranges:
+            if comparator.matches(pc):
+                if comparator.action == "start":
+                    self.mtb.start()
+                else:
+                    self.mtb.stop()

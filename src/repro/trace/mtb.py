@@ -1,0 +1,144 @@
+"""Micro Trace Buffer (MTB) model.
+
+Follows the MTB-M33 TRM behaviours RAP-Track relies on:
+
+* while enabled, every *non-sequential* retire writes an 8-byte packet
+  ``(source, destination)`` into a circular buffer in dedicated SRAM;
+* ``MTB_MASTER.TSTARTEN``-style direct enable, or start/stop driven by
+  DWT comparator events (:class:`repro.trace.dwt.DWT`);
+* an ``MTB_FLOW`` watermark that raises a debug exception (modelled as a
+  callback into the Secure World) when the write position reaches it;
+* non-instant activation: after a start event the MTB needs
+  ``activation_latency`` retirements before it records — the reason the
+  paper pads MTBAR trampolines with NOPs (section V-C).
+
+Configuration is Secure-World-only by construction: the register file is
+not memory-mapped into the Non-Secure address space, and the trace SRAM
+itself lives in a Secure region, so Non-Secure stores to it fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.machine.cpu import RetireEvent
+from repro.machine.memmap import MTB_SRAM_BASE, MTB_SRAM_SIZE
+from repro.machine.memory import Memory
+
+#: One trace packet is two 32-bit words (source, destination).
+PACKET_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MTBPacket:
+    """One recorded control transfer."""
+
+    src: int
+    dst: int
+
+
+class MTB:
+    """The trace buffer peripheral."""
+
+    def __init__(self, memory: Memory, *, base: int = MTB_SRAM_BASE,
+                 buffer_size: int = 4096, activation_latency: int = 1):
+        if buffer_size % PACKET_BYTES:
+            raise ValueError("buffer size must be a packet multiple")
+        if base + buffer_size > MTB_SRAM_BASE + MTB_SRAM_SIZE:
+            raise ValueError("buffer exceeds MTB SRAM")
+        self.memory = memory
+        self.base = base
+        self.buffer_size = buffer_size
+        self.activation_latency = activation_latency
+        # MTB_MASTER.EN
+        self.enabled = False
+        # MTB_POSITION (byte offset of next write)
+        self.position = 0
+        # MTB_FLOW watermark (byte offset) and its debug-exception hook
+        self.watermark: Optional[int] = None
+        self.watermark_handler: Optional[Callable[["MTB"], None]] = None
+        self.wrapped = False
+        self.total_packets = 0  # lifetime count (not reset by wrap)
+        self._warmup = 0
+        self._packets: List[MTBPacket] = []  # shadow of the SRAM contents
+
+    # -- control (Secure World register interface) -------------------------
+
+    def configure(self, *, buffer_size: Optional[int] = None,
+                  watermark: Optional[int] = None,
+                  watermark_handler=None) -> None:
+        if buffer_size is not None:
+            if buffer_size % PACKET_BYTES:
+                raise ValueError("buffer size must be a packet multiple")
+            self.buffer_size = buffer_size
+        self.watermark = watermark
+        if watermark_handler is not None:
+            self.watermark_handler = watermark_handler
+        self.reset_position()
+
+    def reset_position(self) -> None:
+        """Reset the write pointer (done after each partial report)."""
+        self.position = 0
+        self.wrapped = False
+        self._packets = []
+
+    def start(self) -> None:
+        """TSTART event (from DWT) or direct TSTARTEN write."""
+        if not self.enabled:
+            self.enabled = True
+            self._warmup = self.activation_latency
+
+    def stop(self) -> None:
+        """TSTOP event (from DWT) or master disable."""
+        self.enabled = False
+
+    # -- datapath ------------------------------------------------------------
+
+    def on_retire(self, event: RetireEvent) -> None:
+        """Bus snoop: called for every retired instruction."""
+        if not self.enabled:
+            return
+        if self._warmup > 0:
+            self._warmup -= 1
+            return
+        if event.sequential:
+            return
+        self._record(event.src, event.dst)
+
+    def _record(self, src: int, dst: int) -> None:
+        offset = self.position
+        if offset + PACKET_BYTES > self.buffer_size:
+            offset = 0
+            self.wrapped = True
+            self._packets = []
+        self.memory.poke(self.base + offset, src, 4)
+        self.memory.poke(self.base + offset + 4, dst, 4)
+        self._packets.append(MTBPacket(src, dst))
+        self.position = offset + PACKET_BYTES
+        self.total_packets += 1
+        if self.watermark is not None and self.position >= self.watermark:
+            handler = self.watermark_handler
+            if handler is not None:
+                handler(self)
+
+    # -- Secure World readout ------------------------------------------------
+
+    def drain(self) -> List[MTBPacket]:
+        """Read and clear the current buffer contents (Secure World only).
+
+        Reads go through the memory system to stay faithful to the real
+        flow (the engine copies the trace SRAM into its report).
+        """
+        count = self.position // PACKET_BYTES
+        packets = []
+        for i in range(count):
+            src = self.memory.peek(self.base + i * PACKET_BYTES, 4)
+            dst = self.memory.peek(self.base + i * PACKET_BYTES + 4, 4)
+            packets.append(MTBPacket(src, dst))
+        self.reset_position()
+        return packets
+
+    @property
+    def bytes_used(self) -> int:
+        return self.position

@@ -1,0 +1,6 @@
+"""TrustZone-M model: world separation costs and the secure gateway."""
+
+from repro.tz.gateway import GatewayCosts, SecureGateway
+from repro.tz.keystore import KeyStore
+
+__all__ = ["SecureGateway", "GatewayCosts", "KeyStore"]

@@ -1,0 +1,67 @@
+"""Non-Secure-Callable gateway into the Secure World.
+
+Every instrumentation-based CFA event (TRACES baseline) and every
+RAP-Track loop-condition log crosses this gateway. The cycle tax it
+charges — NSC entry, callee-saved state handling, security checks, and
+the return — is what makes instrumentation-based CFA expensive, and is
+therefore a first-class, calibratable part of the model (DESIGN.md
+section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.machine.cpu import CPU
+from repro.machine.faults import UndefinedInstruction
+
+
+@dataclass(frozen=True)
+class GatewayCosts:
+    """Cycle costs of one Non-Secure -> Secure -> Non-Secure round trip.
+
+    Defaults approximate measured ARMv8-M TZ transition costs (SG entry,
+    stack sealing/register clearing, BXNS return) plus a small secure
+    dispatch prologue.
+    """
+
+    entry: int = 45
+    exit: int = 30
+
+    @property
+    def round_trip(self) -> int:
+        return self.entry + self.exit
+
+
+class SecureGateway:
+    """Dispatches ``svc #id`` calls to registered Secure-World services."""
+
+    def __init__(self, costs: GatewayCosts = GatewayCosts()):
+        self.costs = costs
+        self._services: Dict[int, Callable[[CPU], int]] = {}
+        self.calls = 0
+        self.cycles_charged = 0
+
+    def register(self, service_id: int, handler: Callable[[CPU], int]) -> None:
+        """Register a service. The handler returns its own cycle cost."""
+        if service_id in self._services:
+            raise ValueError(f"service {service_id} already registered")
+        self._services[service_id] = handler
+
+    def install(self, cpu: CPU) -> None:
+        """Make this gateway the CPU's SVC handler."""
+        cpu.svc_handler = self.dispatch
+
+    def dispatch(self, service_id: int, cpu: CPU) -> None:
+        handler = self._services.get(service_id)
+        if handler is None:
+            raise UndefinedInstruction(
+                f"call to unregistered secure service {service_id}",
+                cpu.regs[15],
+            )
+        self.calls += 1
+        service_cycles = handler(cpu)
+        charged = self.costs.round_trip + int(service_cycles)
+        cpu.cycles += charged
+        self.cycles_charged += charged

@@ -1,0 +1,28 @@
+"""Secure-World key storage for the attestation Root of Trust."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class KeyStore:
+    """Holds the device attestation key inside the Secure World.
+
+    In the symmetric setting the paper supports (MAC-based reports) the
+    Verifier is provisioned with the same key at manufacture time.
+    """
+
+    def __init__(self, device_id: bytes, master_secret: bytes):
+        self.device_id = device_id
+        self._key = hashlib.sha256(b"attest-key|" + device_id + b"|" + master_secret).digest()
+
+    @property
+    def attestation_key(self) -> bytes:
+        """The symmetric attestation key (Secure World / Verifier only)."""
+        return self._key
+
+    @classmethod
+    def provision(cls, device_id: str = "prv-0",
+                  master_secret: bytes = b"factory-secret") -> "KeyStore":
+        """Factory provisioning used by tests and examples."""
+        return cls(device_id.encode(), master_secret)

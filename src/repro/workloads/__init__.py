@@ -1,0 +1,66 @@
+"""The evaluation applications.
+
+The same ten applications the paper evaluates (section I / V): five
+real-world MCU firmwares — ultrasonic ranger, temperature sensor,
+Geiger counter, syringe pump, GPS — and five BEEBs benchmarks — prime,
+crc32, bubblesort, fibcall, matmult — re-implemented for the simulated
+ISA and driven by seeded synthetic peripherals (DESIGN.md section 2).
+
+Each workload carries a Python reference model used by the test suite
+to check that the assembly computes the right answer on the simulator,
+independent of any CFA machinery.
+"""
+
+from repro.workloads.base import Workload, build_image, make_mcu
+from repro.workloads import (
+    temperature,
+    ultrasonic,
+    geiger,
+    syringe,
+    gps,
+)
+from repro.workloads.beebs import (
+    bitcount,
+    bubblesort,
+    crc32,
+    dijkstra,
+    fibcall,
+    fir,
+    insertsort,
+    matmult,
+    prime,
+    strsearch,
+)
+
+#: name -> zero-argument factory returning a fresh Workload
+WORKLOADS = {
+    "temperature": temperature.make,
+    "ultrasonic": ultrasonic.make,
+    "geiger": geiger.make,
+    "syringe": syringe.make,
+    "gps": gps.make,
+    "prime": prime.make,
+    "crc32": crc32.make,
+    "bubblesort": bubblesort.make,
+    "fibcall": fibcall.make,
+    "matmult": matmult.make,
+    "bitcount": bitcount.make,
+    "insertsort": insertsort.make,
+    "strsearch": strsearch.make,
+    "dijkstra": dijkstra.make,
+    "fir": fir.make,
+}
+
+
+def load_workload(name: str) -> Workload:
+    """Instantiate a fresh workload (new peripheral state) by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory()
+
+
+__all__ = ["Workload", "WORKLOADS", "load_workload", "build_image", "make_mcu"]

@@ -1,0 +1,49 @@
+"""Workload plumbing: sources, peripherals, and correctness checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.asm import assemble, link
+from repro.asm.program import Image, Module
+from repro.machine.mcu import MCU
+from repro.machine.mmio import MMIODevice
+
+# MMIO window assignments (one per peripheral class)
+ADC_BASE = 0x4000_0000
+GEIGER_BASE = 0x4000_0100
+ULTRASONIC_BASE = 0x4000_0200
+UART_BASE = 0x4000_0300
+STEPPER_BASE = 0x4000_0400
+GPIO_BASE = 0x4000_0500
+
+
+@dataclass
+class Workload:
+    """One runnable evaluation application."""
+
+    name: str
+    description: str
+    source: str
+    #: factory returning fresh (base, device, name) attachments
+    devices: Callable[[], List[Tuple[int, MMIODevice, str]]] = lambda: []
+    #: correctness oracle, raises AssertionError on wrong results
+    check: Optional[Callable[[MCU], None]] = None
+    max_instructions: int = 2_000_000
+
+    def module(self) -> Module:
+        return assemble(self.source)
+
+
+def build_image(workload: Workload) -> Image:
+    """Assemble and link the workload's unmodified binary."""
+    return link(workload.module())
+
+
+def make_mcu(image: Image, workload: Workload) -> MCU:
+    """Instantiate an MCU with the workload's peripherals attached."""
+    mcu = MCU(image, max_instructions=workload.max_instructions)
+    for base, device, name in workload.devices():
+        mcu.attach_device(base, device, name)
+    return mcu

@@ -1,0 +1,2 @@
+"""BEEBs benchmark workloads (Pallister et al.), re-implemented for the
+simulated ISA: prime, crc32, bubblesort, fibcall, matmult."""

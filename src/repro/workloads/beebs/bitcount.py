@@ -1,0 +1,136 @@
+"""BEEBs 'bitcount': population counts via three classic algorithms.
+
+Profile: a mixed bag by design — the shift-and-test loop is a fixed
+loop with a data-dependent conditional per bit (log-heavy for every
+optimized method), Kernighan's loop is a data-dependent while loop
+(forward-exit trampolines), and the nibble-arithmetic popcount is pure
+straight-line (free for RAP-Track).
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG
+
+WORDS = 12
+
+
+def word_values(seed: int = 37):
+    rng = LCG(seed)
+    return [(rng.next() << 7 ^ rng.next()) & 0xFFFFFFFF
+            for _ in range(WORDS)]
+
+
+def _word_lines(seed: int = 37) -> str:
+    return "\n".join(f"    .word {v:#010x}" for v in word_values(seed))
+
+
+SOURCE = f"""
+; Population count over {WORDS} words, three ways.
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r7, =words
+
+    ; ---- method 1: shift and test every bit ----
+    mov r5, #0                ; word index
+    mov r6, #0                ; total
+m1_words:
+    ldr r1, [r7, r5, lsl #2]
+    mov r2, #0                ; bit index
+m1_bits:
+    tst r1, #1
+    beq m1_zero
+    add r6, r6, #1
+m1_zero:
+    lsr r1, r1, #1
+    add r2, r2, #1
+    cmp r2, #32
+    blt m1_bits
+    add r5, r5, #1
+    cmp r5, #{WORDS}
+    blt m1_words
+    ldr r0, =GPIO
+    str r6, [r0]              ; GPIO0 = shift-and-test total
+
+    ; ---- method 2: Kernighan's clear-lowest-set-bit loop ----
+    mov r5, #0
+    mov r6, #0
+m2_words:
+    ldr r1, [r7, r5, lsl #2]
+m2_loop:
+    cbz r1, m2_done
+    sub r2, r1, #1
+    and r1, r1, r2
+    add r6, r6, #1
+    b m2_loop
+m2_done:
+    add r5, r5, #1
+    cmp r5, #{WORDS}
+    blt m2_words
+    ldr r0, =GPIO
+    str r6, [r0, #4]          ; GPIO1 = Kernighan total
+
+    ; ---- method 3: parallel nibble arithmetic (branch-free) ----
+    mov r5, #0
+    mov r6, #0
+m3_words:
+    ldr r1, [r7, r5, lsl #2]
+    lsr r2, r1, #1
+    mov32 r3, #0x55555555
+    and r2, r2, r3
+    sub r1, r1, r2            ; pairs
+    mov32 r3, #0x33333333
+    and r2, r1, r3
+    lsr r1, r1, #2
+    and r1, r1, r3
+    add r1, r1, r2            ; nibbles
+    lsr r2, r1, #4
+    add r1, r1, r2
+    mov32 r3, #0x0F0F0F0F
+    and r1, r1, r3            ; bytes
+    mov32 r3, #0x01010101
+    mul r1, r1, r3
+    lsr r1, r1, #24           ; horizontal sum
+    add r6, r6, r1
+    add r5, r5, #1
+    cmp r5, #{WORDS}
+    blt m3_words
+    ldr r0, =GPIO
+    str r6, [r0, #8]          ; GPIO2 = branch-free total
+    bkpt
+
+.rodata
+words:
+{_word_lines()}
+"""
+
+
+def reference(seed: int = 37) -> dict:
+    total = sum(bin(v).count("1") for v in word_values(seed))
+    return {"shift": total, "kernighan": total, "parallel": total}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"shift": gpio.latches[0], "kernighan": gpio.latches[1],
+               "parallel": gpio.latches[2]}
+        assert got == expected, f"bitcount mismatch: {got} != {expected}"
+
+    return Workload(
+        name="bitcount",
+        description="BEEBs bitcount: three popcount algorithms",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

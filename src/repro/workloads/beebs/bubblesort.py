@@ -1,0 +1,113 @@
+"""BEEBs 'bubblesort': in-place sort of a 28-element array.
+
+Profile: the inner loop bound is a register (``N-1-i``), so the latch
+is *not* simple and is trampolined per iteration, and the swap
+conditional fires data-dependently about half the time. The densest
+CFLog of the suite — under the 4 KB MTB limit this workload forces
+partial reports, and under instrumentation it pays a world switch for
+every compare, making it the paper's worst-case runtime end.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG
+
+N = 28
+
+
+def array_values(seed: int = 29):
+    rng = LCG(seed)
+    return [rng.randint(0, 999) for _ in range(N)]
+
+
+def _array_words(seed: int = 29) -> str:
+    values = array_values(seed)
+    lines = []
+    for i in range(0, N, 8):
+        lines.append("    .word " + ", ".join(
+            str(v) for v in values[i:i + 8]))
+    return "\n".join(lines)
+
+
+SOURCE = f"""
+; Bubble sort of an {N}-element word array.
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =array
+    mov r5, #0                ; i
+outer_loop:
+    mov r6, #0                ; j
+    mov r7, #{N - 1}
+    sub r7, r7, r5            ; inner bound = N-1-i (register!)
+inner_loop:
+    ldr r0, [r4, r6, lsl #2]
+    add r2, r6, #1
+    ldr r1, [r4, r2, lsl #2]
+    cmp r0, r1
+    ble no_swap
+    str r1, [r4, r6, lsl #2]
+    str r0, [r4, r2, lsl #2]
+no_swap:
+    add r6, r6, #1
+    cmp r6, r7
+    blt inner_loop
+    add r5, r5, #1
+    cmp r5, #{N - 1}
+    blt outer_loop
+
+    ; publish min, max, and checksum
+    ldr r2, =GPIO
+    ldr r0, [r4]
+    str r0, [r2]              ; GPIO0 = minimum
+    ldr r0, [r4, #{4 * (N - 1)}]
+    str r0, [r2, #4]          ; GPIO1 = maximum
+    mov r5, #0
+    mov r0, #0
+sum_loop:
+    ldr r1, [r4, r5, lsl #2]
+    add r0, r0, r1
+    add r5, r5, #1
+    cmp r5, #{N}
+    blt sum_loop
+    str r0, [r2, #8]          ; GPIO2 = checksum
+    bkpt
+
+.data
+array:
+{_array_words()}
+"""
+
+
+def reference(seed: int = 29) -> dict:
+    values = sorted(array_values(seed))
+    return {"min": values[0], "max": values[-1], "sum": sum(values)}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"min": gpio.latches[0], "max": gpio.latches[1],
+               "sum": gpio.latches[2]}
+        assert got == expected, f"bubblesort mismatch: {got} != {expected}"
+        base = mcu.image.addr_of("array")
+        in_memory = [mcu.memory.peek(base + 4 * i) for i in range(N)]
+        assert in_memory == sorted(array_values()), "array not sorted"
+
+    return Workload(
+        name="bubblesort",
+        description="BEEBs bubblesort: register-bound nested loops",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,127 @@
+"""BEEBs 'crc32': table-driven CRC-32 over a 64-byte buffer.
+
+Profile: the whole computation is straight-line table lookups inside
+fixed loops — *statically deterministic* end to end, so RAP-Track logs
+(almost) nothing while the naive MTB records every loop iteration. The
+low-overhead end of the paper's figures.
+
+The lookup table lives in .rodata (standard embedded practice), so no
+data-dependent branches exist at all; correctness is checked against
+``binascii.crc32``.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG
+
+BUF_LEN = 64
+_POLY = 0xEDB88320
+
+
+def _crc_table():
+    table = []
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (c >> 1) ^ _POLY if c & 1 else c >> 1
+        table.append(c)
+    return table
+
+
+def buffer_bytes(seed: int = 23) -> bytes:
+    rng = LCG(seed)
+    return bytes(rng.randint(0, 255) for _ in range(BUF_LEN))
+
+
+def _table_words() -> str:
+    table = _crc_table()
+    lines = []
+    for i in range(0, 256, 8):
+        lines.append("    .word " + ", ".join(
+            f"{v:#010x}" for v in table[i:i + 8]))
+    return "\n".join(lines)
+
+
+def _buffer_byte_lines(seed: int = 23) -> str:
+    data = buffer_bytes(seed)
+    lines = []
+    for i in range(0, BUF_LEN, 16):
+        lines.append("    .byte " + ", ".join(
+            str(b) for b in data[i:i + 16]))
+    return "\n".join(lines)
+
+
+SOURCE = f"""
+; Table-driven CRC-32 (poly 0xEDB88320) over a {BUF_LEN}-byte buffer.
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =data_buf
+    ldr r5, =crc_table
+    mov32 r6, #0xFFFFFFFF     ; running CRC
+    mov r7, #0                ; byte index
+crc_loop:
+    ldrb r0, [r4, r7]
+    eor r0, r0, r6
+    and r0, r0, #255
+    ldr r0, [r5, r0, lsl #2]
+    lsr r1, r6, #8
+    eor r6, r0, r1
+    add r7, r7, #1
+    cmp r7, #{BUF_LEN}
+    blt crc_loop
+    mov32 r1, #0xFFFFFFFF
+    eor r6, r6, r1
+    ldr r2, =GPIO
+    str r6, [r2]              ; GPIO0 = CRC-32
+
+    ; plain byte checksum as a second fixed pass
+    mov r7, #0
+    mov r0, #0
+sum_loop:
+    ldrb r1, [r4, r7]
+    add r0, r0, r1
+    add r7, r7, #1
+    cmp r7, #{BUF_LEN}
+    blt sum_loop
+    str r0, [r2, #4]          ; GPIO1 = byte sum
+    bkpt
+
+.rodata
+crc_table:
+{_table_words()}
+data_buf:
+{_buffer_byte_lines()}
+"""
+
+
+def reference(seed: int = 23) -> dict:
+    data = buffer_bytes(seed)
+    return {"crc": binascii.crc32(data) & 0xFFFFFFFF, "sum": sum(data)}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"crc": gpio.latches[0], "sum": gpio.latches[1]}
+        assert got == expected, f"crc32 mismatch: {got} != {expected}"
+
+    return Workload(
+        name="crc32",
+        description="BEEBs crc32: table-driven CRC over a buffer",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,73 @@
+"""BEEBs 'fibcall': naive recursive Fibonacci.
+
+Profile: call/return dominated — hundreds of ``bl`` + ``pop {..,pc}``
+pairs exercise the shared MTBAR_POP_ADDR stub (figure 4) and the
+Verifier's shadow return stack at real recursion depth.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort
+
+ARG = 11
+
+
+SOURCE = f"""
+; Naive recursive Fibonacci (fib(1) = fib(0) = 1).
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{lr}}
+    mov r0, #{ARG}
+    bl fib
+    ldr r1, =GPIO
+    str r0, [r1]              ; GPIO0 = fib(ARG)
+    bkpt
+
+fib:
+    push {{r4, r5, lr}}
+    mov r4, r0
+    cmp r0, #2
+    blt fib_base
+    sub r0, r4, #1
+    bl fib
+    mov r5, r0
+    sub r0, r4, #2
+    bl fib
+    add r0, r0, r5
+    pop {{r4, r5, pc}}
+fib_base:
+    mov r0, #1
+    pop {{r4, r5, pc}}
+"""
+
+
+def reference() -> dict:
+    def fib(n):
+        return 1 if n < 2 else fib(n - 1) + fib(n - 2)
+
+    return {"fib": fib(ARG)}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"fib": gpio.latches[0]}
+        assert got == expected, f"fibcall mismatch: {got} != {expected}"
+
+    return Workload(
+        name="fibcall",
+        description="BEEBs fibcall: recursive calls and stack returns",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

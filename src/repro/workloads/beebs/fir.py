@@ -1,0 +1,117 @@
+"""BEEBs 'fir': fixed-point FIR filter over ADC samples.
+
+Profile: multiply-accumulate nests with *fixed* bounds — almost fully
+statically deterministic for RAP-Track — plus a data-dependent
+peak-detection conditional per output sample. A DSP-flavoured point
+near the crc32/matmult end of the figures.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import ADC_BASE, GPIO_BASE, Workload
+from repro.workloads.peripherals import ADCDevice, GPIOPort
+
+SAMPLES = 40
+TAPS = 8
+#: symmetric low-pass-ish integer taps (sum 64 -> >>6 normalisation)
+COEFFS = (2, 6, 12, 12, 12, 12, 6, 2)
+SHIFT = 6
+
+
+def _coeff_words() -> str:
+    return "    .word " + ", ".join(str(c) for c in COEFFS)
+
+
+SOURCE = f"""
+; {TAPS}-tap integer FIR over {SAMPLES} ADC samples, with peak tracking.
+.equ ADC, {ADC_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+
+    ; ---- acquire samples (fixed loop) ----
+    ldr r4, =samples
+    ldr r6, =ADC
+    mov r5, #0
+acq_loop:
+    ldr r1, [r6]
+    str r1, [r4, r5, lsl #2]
+    add r5, r5, #1
+    cmp r5, #{SAMPLES}
+    blt acq_loop
+
+    ; ---- convolve (fixed nest) + track the peak output ----
+    ldr r6, =coeffs
+    mov r5, #{TAPS - 1}       ; output index i
+    mov r7, #0                ; running output checksum
+    mov r12, #0               ; peak
+conv_loop:
+    mov r2, #0                ; tap index j
+    mov r3, #0                ; accumulator
+tap_loop:
+    sub r0, r5, r2            ; sample index i-j
+    ldr r1, [r4, r0, lsl #2]
+    ldr r0, [r6, r2, lsl #2]
+    mul r1, r1, r0
+    add r3, r3, r1
+    add r2, r2, #1
+    cmp r2, #{TAPS}
+    blt tap_loop
+    lsr r3, r3, #{SHIFT}      ; normalise
+    add r7, r7, r3
+    cmp r3, r12               ; new peak?
+    ble not_peak
+    mov r12, r3
+not_peak:
+    add r5, r5, #1
+    cmp r5, #{SAMPLES}
+    blt conv_loop
+
+    ldr r0, =GPIO
+    str r7, [r0]              ; GPIO0 = output checksum
+    str r12, [r0, #4]         ; GPIO1 = peak output
+    bkpt
+
+.rodata
+coeffs:
+{_coeff_words()}
+
+.data
+samples:
+    .space {4 * SAMPLES}
+"""
+
+
+def reference(adc: ADCDevice) -> dict:
+    samples = adc.expected_samples(SAMPLES)
+    outputs = []
+    for i in range(TAPS - 1, SAMPLES):
+        acc = sum(COEFFS[j] * samples[i - j] for j in range(TAPS))
+        outputs.append(acc >> SHIFT)
+    return {"checksum": sum(outputs), "peak": max(outputs)}
+
+
+def make() -> Workload:
+    adc = ADCDevice(seed=53, base_value=300, spread=200)
+    gpio = GPIOPort()
+
+    def devices():
+        adc.reset()
+        gpio.reset()
+        return [(ADC_BASE, adc, "adc"), (GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference(ADCDevice(seed=53, base_value=300, spread=200))
+        got = {"checksum": gpio.latches[0], "peak": gpio.latches[1]}
+        assert got == expected, f"fir mismatch: {got} != {expected}"
+
+    return Workload(
+        name="fir",
+        description="BEEBs fir: fixed-point FIR with peak tracking",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,101 @@
+"""BEEBs 'insertsort': insertion sort of a 24-element array.
+
+Profile: the inner shift loop is a while loop with *two* data-dependent
+exits (index bound and comparison) plus an unconditional latch — the
+classic silent-cycle shape that exercises the UNCOND_LATCH/forward-exit
+machinery, with memory traffic on every iteration.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG
+
+N = 24
+
+
+def array_values(seed: int = 41):
+    rng = LCG(seed)
+    return [rng.randint(0, 499) for _ in range(N)]
+
+
+def _array_words(seed: int = 41) -> str:
+    values = array_values(seed)
+    return "\n".join(
+        "    .word " + ", ".join(str(v) for v in values[i:i + 8])
+        for i in range(0, N, 8))
+
+
+SOURCE = f"""
+; Insertion sort of an {N}-element word array.
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =array
+    mov r5, #1                ; i
+outer:
+    ldr r6, [r4, r5, lsl #2]  ; key = a[i]
+    mov r7, r5                ; j
+shift_loop:
+    cmp r7, #0
+    beq place                 ; j == 0: slot found
+    sub r1, r7, #1
+    ldr r2, [r4, r1, lsl #2]  ; a[j-1]
+    cmp r2, r6
+    ble place                 ; a[j-1] <= key: slot found
+    str r2, [r4, r7, lsl #2]  ; shift right
+    mov r7, r1
+    b shift_loop
+place:
+    str r6, [r4, r7, lsl #2]
+    add r5, r5, #1
+    cmp r5, #{N}
+    blt outer
+
+    ; publish median, min, max
+    ldr r0, =GPIO
+    ldr r1, [r4, #{4 * (N // 2)}]
+    str r1, [r0]              ; GPIO0 = upper median
+    ldr r1, [r4]
+    str r1, [r0, #4]          ; GPIO1 = min
+    ldr r1, [r4, #{4 * (N - 1)}]
+    str r1, [r0, #8]          ; GPIO2 = max
+    bkpt
+
+.data
+array:
+{_array_words()}
+"""
+
+
+def reference(seed: int = 41) -> dict:
+    values = sorted(array_values(seed))
+    return {"median": values[N // 2], "min": values[0], "max": values[-1]}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"median": gpio.latches[0], "min": gpio.latches[1],
+               "max": gpio.latches[2]}
+        assert got == expected, f"insertsort mismatch: {got} != {expected}"
+        base = mcu.image.addr_of("array")
+        in_memory = [mcu.memory.peek(base + 4 * i) for i in range(N)]
+        assert in_memory == sorted(array_values()), "array not sorted"
+
+    return Workload(
+        name="insertsort",
+        description="BEEBs insertsort: data-dependent shift loops",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

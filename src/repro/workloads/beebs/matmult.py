@@ -1,0 +1,141 @@
+"""BEEBs 'matmult': 6x6 integer matrix multiplication.
+
+Profile: a triply-nested *fixed* loop — the innermost-out fixed-loop
+analysis proves the whole kernel statically deterministic, so RAP-Track
+logs nothing at all, while the naive MTB records every one of the
+hundreds of loop back edges. The extreme CFLog-ratio end.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG
+
+DIM = 6
+
+
+def matrices(seed: int = 31):
+    rng = LCG(seed)
+    a = [[rng.randint(0, 20) for _ in range(DIM)] for _ in range(DIM)]
+    b = [[rng.randint(0, 20) for _ in range(DIM)] for _ in range(DIM)]
+    return a, b
+
+
+def _matrix_words(matrix) -> str:
+    lines = []
+    for row in matrix:
+        lines.append("    .word " + ", ".join(str(v) for v in row))
+    return "\n".join(lines)
+
+
+def _sources():
+    a, b = matrices()
+    return _matrix_words(a), _matrix_words(b)
+
+
+_A_WORDS, _B_WORDS = _sources()
+
+SOURCE = f"""
+; c = a * b for {DIM}x{DIM} integer matrices.
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    mov r4, #0                ; i
+outer_i:
+    mov r5, #0                ; j
+outer_j:
+    mov r6, #0                ; k
+    mov r7, #0                ; accumulator
+inner_k:
+    mov r1, #{DIM}
+    mul r0, r4, r1
+    add r0, r0, r6
+    ldr r2, =mat_a
+    ldr r2, [r2, r0, lsl #2]  ; a[i][k]
+    mul r0, r6, r1
+    add r0, r0, r5
+    ldr r3, =mat_b
+    ldr r3, [r3, r0, lsl #2]  ; b[k][j]
+    mul r2, r2, r3
+    add r7, r7, r2
+    add r6, r6, #1
+    cmp r6, #{DIM}
+    blt inner_k
+    mov r1, #{DIM}
+    mul r0, r4, r1
+    add r0, r0, r5
+    ldr r2, =mat_c
+    str r7, [r2, r0, lsl #2]  ; c[i][j]
+    add r5, r5, #1
+    cmp r5, #{DIM}
+    blt outer_j
+    add r4, r4, #1
+    cmp r4, #{DIM}
+    blt outer_i
+
+    ; checksum of c
+    mov r4, #0
+    mov r5, #0
+    ldr r2, =mat_c
+sum_loop:
+    ldr r1, [r2, r4, lsl #2]
+    add r5, r5, r1
+    add r4, r4, #1
+    cmp r4, #{DIM * DIM}
+    blt sum_loop
+    ldr r2, =GPIO
+    str r5, [r2]              ; GPIO0 = checksum
+    bkpt
+
+.rodata
+mat_a:
+{_A_WORDS}
+mat_b:
+{_B_WORDS}
+
+.data
+mat_c:
+    .space {4 * DIM * DIM}
+"""
+
+
+def reference() -> dict:
+    a, b = matrices()
+    total = 0
+    product = [[0] * DIM for _ in range(DIM)]
+    for i in range(DIM):
+        for j in range(DIM):
+            acc = sum(a[i][k] * b[k][j] for k in range(DIM))
+            product[i][j] = acc
+            total += acc
+    return {"checksum": total, "product": product}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        assert gpio.latches[0] == expected["checksum"], (
+            f"matmult checksum {gpio.latches[0]} != {expected['checksum']}"
+        )
+        base = mcu.image.addr_of("mat_c")
+        for i in range(DIM):
+            for j in range(DIM):
+                got = mcu.memory.peek(base + 4 * (i * DIM + j))
+                assert got == expected["product"][i][j]
+
+    return Workload(
+        name="matmult",
+        description="BEEBs matmult: fully fixed triple loop nest",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,100 @@
+"""BEEBs 'prime': trial-division prime counting.
+
+Profile: branch-dense compute with data-dependent inner loops whose
+bounds are register-vs-register comparisons (not 'simple' in the
+paper's sense, so they are trampolined per iteration). The paper uses
+prime to show that RAP-Track and optimized instrumentation produce
+*similar* CFLog sizes while RAP-Track's runtime is far better
+(section V-B).
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort
+
+LIMIT = 120
+
+
+SOURCE = f"""
+; Count primes below LIMIT by trial division.
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r7, =GPIO
+    mov r4, #3                ; candidate n
+    mov r6, #1                ; prime count (2 is prime)
+next_candidate:
+    mov r0, r4
+    bl is_prime
+    cmp r0, #0
+    beq not_prime
+    add r6, r6, #1
+    str r4, [r7, #4]          ; GPIO1 = last prime found
+not_prime:
+    add r4, r4, #2
+    cmp r4, #{LIMIT}
+    blt next_candidate
+    str r6, [r7]              ; GPIO0 = prime count
+    bkpt
+
+; is_prime(n) -> 1/0 via trial division by odd d while d*d <= n
+is_prime:
+    push {{r4, r5, lr}}
+    mov r4, r0                ; n
+    mov r5, #3                ; divisor d
+trial_loop:
+    mul r1, r5, r5            ; d*d
+    cmp r1, r4
+    bgt prime_yes             ; d*d > n: no divisor found
+    udiv r1, r4, r5           ; n / d
+    mul r1, r1, r5
+    sub r1, r4, r1            ; n mod d
+    cmp r1, #0
+    beq prime_no
+    add r5, r5, #2
+    b trial_loop
+prime_yes:
+    mov r0, #1
+    pop {{r4, r5, pc}}
+prime_no:
+    mov r0, #0
+    pop {{r4, r5, pc}}
+"""
+
+
+def reference() -> dict:
+    def is_prime(n):
+        d = 3
+        while d * d <= n:
+            if n % d == 0:
+                return False
+            d += 2
+        return True
+
+    primes = [2] + [n for n in range(3, LIMIT, 2) if is_prime(n)]
+    return {"count": len(primes), "last": max(p for p in primes if p > 2)}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"count": gpio.latches[0], "last": gpio.latches[1]}
+        assert got == expected, f"prime mismatch: {got} != {expected}"
+
+    return Workload(
+        name="prime",
+        description="BEEBs prime: trial-division prime counting",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,115 @@
+"""BEEBs 'strsearch': naive substring search.
+
+Profile: nested scanning loops with register-vs-register bounds and an
+early-mismatch exit — most inner comparisons fail on the first byte, so
+the taken/not-taken asymmetry of the conditional trampolines matters.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG
+
+HAYSTACK_LEN = 96
+NEEDLE = b"sense"
+
+
+def haystack_bytes(seed: int = 43) -> bytes:
+    """Lowercase noise with the needle planted at two known spots."""
+    rng = LCG(seed)
+    data = bytearray(97 + rng.randint(0, 25) for _ in range(HAYSTACK_LEN))
+    data[20:20 + len(NEEDLE)] = NEEDLE
+    data[71:71 + len(NEEDLE)] = NEEDLE
+    return bytes(data)
+
+
+def _byte_lines(data: bytes) -> str:
+    return "\n".join(
+        "    .byte " + ", ".join(str(b) for b in data[i:i + 16])
+        for i in range(0, len(data), 16))
+
+
+SOURCE = f"""
+; Count occurrences of a needle in a haystack (naive scan).
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =haystack
+    ldr r5, =needle
+    mov r6, #0                ; match count
+    mov32 r0, #0xFFFFFFFF
+    mov r7, r0                ; first match index (-1)
+    mov r0, #0                ; position
+    mov32 r1, #{HAYSTACK_LEN - len(NEEDLE)}
+scan:
+    cmp r0, r1
+    bgt done
+    mov r2, #0                ; needle offset
+cmploop:
+    cmp r2, #{len(NEEDLE)}
+    bge matched
+    add r3, r4, r0
+    ldrb r3, [r3, r2]
+    add r12, r5, r2
+    ldrb r12, [r12]
+    cmp r3, r12
+    bne next_pos              ; early mismatch exit
+    add r2, r2, #1
+    b cmploop
+matched:
+    add r6, r6, #1
+    cmp r7, #0
+    bge next_pos              ; first index already set
+    mov r7, r0
+next_pos:
+    add r0, r0, #1
+    b scan
+done:
+    ldr r0, =GPIO
+    str r6, [r0]              ; GPIO0 = matches
+    str r7, [r0, #4]          ; GPIO1 = first index
+    bkpt
+
+.rodata
+haystack:
+{_byte_lines(haystack_bytes())}
+needle:
+{_byte_lines(NEEDLE)}
+"""
+
+
+def reference(seed: int = 43) -> dict:
+    data = haystack_bytes(seed)
+    matches = 0
+    first = 0xFFFFFFFF
+    for pos in range(HAYSTACK_LEN - len(NEEDLE) + 1):
+        if data[pos:pos + len(NEEDLE)] == NEEDLE:
+            if first == 0xFFFFFFFF:
+                first = pos
+            matches += 1
+    return {"matches": matches, "first": first}
+
+
+def make() -> Workload:
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        return [(GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {"matches": gpio.latches[0], "first": gpio.latches[1]}
+        assert got == expected, f"strsearch mismatch: {got} != {expected}"
+        assert got["matches"] >= 2  # the planted occurrences
+
+    return Workload(
+        name="strsearch",
+        description="BEEBs strsearch: naive substring scan",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,103 @@
+"""Pocket Geiger counter firmware (paper workload: 'Geiger').
+
+Profile: long *fixed* delay loops dominate execution (statically
+deterministic for RAP-Track, so untracked), punctuated by rare
+data-dependent pulse handling. This is the paper's high end of the
+naive-MTB blow-up: the naive trace records every delay iteration.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GEIGER_BASE, GPIO_BASE, Workload
+from repro.workloads.peripherals import GeigerTube, GPIOPort
+
+WINDOWS = 60
+DELAY_ITERS = 250
+CPM_SHIFT = 2  # scaled counts-per-minute = count << 2
+
+
+SOURCE = f"""
+; Pocket Geiger: sample pulse counts over fixed windows, histogram
+; activity, publish totals.
+.equ GEIGER, {GEIGER_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =GEIGER
+    ldr r7, =GPIO
+    mov r5, #0                ; window index
+    mov r6, #0                ; previous cumulative count
+
+window_loop:
+    ; fixed sampling-window delay (statically deterministic loop)
+    mov r0, #{DELAY_ITERS}
+delay_loop:
+    sub r0, r0, #1
+    cmp r0, #0
+    bgt delay_loop
+
+    ldr r1, [r4]              ; cumulative pulse count
+    sub r2, r1, r6            ; pulses in this window
+    mov r6, r1
+    cmp r2, #0                ; any activity?
+    beq no_pulse
+    ldr r3, [r7, #8]
+    add r3, r3, #1
+    str r3, [r7, #8]          ; GPIO2 = active windows
+    cmp r2, #2                ; burst (2+ pulses in one window)?
+    blt no_pulse
+    ldr r3, [r7, #16]
+    add r3, r3, #1
+    str r3, [r7, #16]         ; GPIO4 = burst windows
+no_pulse:
+    add r5, r5, #1
+    cmp r5, #{WINDOWS}
+    blt window_loop
+
+    str r6, [r7]              ; GPIO0 = total pulses
+    lsl r0, r6, #{CPM_SHIFT}
+    str r0, [r7, #12]         ; GPIO3 = scaled CPM
+    bkpt
+"""
+
+
+def reference(tube: GeigerTube) -> dict:
+    counts = tube.expected_counts(WINDOWS)
+    deltas = [b - a for a, b in zip([0] + counts, counts)]
+    return {
+        "total": counts[-1],
+        "active": sum(1 for d in deltas if d > 0),
+        "bursts": sum(1 for d in deltas if d >= 2),
+        "cpm": counts[-1] << CPM_SHIFT,
+    }
+
+
+def make() -> Workload:
+    tube = GeigerTube(seed=11)
+    gpio = GPIOPort()
+
+    def devices():
+        tube.reset()
+        gpio.reset()
+        return [(GEIGER_BASE, tube, "geiger"), (GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference(GeigerTube(seed=11))
+        got = {
+            "total": gpio.latches[0],
+            "active": gpio.latches[2],
+            "bursts": gpio.latches[4],
+            "cpm": gpio.latches[3],
+        }
+        assert got == expected, f"geiger mismatch: {got} != {expected}"
+
+    return Workload(
+        name="geiger",
+        description="Pocket Geiger: fixed sampling windows, rare pulses",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,182 @@
+"""TinyGPS-style NMEA parser (paper workload: 'GPS').
+
+Profile: a character-at-a-time parser — the densest control flow of the
+suite. Every input byte runs a cascade of data-dependent comparisons,
+field boundaries dispatch through a function-pointer table (indirect
+calls + stack returns), and the scan loop itself is a silent-cycle case
+that exercises the UNCOND_LATCH trampolines. Instrumentation-based CFA
+pays a world switch for nearly every byte; RAP-Track logs the same
+events through the MTB in parallel.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, UART_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG, UartRx
+
+SENTENCES = 3
+
+
+def nmea_feed(seed: int = 19) -> str:
+    """Deterministic pseudo-NMEA sentences: $GPGGA,time,lat,lon,alt*"""
+    rng = LCG(seed)
+    out = []
+    for _ in range(SENTENCES):
+        time = rng.randint(0, 235959)
+        lat = rng.randint(1000, 8999)
+        lon = rng.randint(1000, 17999)
+        alt = rng.randint(1, 4000)
+        out.append(f"$GPGGA,{time},{lat},{lon},{alt}*\n")
+    return "".join(out)
+
+
+SOURCE = f"""
+; TinyGPS-like NMEA parser: per-character state machine with a
+; function-pointer field-handler table.
+.equ UART, {UART_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =UART
+    ldr r7, =GPIO
+    mov r5, #0                ; field value accumulator
+    mov r6, #0                ; field index
+
+char_loop:
+    ldr r0, [r4]              ; UART status
+    cmp r0, #0
+    beq parse_done
+    ldr r0, [r4, #4]          ; next character
+    cmp r0, #36               ; '$' starts a sentence
+    beq start_sentence
+    cmp r0, #44               ; ',' ends a field
+    beq field_end
+    cmp r0, #42               ; '*' ends the last field
+    beq field_end
+    cmp r0, #10               ; '\\n' ends the sentence
+    beq sentence_end
+    cmp r0, #48               ; below '0': ignore
+    blt char_loop
+    cmp r0, #57               ; above '9' (talker letters): ignore
+    bgt char_loop
+    mov r1, #10               ; value = value * 10 + digit
+    mul r5, r5, r1
+    sub r0, r0, #48
+    add r5, r5, r0
+    b char_loop
+
+start_sentence:
+    mov r5, #0
+    mov r6, #0
+    b char_loop
+
+field_end:
+    bl dispatch_field
+    b char_loop
+
+sentence_end:
+    ldr r1, [r7, #12]
+    add r1, r1, #1
+    str r1, [r7, #12]         ; GPIO3 = sentences parsed
+    b char_loop
+
+parse_done:
+    bkpt
+
+; dispatch_field: handlers[field](value), reset value, next field
+dispatch_field:
+    push {{lr}}
+    cmp r6, #4
+    bgt skip_field            ; fields past the table are ignored
+    ldr r1, =field_handlers
+    ldr r2, [r1, r6, lsl #2]
+    mov r0, r5
+    blx r2
+skip_field:
+    mov r5, #0
+    add r6, r6, #1
+    pop {{pc}}
+
+field_talker:                 ; field 0: "GPGGA" (no digits)
+    bx lr
+field_time:                   ; field 1: fix time
+    str r0, [r7, #16]         ; GPIO4 = time
+    bx lr
+field_lat:
+    str r0, [r7]              ; GPIO0 = latitude
+    bx lr
+field_lon:
+    str r0, [r7, #4]          ; GPIO1 = longitude
+    bx lr
+field_alt:
+    str r0, [r7, #8]          ; GPIO2 = altitude
+    bx lr
+
+.rodata
+field_handlers:
+    .word field_talker
+    .word field_time
+    .word field_lat
+    .word field_lon
+    .word field_alt
+"""
+
+
+def reference(seed: int = 19) -> dict:
+    """Python model mirroring the assembly parser exactly."""
+    lat = lon = alt = time = 0
+    sentences = 0
+    value = 0
+    field = 0
+    for ch in nmea_feed(seed):
+        if ch == "$":
+            value, field = 0, 0
+        elif ch in (",", "*"):
+            if field == 1:
+                time = value
+            elif field == 2:
+                lat = value
+            elif field == 3:
+                lon = value
+            elif field == 4:
+                alt = value
+            value = 0
+            field += 1
+        elif ch == "\n":
+            sentences += 1
+        elif "0" <= ch <= "9":
+            value = value * 10 + ord(ch) - ord("0")
+    return {"lat": lat, "lon": lon, "alt": alt, "time": time,
+            "sentences": sentences}
+
+
+def make() -> Workload:
+    uart = UartRx(nmea_feed().encode())
+    gpio = GPIOPort()
+
+    def devices():
+        uart.reset()
+        gpio.reset()
+        return [(UART_BASE, uart, "uart"), (GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {
+            "lat": gpio.latches[0],
+            "lon": gpio.latches[1],
+            "alt": gpio.latches[2],
+            "time": gpio.latches[4],
+            "sentences": gpio.latches[3],
+        }
+        assert got == expected, f"gps mismatch: {got} != {expected}"
+
+    return Workload(
+        name="gps",
+        description="TinyGPS-like NMEA parser: per-char state machine",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,256 @@
+"""Synthetic peripheral models (the simulation's stand-in for Grove
+sensors, a Geiger tube, a syringe stepper, and a GPS UART).
+
+All randomness comes from a seeded LCG — runs are bit-reproducible and
+independent of wall-clock time, which the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.faults import MemFault
+from repro.machine.mmio import MMIODevice
+
+
+class LCG:
+    """A tiny deterministic pseudo-random stream (glibc constants)."""
+
+    def __init__(self, seed: int):
+        self.state = seed & 0x7FFFFFFF
+
+    def next(self) -> int:
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        return lo + self.next() % (hi - lo + 1)
+
+    def chance(self, numerator: int, denominator: int) -> bool:
+        return self.next() % denominator < numerator
+
+
+class ADCDevice(MMIODevice):
+    """A sampling ADC: each DATA read returns the next seeded sample.
+
+    Registers: ``0x00 DATA`` (read-to-sample), ``0x04 LAST`` (re-read).
+    """
+
+    DATA = 0x00
+    LAST = 0x04
+
+    def __init__(self, seed: int = 7, base_value: int = 250, spread: int = 60):
+        self._seed = seed
+        self.base_value = base_value
+        self.spread = spread
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = LCG(self._seed)
+        self._last = self.base_value
+        self.samples_read = 0
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == self.DATA:
+            self._last = self.base_value + self._rng.randint(0, self.spread)
+            self.samples_read += 1
+            return self._last
+        if offset == self.LAST:
+            return self._last
+        raise MemFault("bad ADC register", offset)
+
+    def expected_samples(self, count: int) -> List[int]:
+        """Python reference of the first ``count`` samples."""
+        rng = LCG(self._seed)
+        return [self.base_value + rng.randint(0, self.spread)
+                for _ in range(count)]
+
+
+class GeigerTube(MMIODevice):
+    """A pulse-counting Geiger tube front-end.
+
+    The tube performs ``CHECKS_PER_READ`` seeded arrival checks per
+    COUNT read (the sampling window), so pulse arrivals are a function
+    of the *software's sampling pattern* rather than of cycle counts —
+    keeping results identical across CFA methods whose runtimes differ.
+    Registers: ``0x00 COUNT`` (read), ``0x04 RESET`` (write clears).
+    """
+
+    COUNT = 0x00
+    RESET = 0x04
+    CHECKS_PER_READ = 8
+
+    def __init__(self, seed: int = 11, rate_per_1024: int = 60):
+        self._seed = seed
+        self.rate_per_1024 = rate_per_1024
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = LCG(self._seed)
+        self.count = 0
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == self.COUNT:
+            for _ in range(self.CHECKS_PER_READ):
+                if self._rng.chance(self.rate_per_1024, 1024):
+                    self.count += 1
+            return self.count
+        raise MemFault("bad Geiger register", offset)
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        if offset == self.RESET:
+            self.count = 0
+            return
+        raise MemFault("bad Geiger register", offset)
+
+    def expected_counts(self, reads: int) -> List[int]:
+        """Python reference of the COUNT value seen by each read."""
+        rng = LCG(self._seed)
+        count = 0
+        out = []
+        for _ in range(reads):
+            for _ in range(self.CHECKS_PER_READ):
+                if rng.chance(self.rate_per_1024, 1024):
+                    count += 1
+            out.append(count)
+        return out
+
+
+class UltrasonicRanger(MMIODevice):
+    """A Grove-style ultrasonic ranger with an echo timer.
+
+    Write ``0x00 TRIGGER`` to fire a ping; read ``0x04 ECHO_US`` for the
+    round-trip time in microseconds (seeded per measurement).
+    Echo time = distance_cm * 58 (the HC-SR04 constant).
+    """
+
+    TRIGGER = 0x00
+    ECHO_US = 0x04
+
+    def __init__(self, seed: int = 13, min_cm: int = 5, max_cm: int = 120):
+        self._seed = seed
+        self.min_cm = min_cm
+        self.max_cm = max_cm
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = LCG(self._seed)
+        self._echo = 0
+        self.pings = 0
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        if offset == self.TRIGGER:
+            distance = self._rng.randint(self.min_cm, self.max_cm)
+            self._echo = distance * 58
+            self.pings += 1
+            return
+        raise MemFault("bad ultrasonic register", offset)
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == self.ECHO_US:
+            return self._echo
+        raise MemFault("bad ultrasonic register", offset)
+
+    def expected_distances(self, count: int) -> List[int]:
+        rng = LCG(self._seed)
+        return [rng.randint(self.min_cm, self.max_cm) for _ in range(count)]
+
+
+class UartRx(MMIODevice):
+    """A receive-only UART fed from a fixed byte script.
+
+    Registers: ``0x00 STATUS`` (bit0: data ready), ``0x04 DATA``
+    (read consumes one byte; 0 when empty).
+    """
+
+    STATUS = 0x00
+    DATA = 0x04
+
+    def __init__(self, feed: bytes):
+        self._feed = bytes(feed)
+        self.reset()
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def set_feed(self, feed: bytes) -> None:
+        """Replace the byte script (used by the attack demonstrations)."""
+        self._feed = bytes(feed)
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._feed) - self._cursor
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == self.STATUS:
+            return 1 if self._cursor < len(self._feed) else 0
+        if offset == self.DATA:
+            if self._cursor >= len(self._feed):
+                return 0
+            byte = self._feed[self._cursor]
+            self._cursor += 1
+            return byte
+        raise MemFault("bad UART register", offset)
+
+
+class StepperMotor(MMIODevice):
+    """A syringe-pump stepper driver.
+
+    Registers: ``0x00 STEP`` (write pulses one step in the current
+    direction), ``0x04 DIR`` (0 = dispense, 1 = withdraw),
+    ``0x08 POS`` (read absolute position).
+    """
+
+    STEP = 0x00
+    DIR = 0x04
+    POS = 0x08
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.position = 0
+        self.direction = 0
+        self.total_steps = 0
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        if offset == self.STEP:
+            self.position += -1 if self.direction else 1
+            self.total_steps += 1
+            return
+        if offset == self.DIR:
+            self.direction = value & 1
+            return
+        raise MemFault("bad stepper register", offset)
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == self.POS:
+            return self.position & 0xFFFFFFFF
+        raise MemFault("bad stepper register", offset)
+
+
+class GPIOPort(MMIODevice):
+    """A write-latched output port, used by workloads to publish results
+    the test oracles read back.
+
+    Registers: ``0x00..0x3C`` — sixteen 32-bit output latches.
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.latches = [0] * 16
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        if 0 <= offset < 0x40 and offset % 4 == 0:
+            self.latches[offset // 4] = value
+            return
+        raise MemFault("bad GPIO register", offset)
+
+    def read(self, offset: int, size: int) -> int:
+        if 0 <= offset < 0x40 and offset % 4 == 0:
+            return self.latches[offset // 4]
+        raise MemFault("bad GPIO register", offset)

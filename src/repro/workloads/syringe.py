@@ -1,0 +1,178 @@
+"""OpenSyringePump firmware (paper workload: 'Syringe Pump').
+
+Profile: a UART command interpreter dispatching through a jump table
+(``ldr pc`` — an indirect jump RAP-Track must trampoline) into motor
+routines whose stepping loops are data-dependent *simple* loops — the
+paper's second loop-optimization showcase (section V-B): one logged
+condition replaces hundreds of per-step records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, STEPPER_BASE, UART_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, LCG, StepperMotor, UartRx
+
+STEPS_PER_UNIT = 20
+PRIME_STEPS = 50
+COMMANDS = 8
+
+CMD_DISPENSE = 1
+CMD_WITHDRAW = 2
+CMD_PRIME = 3
+
+
+def command_feed(seed: int = 17) -> List[Tuple[int, int]]:
+    """The deterministic command script: (cmd, amount) pairs.
+
+    Command 4 appears occasionally and is invalid (bounds-check path).
+    """
+    rng = LCG(seed)
+    return [(rng.randint(1, 4), rng.randint(1, 9)) for _ in range(COMMANDS)]
+
+
+def feed_bytes(seed: int = 17) -> bytes:
+    return bytes(b for pair in command_feed(seed) for b in pair)
+
+
+SOURCE = f"""
+; OpenSyringePump: consume (cmd, amount) pairs, drive the stepper.
+.equ UART, {UART_BASE:#x}
+.equ STEPPER, {STEPPER_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =UART
+    ldr r5, =STEPPER
+    ldr r7, =GPIO
+
+cmd_loop:
+    ldr r0, [r4]              ; UART status
+    cmp r0, #0
+    beq all_done              ; no more commands
+    ldr r0, [r4, #4]          ; command byte
+    ldr r1, [r4, #4]          ; amount byte
+    cmp r0, #{CMD_PRIME}
+    bgt bad_cmd               ; bounds check the jump-table index
+    cmp r0, #{CMD_DISPENSE}
+    blt bad_cmd
+    ldr r2, =cmd_table
+    ldr pc, [r2, r0, lsl #2]  ; switch dispatch (indirect jump)
+
+bad_cmd:
+    ldr r3, [r7, #8]
+    add r3, r3, #1
+    str r3, [r7, #8]          ; GPIO2 = rejected commands
+    b cmd_done
+
+cmd_dispense:
+    mov r2, #0
+    str r2, [r5, #4]          ; DIR = dispense
+    mov r2, #{STEPS_PER_UNIT}
+    mul r1, r1, r2
+    bl do_steps
+    b cmd_done
+
+cmd_withdraw:
+    mov r2, #1
+    str r2, [r5, #4]          ; DIR = withdraw
+    mov r2, #{STEPS_PER_UNIT}
+    mul r1, r1, r2
+    bl do_steps
+    b cmd_done
+
+cmd_prime:
+    mov r2, #0
+    str r2, [r5, #4]
+    mov r1, #{PRIME_STEPS}
+    bl do_steps
+    b cmd_done
+
+cmd_done:
+    ldr r3, [r7]
+    add r3, r3, #1
+    str r3, [r7]              ; GPIO0 = commands processed
+    b cmd_loop
+
+all_done:
+    ldr r0, [r5, #8]          ; final stepper position
+    str r0, [r7, #4]          ; GPIO1 = position
+    bkpt
+
+; do_steps(r1 = steps): pulse the motor r1 times (simple loop)
+do_steps:
+    cmp r1, #0
+    beq steps_done
+step_loop:
+    mov r0, #1
+    str r0, [r5]              ; STEP pulse
+    sub r1, r1, #1
+    cmp r1, #0
+    bgt step_loop
+steps_done:
+    bx lr
+
+.rodata
+cmd_table:
+    .word bad_cmd
+    .word cmd_dispense
+    .word cmd_withdraw
+    .word cmd_prime
+"""
+
+
+def reference(seed: int = 17) -> dict:
+    position = 0
+    rejected = 0
+    for cmd, amount in command_feed(seed):
+        if cmd == CMD_DISPENSE:
+            position += amount * STEPS_PER_UNIT
+        elif cmd == CMD_WITHDRAW:
+            position -= amount * STEPS_PER_UNIT
+        elif cmd == CMD_PRIME:
+            position += PRIME_STEPS
+        else:
+            rejected += 1
+    return {
+        "processed": COMMANDS,
+        "position": position & 0xFFFFFFFF,
+        "rejected": rejected,
+    }
+
+
+def make() -> Workload:
+    uart = UartRx(feed_bytes())
+    stepper = StepperMotor()
+    gpio = GPIOPort()
+
+    def devices():
+        uart.reset()
+        stepper.reset()
+        gpio.reset()
+        return [
+            (UART_BASE, uart, "uart"),
+            (STEPPER_BASE, stepper, "stepper"),
+            (GPIO_BASE, gpio, "gpio"),
+        ]
+
+    def check(mcu: MCU) -> None:
+        expected = reference()
+        got = {
+            "processed": gpio.latches[0],
+            "position": gpio.latches[1],
+            "rejected": gpio.latches[2],
+        }
+        assert got == expected, f"syringe mismatch: {got} != {expected}"
+        assert stepper.position & 0xFFFFFFFF == expected["position"]
+
+    return Workload(
+        name="syringe",
+        description="OpenSyringePump: jump-table commands, stepper loops",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

@@ -1,0 +1,141 @@
+"""Grove temperature-sensor firmware (paper workload: 'Temperature').
+
+Profile: fixed sampling/averaging loops (statically deterministic for
+RAP-Track), a per-sample classification loop dense with data-dependent
+conditionals, and one variable smoothing delay (loop-opt candidate).
+This is the paper's low naive-vs-optimized CFLog-ratio end: most of the
+log is conditionals that *every* method records.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import ADC_BASE, GPIO_BASE, Workload
+from repro.workloads.peripherals import ADCDevice, GPIOPort
+
+SAMPLES = 16
+COLD_LIMIT = 260
+HOT_LIMIT = 290
+
+SOURCE = f"""
+; Grove temperature sensor: sample, average, classify, publish.
+.equ ADC, {ADC_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =samples
+    ldr r7, =GPIO
+    ldr r6, =ADC
+
+    ; ---- sample {SAMPLES} ADC readings (fixed loop) ----
+    mov r5, #0
+sample_loop:
+    ldr r1, [r6]
+    str r1, [r4, r5, lsl #2]
+    add r5, r5, #1
+    cmp r5, #{SAMPLES}
+    blt sample_loop
+
+    ; ---- average (fixed loop) ----
+    mov r5, #0
+    mov r6, #0
+avg_loop:
+    ldr r1, [r4, r5, lsl #2]
+    add r6, r6, r1
+    add r5, r5, #1
+    cmp r5, #{SAMPLES}
+    blt avg_loop
+    lsr r6, r6, #4
+    str r6, [r7]              ; GPIO0 = average
+
+    ; ---- classify every sample (data-dependent conditionals) ----
+    mov r5, #0
+    mov r0, #0                ; cold count
+    mov r2, #0                ; ok count
+    mov r3, #0                ; hot count
+class_loop:
+    ldr r1, [r4, r5, lsl #2]
+    cmp r1, #{COLD_LIMIT}
+    blt is_cold
+    cmp r1, #{HOT_LIMIT}
+    bgt is_hot
+    add r2, r2, #1
+    b class_next
+is_cold:
+    add r0, r0, #1
+    b class_next
+is_hot:
+    add r3, r3, #1
+class_next:
+    add r5, r5, #1
+    cmp r5, #{SAMPLES}
+    blt class_loop
+    str r0, [r7, #4]          ; GPIO1 = cold
+    str r2, [r7, #8]          ; GPIO2 = ok
+    str r3, [r7, #12]         ; GPIO3 = hot
+
+    ; ---- data-dependent settle delay (loop-opt candidate) ----
+    mov r0, r6
+    bl settle
+    str r0, [r7, #16]         ; GPIO4 = settle ticks
+    bkpt
+
+; settle(avg) -> ticks: spin (avg & 15) + 1 times
+settle:
+    and r1, r0, #15
+    add r1, r1, #1
+    mov r0, #0
+settle_loop:
+    add r0, r0, #1
+    sub r1, r1, #1
+    cmp r1, #0
+    bgt settle_loop
+    bx lr
+
+.data
+samples:
+    .space {4 * SAMPLES}
+"""
+
+
+def reference(adc: ADCDevice) -> dict:
+    """Python model of the firmware's outputs."""
+    samples = adc.expected_samples(SAMPLES)
+    average = sum(samples) // SAMPLES
+    cold = sum(1 for s in samples if s < COLD_LIMIT)
+    hot = sum(1 for s in samples if s > HOT_LIMIT)
+    ok = SAMPLES - cold - hot
+    settle = (average & 15) + 1
+    return {"average": average, "cold": cold, "ok": ok, "hot": hot,
+            "settle": settle}
+
+
+def make() -> Workload:
+    adc = ADCDevice(seed=7)
+    gpio = GPIOPort()
+
+    def devices():
+        adc.reset()
+        gpio.reset()
+        return [(ADC_BASE, adc, "adc"), (GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference(ADCDevice(seed=7))
+        got = {
+            "average": gpio.latches[0],
+            "cold": gpio.latches[1],
+            "ok": gpio.latches[2],
+            "hot": gpio.latches[3],
+            "settle": gpio.latches[4],
+        }
+        assert got == expected, f"temperature mismatch: {got} != {expected}"
+
+    return Workload(
+        name="temperature",
+        description="Grove temperature sensor: sample/average/classify",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

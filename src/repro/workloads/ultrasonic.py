@@ -1,0 +1,128 @@
+"""Grove ultrasonic ranger firmware (paper workload: 'Ultrasonic').
+
+Profile: a HC-SR04-style driver that busy-waits for the echo with a
+duration proportional to distance. Those data-dependent delay loops are
+simple in the paper's sense, so RAP-Track's loop optimization replaces
+hundreds of per-iteration records with one logged condition per ping —
+this is one of the two workloads the paper calls out as a loop-opt
+showcase (section V-B).
+"""
+
+from __future__ import annotations
+
+from repro.machine.mcu import MCU
+from repro.workloads.base import GPIO_BASE, ULTRASONIC_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, UltrasonicRanger
+
+PINGS = 10
+ALARM_CM = 10
+ECHO_SHIFT = 5  # busy-wait iterations = echo_us >> 5 (+1)
+
+
+SOURCE = f"""
+; HC-SR04 ultrasonic ranger: ping, busy-wait the echo, convert, track.
+.equ SONAR, {ULTRASONIC_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{r4, r5, r6, r7, lr}}
+    ldr r4, =SONAR
+    ldr r7, =GPIO
+    mov r5, #0                ; ping index
+    mov32 r6, #100000         ; running minimum distance
+
+ping_loop:
+    mov r0, #1
+    str r0, [r4]              ; fire the ping
+    ldr r0, [r4, #4]          ; echo round-trip time (us)
+
+    ; busy-wait proportional to the echo (data-dependent simple loop)
+    lsr r1, r0, #{ECHO_SHIFT}
+    add r1, r1, #1
+echo_wait:
+    sub r1, r1, #1
+    cmp r1, #0
+    bgt echo_wait
+
+    mov r2, #58               ; HC-SR04: us / 58 = cm
+    udiv r0, r0, r2
+    ldr r2, =dists
+    str r0, [r2, r5, lsl #2]
+
+    cmp r0, r6                ; track minimum
+    bge not_min
+    mov r6, r0
+not_min:
+    cmp r0, #{ALARM_CM}       ; proximity alarm
+    bge no_alarm
+    ldr r2, [r7, #8]
+    add r2, r2, #1
+    str r2, [r7, #8]          ; GPIO2 = alarm count
+no_alarm:
+    add r5, r5, #1
+    cmp r5, #{PINGS}
+    blt ping_loop
+
+    ; average distance (fixed loop)
+    mov r5, #0
+    mov r0, #0
+    ldr r2, =dists
+avg_loop:
+    ldr r1, [r2, r5, lsl #2]
+    add r0, r0, r1
+    add r5, r5, #1
+    cmp r5, #{PINGS}
+    blt avg_loop
+    mov r1, #{PINGS}
+    udiv r0, r0, r1
+    str r0, [r7, #12]         ; GPIO3 = average
+    str r6, [r7, #4]          ; GPIO1 = minimum
+    ldr r2, =dists
+    ldr r1, [r2, #{4 * (PINGS - 1)}]
+    str r1, [r7]              ; GPIO0 = last distance
+    bkpt
+
+.data
+dists:
+    .space {4 * PINGS}
+"""
+
+
+def reference(ranger: UltrasonicRanger) -> dict:
+    distances = ranger.expected_distances(PINGS)
+    return {
+        "last": distances[-1],
+        "minimum": min(distances),
+        "alarms": sum(1 for d in distances if d < ALARM_CM),
+        "average": sum(distances) // PINGS,
+    }
+
+
+def make() -> Workload:
+    ranger = UltrasonicRanger(seed=13)
+    gpio = GPIOPort()
+
+    def devices():
+        ranger.reset()
+        gpio.reset()
+        return [(ULTRASONIC_BASE, ranger, "sonar"), (GPIO_BASE, gpio, "gpio")]
+
+    def check(mcu: MCU) -> None:
+        expected = reference(UltrasonicRanger(seed=13))
+        got = {
+            "last": gpio.latches[0],
+            "minimum": gpio.latches[1],
+            "alarms": gpio.latches[2],
+            "average": gpio.latches[3],
+        }
+        assert got == expected, f"ultrasonic mismatch: {got} != {expected}"
+        assert ranger.pings == PINGS
+
+    return Workload(
+        name="ultrasonic",
+        description="HC-SR04 ultrasonic ranger with echo busy-waits",
+        source=SOURCE,
+        devices=devices,
+        check=check,
+    )

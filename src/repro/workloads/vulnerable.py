@@ -1,0 +1,129 @@
+"""A deliberately vulnerable firmware for the attack demonstrations.
+
+``read_input`` copies UART words into a fixed 4-word stack buffer with
+no bounds check. A benign feed fits; the attack feed overflows the
+buffer and overwrites the saved LR slot with the address of
+``maintenance_unlock`` — a privileged routine the benign control flow
+never reaches. Because the return executes through the MTBAR pop stub,
+the MTB records the hijacked destination, and the Verifier's shadow
+call stack flags it as ``rop-return`` evidence (paper section IV-F:
+CFA produces evidence of the malicious path; it does not mask it).
+
+Not part of the evaluation registry — used by the security tests and
+the ``attack_detection`` example.
+"""
+
+from __future__ import annotations
+
+import struct
+from repro.asm.program import Image
+from repro.workloads.base import GPIO_BASE, UART_BASE, Workload
+from repro.workloads.peripherals import GPIOPort, UartRx
+
+BUFFER_WORDS = 4
+
+#: GPIO latch values the firmware publishes
+STATUS_NORMAL = 0x600D
+STATUS_UNLOCKED = 0xBAD
+
+
+SOURCE = f"""
+; A command receiver with a classic unchecked stack-buffer copy.
+.equ UART, {UART_BASE:#x}
+.equ GPIO, {GPIO_BASE:#x}
+
+.entry main
+main:
+    push {{lr}}
+    bl read_input
+    ldr r1, =GPIO
+    mov32 r0, #{STATUS_NORMAL}
+    str r0, [r1]              ; GPIO0 = normal completion
+    bkpt
+
+; read_input: copy length-prefixed words from the UART into a
+; {BUFFER_WORDS}-word stack buffer. No bounds check: the bug.
+read_input:
+    push {{r4, r5, lr}}
+    sub sp, sp, #{4 * BUFFER_WORDS}
+    ldr r4, =UART
+    ldr r5, [r4, #4]          ; word count (attacker controlled)
+    mov r2, #0                ; index
+copy_loop:
+    cmp r2, r5
+    bge copy_done
+    bl read_word
+    lsl r1, r2, #2
+    add r1, r1, sp
+    str r0, [r1]              ; buffer[index] = word -- may overflow!
+    add r2, r2, #1
+    b copy_loop
+copy_done:
+    add sp, sp, #{4 * BUFFER_WORDS}
+    pop {{r4, r5, pc}}
+
+; read_word: assemble a little-endian word from four UART bytes
+read_word:
+    push {{r4, lr}}
+    mov r0, #0
+    mov r3, #0                ; shift
+    mov r4, #0                ; byte counter
+word_loop:
+    ldr r1, =UART
+    ldr r1, [r1, #4]
+    lsl r1, r1, r3
+    orr r0, r0, r1
+    add r3, r3, #8
+    add r4, r4, #1
+    cmp r4, #4
+    blt word_loop
+    pop {{r4, pc}}
+
+; maintenance_unlock: privileged routine -- never called legitimately.
+maintenance_unlock:
+    ldr r1, =GPIO
+    mov32 r0, #{STATUS_UNLOCKED}
+    str r0, [r1]              ; GPIO0 = unlocked!
+    bkpt
+"""
+
+
+def benign_feed() -> bytes:
+    """Three words: fits in the buffer."""
+    words = [0x11111111, 0x22222222, 0x33333333]
+    return bytes([len(words)]) + b"".join(
+        struct.pack("<I", w) for w in words)
+
+
+def attack_feed(image: Image) -> bytes:
+    """Seven words: the last lands in the saved-LR slot.
+
+    Stack layout inside ``read_input`` after the prologue::
+
+        sp+0  .. sp+12   buffer[0..3]
+        sp+16            saved r4
+        sp+20            saved r5
+        sp+24            saved lr      <- overwritten with the gadget
+    """
+    gadget = image.addr_of("maintenance_unlock")
+    words = [0xDEADBEEF] * (BUFFER_WORDS + 2) + [gadget]
+    return bytes([len(words)]) + b"".join(
+        struct.pack("<I", w) for w in words)
+
+
+def make() -> Workload:
+    uart = UartRx(benign_feed())
+    gpio = GPIOPort()
+
+    def devices():
+        gpio.reset()
+        uart.reset()  # keeps whatever feed was installed via set_feed
+        return [(UART_BASE, uart, "uart"), (GPIO_BASE, gpio, "gpio")]
+
+    return Workload(
+        name="vulnerable",
+        description="stack-overflow firmware for the ROP demonstration",
+        source=SOURCE,
+        devices=devices,
+        check=None,
+    )

@@ -1,0 +1,266 @@
+"""Unit tests: parser, assembler, program model, linker."""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.asm.linker import DEFAULT_LAYOUT, LinkError
+from repro.asm.parser import (
+    AsmSyntaxError,
+    parse_int,
+    parse_operand,
+    parse_source,
+    parse_statement,
+    split_mnemonic,
+)
+from repro.asm.program import DataBytes, DataWord, Space
+from repro.isa.instructions import InstrKind
+from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+
+
+class TestParseInt:
+    def test_bases(self):
+        assert parse_int("10") == 10
+        assert parse_int("0x1f") == 31
+        assert parse_int("0b101") == 5
+        assert parse_int("-3") == -3
+
+    def test_char_literal(self):
+        assert parse_int("'A'") == 65
+
+
+class TestOperandParsing:
+    def test_registers(self):
+        assert parse_operand("r3") == Reg(3)
+        assert parse_operand("lr") == Reg(14)
+
+    def test_immediate(self):
+        assert parse_operand("#42") == Imm(42)
+        assert parse_operand("#0x10") == Imm(16)
+        assert parse_operand("#'$'") == Imm(36)
+
+    def test_label(self):
+        assert parse_operand("main_loop") == Label("main_loop")
+
+    def test_mem_plain(self):
+        assert parse_operand("[r1]") == Mem(Reg(1))
+
+    def test_mem_offset(self):
+        assert parse_operand("[r1, #8]") == Mem(Reg(1), offset=8)
+        assert parse_operand("[sp, #-4]") == Mem(Reg(13), offset=-4)
+
+    def test_mem_index(self):
+        assert parse_operand("[r1, r2]") == Mem(Reg(1), index=Reg(2))
+
+    def test_mem_scaled(self):
+        op = parse_operand("[r1, r2, lsl #2]")
+        assert op == Mem(Reg(1), index=Reg(2), shift=2)
+
+    def test_reglist(self):
+        assert parse_operand("{r4, r5, lr}") == RegList((4, 5, 14))
+
+    def test_reglist_range(self):
+        assert parse_operand("{r4-r7, lr}") == RegList((4, 5, 6, 7, 14))
+
+    def test_reglist_empty(self):
+        assert parse_operand("{}") == RegList(())
+
+    def test_reglist_bad_range(self):
+        with pytest.raises(ValueError):
+            parse_operand("{r7-r4}")
+
+    def test_equals_pseudo(self):
+        assert parse_operand("=foo") == ("=label", "foo")
+        assert parse_operand("=0x100") == ("=imm", 256)
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            parse_operand("!!!")
+
+
+class TestMnemonics:
+    def test_plain(self):
+        assert split_mnemonic("mov") == ("mov", None)
+        assert split_mnemonic("bl") == ("bl", None)
+        assert split_mnemonic("bx") == ("bx", None)
+
+    def test_conditional_branches(self):
+        assert split_mnemonic("beq") == ("b", "eq")
+        assert split_mnemonic("blt") == ("b", "lt")
+        assert split_mnemonic("bhs") == ("b", "cs")  # alias
+        assert split_mnemonic("blo") == ("b", "cc")
+
+    def test_ble_is_condition_not_bl(self):
+        # 'ble' must parse as b+le, not bl+e
+        assert split_mnemonic("ble") == ("b", "le")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            split_mnemonic("xyz")
+
+    def test_statement(self):
+        mnemonic, cond, ops = parse_statement("add r0, r1, #2")
+        assert (mnemonic, cond) == ("add", None)
+        assert ops == [Reg(0), Reg(1), Imm(2)]
+
+
+class TestParseSource:
+    def test_labels_bind_to_next_instruction(self):
+        module = parse_source("a:\nb:\n    nop\n")
+        items = module.text.items
+        assert items[0].labels == ("a", "b")
+
+    def test_label_and_statement_same_line(self):
+        module = parse_source("go: nop")
+        assert module.text.items[0].labels == ("go",)
+
+    def test_comments_stripped(self):
+        module = parse_source("nop ; c1\nnop // c2\nnop @ c3\n")
+        assert len(module.text.items) == 3
+
+    def test_sections(self):
+        module = parse_source(".data\nx: .word 5\n.text\n    nop\n")
+        assert len(module.section("data").items) == 1
+        assert len(module.text.items) == 1
+
+    def test_word_label_and_int(self):
+        module = parse_source(".rodata\nt: .word foo, 0x10\n")
+        items = module.section("rodata").items
+        assert items[0].payload == DataWord(Label("foo"))
+        assert items[1].payload == DataWord(16)
+
+    def test_byte_and_ascii(self):
+        module = parse_source('.data\n.byte 1, 2, 255\n.ascii "hi"\n')
+        items = module.section("data").items
+        assert items[0].payload == DataBytes(bytes([1, 2, 255]))
+        assert items[1].payload == DataBytes(b"hi")
+
+    def test_space(self):
+        module = parse_source(".data\nbuf: .space 32\n")
+        assert module.section("data").items[0].payload == Space(32)
+
+    def test_entry_and_equ(self):
+        module = parse_source(".entry start\n.equ UART, 0x40000300\nstart: nop\n")
+        assert module.entry == "start"
+        assert module.equates["UART"] == 0x40000300
+
+    def test_ldr_equals_label_becomes_adr(self):
+        module = parse_source("ldr r0, =target\ntarget: nop\n")
+        instr = module.text.items[0].payload
+        assert instr.mnemonic == "adr"
+        assert instr.operands == (Reg(0), Label("target"))
+
+    def test_ldr_equals_imm_becomes_mov32(self):
+        module = parse_source("ldr r0, =0x40000000\n")
+        instr = module.text.items[0].payload
+        assert instr.mnemonic == "mov32"
+        assert instr.operands == (Reg(0), Imm(0x40000000))
+
+    def test_syntax_error_carries_line(self):
+        with pytest.raises(AsmSyntaxError) as err:
+            parse_source("nop\nbadinstr r0\n")
+        assert err.value.line_no == 2
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_source(".frobnicate 1\n")
+
+    def test_trailing_label(self):
+        module = parse_source("    nop\nend_marker:\n")
+        last = module.text.items[-1]
+        assert last.labels == ("end_marker",)
+        assert isinstance(last.payload, Space)
+
+    def test_duplicate_labels_rejected_at_module(self):
+        module = parse_source("x: nop\nx: nop\n")
+        with pytest.raises(ValueError):
+            module.defined_labels()
+
+
+class TestLinker:
+    def test_addresses_sequential(self):
+        image = link(assemble(".entry main\nmain:\n    nop\n    bl f\nf:  nop\n"))
+        addrs = sorted(image.instr_at)
+        base = DEFAULT_LAYOUT["text"]
+        assert addrs == [base, base + 2, base + 6]
+
+    def test_entry_resolution(self):
+        image = link(assemble(".entry go\nx: nop\ngo: nop\n"))
+        assert image.entry == image.addr_of("go")
+
+    def test_missing_entry(self):
+        with pytest.raises(LinkError):
+            link(assemble(".entry nowhere\nnop\n"))
+
+    def test_undefined_reference(self):
+        with pytest.raises(LinkError):
+            link(assemble(".entry main\nmain: b nowhere\n"))
+
+    def test_duplicate_symbol(self):
+        module = assemble(".entry main\nmain: nop\n")
+        module.text.add(module.text.items[0].payload, ("main",))
+        with pytest.raises(LinkError):
+            link(module)
+
+    def test_data_words_little_endian(self):
+        image = link(assemble(
+            ".entry main\nmain: nop\n.data\nv: .word 0x04030201\n"))
+        base = image.addr_of("v")
+        assert [image.data_bytes[base + i] for i in range(4)] == [1, 2, 3, 4]
+
+    def test_word_of_label_resolves(self):
+        image = link(assemble(
+            ".entry main\nmain: nop\n.rodata\nt: .word main\n"))
+        assert image.rodata_word(image.addr_of("t")) == image.addr_of("main")
+
+    def test_space_zero_filled(self):
+        image = link(assemble(".entry m\nm: nop\n.data\nb: .space 8\n"))
+        base = image.addr_of("b")
+        assert all(image.data_bytes[base + i] == 0 for i in range(8))
+
+    def test_section_of(self):
+        image = link(assemble(".entry m\nm: nop\n.data\nd: .word 1\n"))
+        assert image.section_of(image.addr_of("m")) == "text"
+        assert image.section_of(image.addr_of("d")) == "data"
+        assert image.section_of(0xDEAD0000) is None
+
+    def test_code_size_counts_text_and_mtbar(self):
+        module = assemble(".entry m\nm: nop\n.mtbar\ns: nop\n    nop\n")
+        image = link(module)
+        assert image.code_size() == 6
+
+    def test_code_bytes_change_with_code(self):
+        one = link(assemble(".entry m\nm: mov r0, #1\n"))
+        two = link(assemble(".entry m\nm: mov r0, #2\n"))
+        assert one.code_bytes() != two.code_bytes()
+
+    def test_equate_resolution(self):
+        image = link(assemble(
+            ".entry m\n.equ MAGIC, 0x1234\nm: nop\n"))
+        assert image.addr_of("MAGIC") == 0x1234
+
+    def test_overlapping_layout_rejected(self):
+        module = assemble(".entry m\nm: nop\n.mtbar\ns: nop\n")
+        with pytest.raises(LinkError):
+            link(module, layout={"mtbar": DEFAULT_LAYOUT["text"]})
+
+    def test_disassemble_mentions_labels(self):
+        image = link(assemble(".entry m\nm: nop\nloop: b loop\n"))
+        text = image.disassemble("text")
+        assert "loop:" in text and "b loop" in text
+
+    def test_module_copy_is_independent(self):
+        module = assemble(".entry m\nm: nop\n")
+        dup = module.copy()
+        dup.text.add(Space(4), ())
+        assert len(module.text.items) == 1
+        assert len(dup.text.items) == 2
+
+
+class TestReservedLabels:
+    def test_register_named_label_rejected(self):
+        with pytest.raises(AsmSyntaxError, match="shadows a register"):
+            parse_source("r0: nop\n")
+
+    def test_alias_named_label_rejected(self):
+        with pytest.raises(AsmSyntaxError, match="shadows a register"):
+            parse_source("lr: nop\n")

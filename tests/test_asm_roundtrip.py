@@ -1,0 +1,91 @@
+"""Property: the assembler parses what the instruction printer emits."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.asm.parser import parse_statement
+from repro.isa.conditions import CONDITIONS
+from repro.isa.instructions import Instr, make_instr
+from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+
+regs = st.integers(min_value=0, max_value=12).map(Reg)
+imms = st.integers(min_value=-1024, max_value=0xFFFF).map(Imm)
+# register names are reserved words (as in real assemblers): a label
+# spelled 'r0' or 'lr' parses as a register, so exclude them here
+_RESERVED = {f"r{i}" for i in range(16)} | {"sp", "lr", "pc", "fp", "ip"}
+labels = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True) \
+    .filter(lambda name: name not in _RESERVED).map(Label)
+shifts = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def mems(draw):
+    base = draw(regs)
+    form = draw(st.integers(min_value=0, max_value=2))
+    if form == 0:
+        return Mem(base, offset=draw(st.integers(-64, 255)))
+    if form == 1:
+        return Mem(base, index=draw(regs))
+    return Mem(base, index=draw(regs), shift=draw(shifts))
+
+
+@st.composite
+def reglists(draw):
+    body = draw(st.sets(st.integers(min_value=0, max_value=12),
+                        min_size=1, max_size=5))
+    return RegList(tuple(body))
+
+
+@st.composite
+def instructions(draw):
+    choice = draw(st.sampled_from([
+        "alu3", "mov", "cmp", "mem", "stack", "branch", "cond_branch",
+        "compare_branch", "indirect",
+    ]))
+    if choice == "alu3":
+        mnemonic = draw(st.sampled_from(
+            ["add", "sub", "and", "orr", "eor", "bic", "lsl", "lsr",
+             "asr", "ror", "mul", "udiv", "adc", "sbc"]))
+        return make_instr(mnemonic, draw(regs), draw(regs),
+                          draw(st.one_of(regs, imms)))
+    if choice == "mov":
+        return make_instr(draw(st.sampled_from(["mov", "mvn"])),
+                          draw(regs), draw(st.one_of(regs, imms)))
+    if choice == "cmp":
+        return make_instr(draw(st.sampled_from(["cmp", "cmn", "tst"])),
+                          draw(regs), draw(st.one_of(regs, imms)))
+    if choice == "mem":
+        mnemonic = draw(st.sampled_from(
+            ["ldr", "ldrb", "ldrh", "str", "strb", "strh"]))
+        return make_instr(mnemonic, draw(regs), draw(mems()))
+    if choice == "stack":
+        return make_instr(draw(st.sampled_from(["push", "pop"])),
+                          draw(reglists()))
+    if choice == "branch":
+        return make_instr(draw(st.sampled_from(["b", "bl"])), draw(labels))
+    if choice == "cond_branch":
+        return make_instr("b", draw(labels),
+                          cond=draw(st.sampled_from(CONDITIONS)))
+    if choice == "compare_branch":
+        return make_instr(draw(st.sampled_from(["cbz", "cbnz"])),
+                          draw(regs), draw(labels))
+    return make_instr(draw(st.sampled_from(["bx", "blx"])), draw(regs))
+
+
+class TestPrinterParserRoundtrip:
+    @given(instructions())
+    @settings(deadline=None, max_examples=300)
+    def test_roundtrip(self, instr: Instr):
+        mnemonic, cond, operands = parse_statement(str(instr))
+        rebuilt = make_instr(mnemonic, *operands, cond=cond)
+        assert rebuilt == instr
+
+    @given(instructions())
+    @settings(deadline=None, max_examples=100)
+    def test_roundtrip_encoding_stable(self, instr: Instr):
+        from repro.isa.encoding import encode_instr
+
+        mnemonic, cond, operands = parse_statement(str(instr))
+        rebuilt = make_instr(mnemonic, *operands, cond=cond)
+        resolve = lambda name: 0x1000  # noqa: E731
+        assert encode_instr(rebuilt, resolve) == encode_instr(instr, resolve)

@@ -1,0 +1,176 @@
+"""Security tests: the adversary model of paper section III/IV-F."""
+
+import pytest
+
+from repro.asm import link
+from repro.cfa.engine import RapTrackEngine
+from repro.cfa.verifier import Verifier
+from repro.core.pipeline import transform
+from repro.machine.faults import MemFault
+from repro.tz.keystore import KeyStore
+from repro.workloads import vulnerable
+from repro.workloads.base import make_mcu
+from conftest import rap_setup, traces_setup
+
+
+def _vulnerable_setup(keystore, attack: bool, setup=rap_setup):
+    workload = vulnerable.make()
+    image, bound, mcu, engine, verifier, tracer = setup(
+        workload, keystore=keystore)
+    uart = mcu.mmio.device("uart")
+    feed = (vulnerable.attack_feed(image) if attack
+            else vulnerable.benign_feed())
+    uart.set_feed(feed)
+    return image, mcu, engine, verifier
+
+
+class TestRopDetection:
+    def test_benign_run_is_clean(self, keystore):
+        image, mcu, engine, verifier = _vulnerable_setup(keystore, False)
+        result = engine.attest(b"c")
+        gpio = mcu.mmio.device("gpio")
+        assert gpio.latches[0] == vulnerable.STATUS_NORMAL
+        outcome = verifier.verify(result, b"c")
+        assert outcome.ok
+
+    def test_rop_attack_detected_rap_track(self, keystore):
+        image, mcu, engine, verifier = _vulnerable_setup(keystore, True)
+        result = engine.attest(b"c")
+        gpio = mcu.mmio.device("gpio")
+        # the exploit actually fires on the device...
+        assert gpio.latches[0] == vulnerable.STATUS_UNLOCKED
+        outcome = verifier.verify(result, b"c")
+        # ...and the report is authentic, losslessly replayable, and
+        # carries the evidence: CFA reports attacks, it can't hide them
+        assert outcome.authenticated
+        assert outcome.lossless
+        assert any(v.kind == "rop-return" for v in outcome.violations)
+        assert not outcome.ok
+
+    def test_rop_attack_detected_traces(self, keystore):
+        image, mcu, engine, verifier = _vulnerable_setup(
+            keystore, True, setup=traces_setup)
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        assert outcome.authenticated and outcome.lossless
+        assert any(v.kind == "rop-return" for v in outcome.violations)
+
+    def test_violation_names_the_gadget(self, keystore):
+        image, mcu, engine, verifier = _vulnerable_setup(keystore, True)
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        gadget = image.addr_of("maintenance_unlock")
+        assert any(f"{gadget:#010x}" in v.detail
+                   for v in outcome.violations)
+
+    def test_hijacked_return_is_in_the_log(self, keystore):
+        from repro.cfa.cflog import BranchRecord
+
+        image, mcu, engine, verifier = _vulnerable_setup(keystore, True)
+        result = engine.attest(b"c")
+        gadget = image.addr_of("maintenance_unlock")
+        assert any(isinstance(r, BranchRecord) and r.dst == gadget
+                   for r in result.cflog)
+
+
+class TestCodeModification:
+    SELF_PATCH = """
+.entry main
+main:
+    adr r0, target
+    mov32 r1, #0xBAD
+    str r1, [r0]
+target:
+    bkpt
+"""
+
+    def test_write_to_locked_code_faults(self, keystore):
+        _, _, _, engine, _, _ = rap_setup(self.SELF_PATCH,
+                                          keystore=keystore)
+        with pytest.raises(MemFault):
+            engine.attest(b"c")
+
+    def test_premodified_binary_fails_hmem(self, keystore):
+        # the device runs a modified binary; the verifier expects the
+        # reference one -> H_MEM mismatch
+        good = rap_setup("""
+.entry main
+main:
+    mov r0, #1
+    bkpt
+""", keystore=keystore)
+        evil = rap_setup("""
+.entry main
+main:
+    mov r0, #2
+    bkpt
+""", keystore=keystore)
+        result = evil[3].attest(b"c")  # evil engine
+        outcome = good[4].verify(result, b"c")  # good verifier
+        assert not outcome.authenticated
+
+
+class TestTraceInfrastructureProtection:
+    def test_ns_cannot_write_trace_buffer(self, keystore):
+        from repro.machine.memmap import MTB_SRAM_BASE
+
+        source = f"""
+.entry main
+main:
+    mov32 r0, #{MTB_SRAM_BASE}
+    mov r1, #0
+    str r1, [r0]
+    bkpt
+"""
+        _, _, _, engine, _, _ = rap_setup(source, keystore=keystore)
+        with pytest.raises(MemFault):
+            engine.attest(b"c")
+
+    def test_ns_cannot_read_trace_buffer(self, keystore):
+        from repro.machine.memmap import MTB_SRAM_BASE
+
+        source = f"""
+.entry main
+main:
+    mov32 r0, #{MTB_SRAM_BASE}
+    ldr r1, [r0]
+    bkpt
+"""
+        _, _, _, engine, _, _ = rap_setup(source, keystore=keystore)
+        with pytest.raises(MemFault):
+            engine.attest(b"c")
+
+
+class TestJopDetection:
+    def test_corrupted_function_pointer_flagged(self, keystore):
+        # the app loads a function pointer from RAM; the "attacker"
+        # (simulated via a pre-poisoned data word read path) redirects
+        # it to mid-function code
+        source = """
+.entry main
+main:
+    push {r4, lr}
+    ldr r2, =fptr
+    ldr r3, [r2]
+    blx r3
+    pop {r4, pc}
+normal:
+    mov r4, #1
+    bx lr
+unused:
+    mov r4, #2
+gadget:
+    add r4, r4, #40
+    bx lr
+.data
+fptr: .word normal
+"""
+        image, bound, mcu, engine, verifier, _ = rap_setup(
+            source, keystore=keystore)
+        # corrupt the pointer before attestation (data is attacker-held)
+        mcu.memory.poke(image.addr_of("fptr"), image.addr_of("gadget"), 4)
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        assert outcome.authenticated
+        assert any(v.kind in ("jop-call", "rop-return")
+                   for v in outcome.violations)

@@ -1,0 +1,109 @@
+"""Auditing tests: data-only attack visibility through lossless paths."""
+
+import pytest
+
+from repro.cfa.audit import audit_paths, conditional_outcome_profile
+from conftest import rap_setup
+
+# classification firmware: branches on a sensor value held in RAM
+BENDABLE = """
+.entry main
+main:
+    push {lr}
+    ldr r0, =reading
+    ldr r0, [r0]
+    cmp r0, #100
+    bgt high_path
+    mov r4, #1              ; normal handling
+    b done
+high_path:
+    mov r4, #2              ; alarm handling
+    bl alarm
+done:
+    bkpt
+alarm:
+    push {lr}
+    mov r0, #0xAA
+    pop {pc}
+.data
+reading: .word 40
+"""
+
+
+class TestAuditPaths:
+    def test_identical_paths(self):
+        report = audit_paths([1, 2, 3], [1, 2, 3])
+        assert report.identical
+        assert "identical" in report.summary()
+
+    def test_divergence_position(self):
+        report = audit_paths([1, 2, 3, 4], [1, 2, 9, 4])
+        assert not report.identical
+        assert report.first_divergence == 2
+
+    def test_length_divergence(self):
+        report = audit_paths([1, 2], [1, 2, 3])
+        assert not report.identical
+        assert report.first_divergence == 2
+
+    def test_count_deltas_ranked(self):
+        report = audit_paths([1, 1, 1, 2], [1, 2, 2, 2])
+        assert report.deltas[0].address in (1, 2)
+        assert abs(report.deltas[0].delta) == 2
+
+    def test_summary_mentions_labels(self, keystore):
+        image, _, _, engine, verifier, _ = rap_setup(BENDABLE,
+                                                     keystore=keystore)
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        report = audit_paths(outcome.path + [image.entry], outcome.path,
+                             image=image)
+        assert "main" in report.summary() or "0x" in report.summary()
+
+
+class TestDataOnlyAttackVisibility:
+    """The SoK [12] scenario: the attacker corrupts *data* (the sensor
+    reading), steering execution down a legal-but-wrong path. No CFI
+    violation exists; the lossless path still exposes the bend."""
+
+    def _run(self, keystore, poke_reading=None):
+        image, bound, mcu, engine, verifier, _ = rap_setup(
+            BENDABLE, keystore=keystore)
+        if poke_reading is not None:
+            mcu.memory.poke(image.addr_of("reading"), poke_reading, 4)
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        return image, bound, mcu, outcome
+
+    def test_bent_run_passes_cfi_but_differs_in_path(self, keystore):
+        image, _, mcu_a, golden = self._run(keystore)
+        assert golden.ok and mcu_a.cpu.regs[4] == 1
+
+        image_b, bound, mcu_b, bent = self._run(keystore,
+                                                poke_reading=500)
+        # every CFI-style check passes: authentic, lossless, no
+        # violations — the path is legal
+        assert bent.ok and mcu_b.cpu.regs[4] == 2
+
+        # ...but the audit sees the bend
+        report = audit_paths(golden.path, bent.path, image=image_b)
+        assert not report.identical
+        alarm = image_b.addr_of("alarm")
+        assert any(d.address == alarm and d.delta > 0
+                   for d in report.deltas)
+
+    def test_conditional_profile_shift(self, keystore):
+        image, bound, _, golden = self._run(keystore)
+        _, bound_b, _, bent = self._run(keystore, poke_reading=500)
+        golden_profile = conditional_outcome_profile(golden.path, bound)
+        bent_profile = conditional_outcome_profile(bent.path, bound_b)
+        # the classification conditional flipped from not-taken to taken
+        assert golden_profile != bent_profile
+        changed = [site for site in golden_profile
+                   if golden_profile[site] != bent_profile.get(site)]
+        assert changed
+
+    def test_identical_inputs_identical_paths(self, keystore):
+        _, _, _, one = self._run(keystore)
+        _, _, _, two = self._run(keystore)
+        assert audit_paths(one.path, two.path).identical

@@ -1,0 +1,420 @@
+"""Unit tests: branch classification (paper sections IV-C/IV-D)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.classify import BranchClass, classify_module
+
+
+def classify(source, **kw):
+    return classify_module(assemble(".entry main\n" + source), **kw)
+
+
+def classes_of(classification):
+    """mnemonic-text -> class name, for readable assertions."""
+    return {
+        str(classification.flat.instrs[idx]): site.cls
+        for idx, site in classification.sites.items()
+    }
+
+
+class TestIndirectTransfers:
+    def test_indirect_call(self):
+        c = classify("""
+main:
+    adr r3, f
+    blx r3
+    bkpt
+f:  bx lr
+""")
+        assert classes_of(c)["blx r3"] is BranchClass.INDIRECT_CALL
+
+    def test_return_pop(self):
+        c = classify("""
+main:
+    bl f
+    bkpt
+f:  push {r4, lr}
+    pop {r4, pc}
+""")
+        assert classes_of(c)["pop {r4, pc}"] is BranchClass.RETURN_POP
+
+    def test_ldr_pc(self):
+        c = classify("""
+main:
+    ldr r2, =t
+    ldr pc, [r2]
+a:  bkpt
+.rodata
+t:  .word a
+""")
+        assert classes_of(c)["ldr pc, [r2]"] is BranchClass.INDIRECT_LDR
+
+    def test_leaf_return_untracked(self):
+        c = classify("""
+main:
+    bl f
+    bkpt
+f:  add r0, r0, #1
+    bx lr
+""")
+        assert classes_of(c)["bx lr"] is BranchClass.LEAF_RETURN
+
+    def test_bx_lr_in_caller_function_is_tracked(self):
+        # the function calls out, so LR is clobbered: not predictable
+        c = classify("""
+main:
+    bl f
+    bkpt
+f:  push {lr}
+    bl g
+    pop {lr}
+    bx lr
+g:  bx lr
+""")
+        f_bx = c.flat.index_of("g") - 1  # the bx lr inside f
+        g_bx = c.flat.index_of("g")  # the leaf return in g
+        assert c.sites[f_bx].cls is BranchClass.INDIRECT_BX
+        assert c.sites[g_bx].cls is BranchClass.LEAF_RETURN
+
+    def test_bx_non_lr_register_tracked(self):
+        c = classify("""
+main:
+    adr r3, x
+    bx r3
+x:  bkpt
+""")
+        assert classes_of(c)["bx r3"] is BranchClass.INDIRECT_BX
+
+
+class TestLoops:
+    FIXED = """
+main:
+    mov r4, #0
+top:
+    nop
+    add r4, r4, #1
+    cmp r4, #8
+    blt top
+    bkpt
+"""
+
+    def test_fixed_loop_untracked(self):
+        c = classify(self.FIXED)
+        site = classes_of(c)["blt top"]
+        assert site is BranchClass.FIXED_LOOP_LATCH
+
+    def test_fixed_loop_trip_count(self):
+        c = classify(self.FIXED)
+        (latch,) = [s for s in c.sites.values()
+                    if s.cls is BranchClass.FIXED_LOOP_LATCH]
+        assert latch.trip_count == 8
+
+    def test_fixed_loops_disabled(self):
+        c = classify(self.FIXED, enable_fixed_loops=False)
+        site = classes_of(c)["blt top"]
+        assert site is BranchClass.LOOP_OPT_LATCH
+
+    def test_variable_simple_loop_gets_loop_opt(self):
+        c = classify("""
+main:
+    lsr r4, r0, #3
+top:
+    nop
+    sub r4, r4, #1
+    cmp r4, #0
+    bgt top
+    bkpt
+""")
+        assert classes_of(c)["bgt top"] is BranchClass.LOOP_OPT_LATCH
+
+    def test_loop_opt_disabled_falls_back_to_trampoline(self):
+        c = classify("""
+main:
+    lsr r4, r0, #3
+top:
+    nop
+    sub r4, r4, #1
+    cmp r4, #0
+    bgt top
+    bkpt
+""", enable_loop_opt=False)
+        assert classes_of(c)["bgt top"] is BranchClass.COND_BACKWARD_LATCH
+
+    def test_loop_opt_demoted_when_header_is_branch_target(self):
+        # a direct jump into the loop header bypasses the would-be svc
+        c = classify("""
+main:
+    lsr r4, r0, #3
+    b top
+dead:
+    nop
+top:
+    nop
+    sub r4, r4, #1
+    cmp r4, #0
+    bgt top
+    bkpt
+""")
+        assert classes_of(c)["bgt top"] is BranchClass.COND_BACKWARD_LATCH
+
+    def test_non_simple_latch_trampolined(self):
+        c = classify("""
+main:
+    mov r4, #0
+    mov r5, #9
+top:
+    add r4, r4, #1
+    cmp r4, r5
+    blt top
+    bkpt
+""")
+        assert classes_of(c)["blt top"] is BranchClass.COND_BACKWARD_LATCH
+
+    def test_forward_exit_in_while_loop(self):
+        c = classify("""
+main:
+    mov r0, #5
+top:
+    cmp r0, #0
+    beq out
+    sub r0, r0, #1
+    b top
+out:
+    bkpt
+""")
+        kinds = classes_of(c)
+        assert kinds["beq out"] is BranchClass.COND_FORWARD_EXIT
+
+    def test_conditional_inside_loop_is_nonloop(self):
+        c = classify("""
+main:
+    mov r4, #0
+    mov r6, #9
+top:
+    cmp r5, #3
+    beq skip
+    add r5, r5, #1
+skip:
+    add r4, r4, #1
+    cmp r4, r6
+    blt top
+    bkpt
+""")
+        assert classes_of(c)["beq skip"] is BranchClass.COND_NONLOOP
+
+    def test_nonloop_if_else(self):
+        c = classify("""
+main:
+    cmp r0, #0
+    beq alt
+    mov r1, #1
+    b done
+alt:
+    mov r1, #2
+done:
+    bkpt
+""")
+        assert classes_of(c)["beq alt"] is BranchClass.COND_NONLOOP
+
+    def test_fixed_inner_allows_fixed_outer(self):
+        # innermost-out analysis: a fixed inner loop does not stop the
+        # outer loop from being statically deterministic
+        c = classify("""
+main:
+    mov r4, #0
+outer:
+    mov r5, #0
+inner:
+    nop
+    add r5, r5, #1
+    cmp r5, #3
+    blt inner
+    add r4, r4, #1
+    cmp r4, #4
+    blt outer
+    bkpt
+""")
+        kinds = classes_of(c)
+        assert kinds["blt inner"] is BranchClass.FIXED_LOOP_LATCH
+        assert kinds["blt outer"] is BranchClass.FIXED_LOOP_LATCH
+
+    def test_direct_branches_deterministic(self):
+        c = classify("""
+main:
+    b skip
+dead:
+    nop
+skip:
+    bl f
+    bkpt
+f:  bx lr
+""")
+        kinds = classes_of(c)
+        assert kinds["b skip"] is BranchClass.DETERMINISTIC
+        assert kinds["bl f"] is BranchClass.DETERMINISTIC
+
+
+class TestSilentCycles:
+    def test_uncond_latch_in_mixed_loop(self):
+        # iterations through the digit path would be invisible without
+        # the UNCOND_LATCH trampoline
+        c = classify("""
+main:
+    mov r5, #0
+top:
+    ldr r0, [r6]
+    cmp r0, #0
+    beq out
+    cmp r0, #10
+    blt top
+    add r5, r5, #1
+    b top
+out:
+    bkpt
+""")
+        kinds = classes_of(c)
+        assert kinds["b top"] is BranchClass.UNCOND_LATCH
+
+    def test_recursion_logs_the_call(self):
+        c = classify("""
+main:
+    mov r0, #5
+    bl fib
+    bkpt
+fib:
+    push {r4, lr}
+    cmp r0, #2
+    blt base
+    sub r0, r0, #1
+    bl fib
+base:
+    pop {r4, pc}
+""")
+        kinds = classes_of(c)
+        # the recursive call is logged; the outer call from main is not
+        sites = [(idx, s) for idx, s in c.sites.items()
+                 if s.cls is BranchClass.LOGGED_CALL]
+        assert len(sites) == 1
+        assert kinds["bl fib"] is not None  # both exist; check index below
+        (logged_idx, _), = sites
+        assert logged_idx > c.flat.index_of("fib")
+
+    def test_mutual_recursion_broken(self):
+        c = classify("""
+main:
+    mov r0, #6
+    bl even
+    bkpt
+even:
+    push {r4, lr}
+    cmp r0, #0
+    beq even_yes
+    sub r0, r0, #1
+    bl odd
+even_yes:
+    pop {r4, pc}
+odd:
+    push {r4, lr}
+    cmp r0, #0
+    beq odd_no
+    sub r0, r0, #1
+    bl even
+odd_no:
+    pop {r4, pc}
+""")
+        logged = [s for s in c.sites.values()
+                  if s.cls is BranchClass.LOGGED_CALL]
+        assert len(logged) >= 1  # at least one edge of the cycle is cut
+
+    def test_logged_loop_needs_no_extra_trampoline(self):
+        # the conditional latch logs each iteration already
+        c = classify("""
+main:
+    mov r4, #0
+    mov r5, #9
+top:
+    add r4, r4, #1
+    cmp r4, r5
+    blt top
+    bkpt
+""")
+        assert not [s for s in c.sites.values()
+                    if s.cls is BranchClass.UNCOND_LATCH]
+
+    def test_forward_exit_loop_needs_no_extra_trampoline(self):
+        c = classify("""
+main:
+    mov r0, #5
+top:
+    cmp r0, #0
+    beq out
+    sub r0, r0, #1
+    b top
+out:
+    bkpt
+""")
+        assert not [s for s in c.sites.values()
+                    if s.cls is BranchClass.UNCOND_LATCH]
+
+    def test_call_to_tracked_returner_breaks_silence(self):
+        # f returns via pop{pc} (logged), so the loop around the call
+        # is evidenced per iteration and needs no extra trampoline
+        c = classify("""
+main:
+    mov r5, #0
+top:
+    bl f
+    cmp r0, #0
+    beq top
+    bkpt
+f:  push {r4, lr}
+    pop {r4, pc}
+""")
+        assert not [s for s in c.sites.values()
+                    if s.cls is BranchClass.UNCOND_LATCH]
+
+    def test_loop_around_leaf_call_is_silent(self):
+        # f is a leaf (bx lr, untracked): the loop must be broken
+        c = classify("""
+main:
+    mov r5, #0
+top:
+    bl f
+    b top
+f:  bx lr
+""")
+        kinds = classes_of(c)
+        assert kinds["b top"] is BranchClass.UNCOND_LATCH
+
+
+class TestClassificationSets:
+    def test_tracked_sites_listing(self):
+        c = classify("""
+main:
+    adr r3, f
+    blx r3
+    bkpt
+f:  bx lr
+""")
+        tracked = c.tracked_sites()
+        assert len(tracked) == 1
+        assert tracked[0].cls is BranchClass.INDIRECT_CALL
+
+    def test_function_entries_include_entry_and_targets(self):
+        c = classify("""
+main:
+    bl f
+    bkpt
+f:  bx lr
+""")
+        assert {"main", "f"} <= c.function_entry_labels
+
+    def test_address_taken_propagates(self):
+        c = classify("""
+main:
+    adr r0, h
+    bkpt
+h:  bx lr
+""")
+        assert "h" in c.address_taken

@@ -1,0 +1,348 @@
+"""Unit tests: CPU execution semantics and cycle accounting."""
+
+import pytest
+
+from repro.asm.assembler import assemble_and_link
+from repro.machine.faults import (
+    ExecutionLimitExceeded,
+    MemFault,
+    UndefinedInstruction,
+)
+from repro.machine.mcu import MCU
+from repro.machine.memmap import NS_RAM_BASE, STACK_TOP
+from conftest import run_source
+
+
+def run(source, **kw):
+    return run_source(".entry main\nmain:\n" + source + "\n    bkpt\n", **kw)
+
+
+class TestDataProcessing:
+    def test_mov_imm_and_reg(self):
+        mcu = run("    mov r0, #42\n    mov r1, r0")
+        assert mcu.cpu.regs[0] == 42 and mcu.cpu.regs[1] == 42
+
+    def test_mvn(self):
+        mcu = run("    mov r0, #0\n    mvn r1, r0")
+        assert mcu.cpu.regs[1] == 0xFFFFFFFF
+
+    def test_mov32_large(self):
+        mcu = run("    mov32 r0, #0xDEADBEEF")
+        assert mcu.cpu.regs[0] == 0xDEADBEEF
+
+    def test_arith(self):
+        mcu = run("""
+    mov r0, #7
+    mov r1, #3
+    add r2, r0, r1
+    sub r3, r0, r1
+    mul r4, r0, r1
+    udiv r5, r0, r1
+    rsb r6, r1, #10
+""")
+        regs = mcu.cpu.regs
+        assert regs[2:7] == [10, 4, 21, 2, 7]
+
+    def test_sdiv_negative(self):
+        mcu = run("""
+    mov r0, #0
+    sub r0, r0, #7
+    mov r1, #2
+    sdiv r2, r0, r1
+""")
+        assert mcu.cpu.regs[2] == 0xFFFFFFFD  # -3
+
+    def test_logic_and_shifts(self):
+        mcu = run("""
+    mov r0, #0b1100
+    mov r1, #0b1010
+    and r2, r0, r1
+    orr r3, r0, r1
+    eor r4, r0, r1
+    lsl r5, r0, #2
+    lsr r6, r0, #2
+    mov r7, #0
+    sub r7, r7, #8
+    asr r7, r7, #1
+""")
+        regs = mcu.cpu.regs
+        assert regs[2:7] == [0b1000, 0b1110, 0b0110, 0b110000, 0b11]
+        assert regs[7] == 0xFFFFFFFC  # -4
+
+    def test_flags_drive_conditions(self):
+        mcu = run("""
+    mov r0, #5
+    cmp r0, #5
+    beq was_eq
+    mov r1, #0
+    b done
+was_eq:
+    mov r1, #1
+done:
+""")
+        assert mcu.cpu.regs[1] == 1
+
+    def test_cmn_and_tst(self):
+        mcu = run("""
+    mov r0, #0
+    sub r0, r0, #5
+    cmn r0, #5
+    beq zero_sum
+    mov r1, #0
+    b next
+zero_sum:
+    mov r1, #1
+next:
+    mov r2, #0b100
+    tst r2, #0b100
+    bne bit_set
+    mov r3, #0
+    b done
+bit_set:
+    mov r3, #1
+done:
+""")
+        assert mcu.cpu.regs[1] == 1 and mcu.cpu.regs[3] == 1
+
+
+class TestMemoryOps:
+    def test_str_ldr_roundtrip(self):
+        mcu = run("""
+    ldr r0, =scratch
+    mov r1, #99
+    str r1, [r0]
+    ldr r2, [r0]
+""" + "\n.data\nscratch: .space 4\n.text")
+        assert mcu.cpu.regs[2] == 99
+
+    def test_byte_ops(self):
+        mcu = run("""
+    ldr r0, =scratch
+    mov32 r1, #0x1FF
+    strb r1, [r0]
+    ldrb r2, [r0]
+""" + "\n.data\nscratch: .space 4\n.text")
+        assert mcu.cpu.regs[2] == 0xFF  # truncated to a byte
+
+    def test_scaled_index_addressing(self):
+        mcu = run("""
+    ldr r0, =table
+    mov r1, #2
+    ldr r2, [r0, r1, lsl #2]
+""" + "\n.rodata\ntable: .word 10, 20, 30, 40\n.text")
+        assert mcu.cpu.regs[2] == 30
+
+    def test_offset_addressing(self):
+        mcu = run("""
+    ldr r0, =table
+    ldr r1, [r0, #4]
+""" + "\n.rodata\ntable: .word 7, 8\n.text")
+        assert mcu.cpu.regs[1] == 8
+
+    def test_push_pop_order(self):
+        mcu = run("""
+    mov r4, #44
+    mov r5, #55
+    push {r4, r5}
+    mov r4, #0
+    mov r5, #0
+    pop {r4, r5}
+""")
+        assert mcu.cpu.regs[4] == 44 and mcu.cpu.regs[5] == 55
+
+    def test_push_lowest_reg_at_lowest_address(self):
+        mcu = run("""
+    mov r4, #1
+    mov r5, #2
+    push {r4, r5}
+""")
+        sp = mcu.cpu.regs[13]
+        assert mcu.memory.peek(sp) == 1
+        assert mcu.memory.peek(sp + 4) == 2
+
+    def test_sp_starts_at_stack_top(self):
+        image = assemble_and_link(".entry m\nm: bkpt\n")
+        mcu = MCU(image)
+        assert mcu.cpu.regs[13] == STACK_TOP
+
+    def test_unaligned_word_access_faults(self):
+        with pytest.raises(MemFault):
+            run(f"""
+    mov32 r0, #{NS_RAM_BASE + 1}
+    ldr r1, [r0]
+""")
+
+
+class TestControlFlow:
+    def test_call_and_leaf_return(self):
+        mcu = run("""
+    mov r0, #5
+    bl double
+    b end
+double:
+    add r0, r0, r0
+    bx lr
+end:
+""")
+        assert mcu.cpu.regs[0] == 10
+
+    def test_nested_calls_pop_pc(self):
+        mcu = run("""
+    bl outer
+    b end
+outer:
+    push {lr}
+    bl inner
+    add r0, r0, #1
+    pop {pc}
+inner:
+    mov r0, #10
+    bx lr
+end:
+""")
+        assert mcu.cpu.regs[0] == 11
+
+    def test_indirect_call_blx(self):
+        mcu = run("""
+    adr r3, target
+    blx r3
+    b end
+target:
+    mov r0, #77
+    bx lr
+end:
+""")
+        assert mcu.cpu.regs[0] == 77
+
+    def test_ldr_pc_switch(self):
+        mcu = run("""
+    ldr r2, =table
+    mov r0, #1
+    ldr pc, [r2, r0, lsl #2]
+case0:
+    mov r1, #100
+    b end
+case1:
+    mov r1, #200
+    b end
+end:
+""" + "\n.rodata\ntable: .word case0, case1\n.text")
+        assert mcu.cpu.regs[1] == 200
+
+    def test_cbz_cbnz(self):
+        mcu = run("""
+    mov r0, #0
+    cbz r0, taken
+    mov r1, #0
+    b next
+taken:
+    mov r1, #1
+next:
+    mov r0, #5
+    cbnz r0, taken2
+    mov r2, #0
+    b end
+taken2:
+    mov r2, #1
+end:
+""")
+        assert mcu.cpu.regs[1] == 1 and mcu.cpu.regs[2] == 1
+
+    def test_backward_loop(self):
+        mcu = run("""
+    mov r0, #0
+    mov r1, #5
+loop:
+    add r0, r0, #1
+    sub r1, r1, #1
+    cmp r1, #0
+    bgt loop
+""")
+        assert mcu.cpu.regs[0] == 5
+
+    def test_return_to_reset_lr_exits(self):
+        image = assemble_and_link(".entry m\nm: mov r0, #9\n    bx lr\n")
+        mcu = MCU(image)
+        result = mcu.run()
+        assert result.exit_reason == "return"
+        assert mcu.cpu.regs[0] == 9
+
+    def test_bkpt_halts(self):
+        image = assemble_and_link(".entry m\nm: bkpt\n    mov r0, #1\n")
+        mcu = MCU(image)
+        result = mcu.run()
+        assert result.exit_reason == "bkpt"
+        assert mcu.cpu.regs[0] == 0  # never executed
+
+    def test_pc_read_ahead(self):
+        # reading pc as an operand yields instruction address + 4
+        image = assemble_and_link(".entry m\nm: mov r0, pc\n    bkpt\n")
+        mcu = MCU(image)
+        mcu.run()
+        assert mcu.cpu.regs[0] == image.entry + 4
+
+
+class TestCycleModel:
+    def test_taken_branch_costs_more(self):
+        taken = run_source(
+            ".entry m\nm: mov r0, #0\n    cmp r0, #0\n    beq t\n"
+            "    nop\nt:  bkpt\n")
+        not_taken = run_source(
+            ".entry m\nm: mov r0, #0\n    cmp r0, #1\n    beq t\n"
+            "    nop\nt:  bkpt\n")
+        # same instruction count modulo the skipped nop; taken pays refill
+        assert taken.cpu.cycles == not_taken.cpu.cycles  # nop(1) vs penalty(1)
+
+    def test_cycles_accumulate(self):
+        mcu = run("    mov r0, #1\n    mov r1, #2")
+        # 2 movs (1+1) + bkpt (1)
+        assert mcu.cpu.cycles == 3
+
+    def test_push_pop_cost_scales_with_registers(self):
+        one = run("    push {r4}\n    pop {r4}")
+        three = run("    push {r4, r5, r6}\n    pop {r4, r5, r6}")
+        assert three.cpu.cycles > one.cpu.cycles
+
+
+class TestFaults:
+    def test_fetch_from_data_region_faults(self):
+        with pytest.raises(MemFault):
+            run_source(".entry m\nm: mov32 r0, #0x20000000\n    bx r0\n")
+
+    def test_fetch_from_non_instruction_address(self):
+        # jump into the middle of a 4-byte instruction
+        with pytest.raises(UndefinedInstruction):
+            run_source(".entry m\nm: bl f\nf: adr r0, f\n    add r0, r0, #2\n    bx r0\n")
+
+    def test_svc_without_handler_faults(self):
+        with pytest.raises(UndefinedInstruction):
+            run_source(".entry m\nm: svc #1\n    bkpt\n")
+
+    def test_execution_limit(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run_source(".entry m\nm: b m\n", max_instructions=100)
+
+    def test_read_unmapped_faults(self):
+        with pytest.raises(MemFault):
+            run("    mov32 r0, #0x90000000\n    ldr r1, [r0]")
+
+    def test_ns_cannot_touch_secure_ram(self):
+        from repro.machine.memmap import S_RAM_BASE
+
+        with pytest.raises(MemFault):
+            run(f"    mov32 r0, #{S_RAM_BASE}\n    ldr r1, [r0]")
+
+    def test_mtb_sram_protected_from_ns(self):
+        from repro.machine.memmap import MTB_SRAM_BASE
+
+        with pytest.raises(MemFault):
+            run(f"    mov32 r0, #{MTB_SRAM_BASE}\n    mov r1, #1\n"
+                f"    str r1, [r0]")
+
+    def test_rodata_not_writable(self):
+        with pytest.raises(MemFault):
+            run("""
+    ldr r0, =t
+    mov r1, #1
+    str r1, [r0]
+""" + "\n.rodata\nt: .word 0\n.text")

@@ -1,0 +1,213 @@
+"""Edge cases across the stack: guards, degenerate programs, limits."""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.asm.assembler import assemble_and_link
+from repro.cfa.engine import EngineConfig
+from repro.cfa.verifier import Verifier
+from repro.core.pipeline import RapTrackConfig, transform
+from repro.machine.faults import MachineFault
+from repro.machine.mcu import MCU
+from conftest import naive_setup, rap_setup, traces_setup
+
+
+class TestDegeneratePrograms:
+    def test_empty_main(self, keystore):
+        image, _, _, engine, verifier, _ = rap_setup(
+            ".entry main\nmain: bkpt\n", keystore=keystore)
+        result = engine.attest(b"c")
+        assert len(result.cflog) == 0
+        assert verifier.verify(result, b"c").ok
+
+    def test_branch_to_next_instruction(self, keystore):
+        # b to the fall-through address retires sequentially everywhere
+        source = """
+.entry main
+main:
+    b next
+next:
+    bkpt
+"""
+        for setup in (rap_setup, traces_setup, naive_setup):
+            _, _, _, engine, verifier, _ = setup(source, keystore=keystore)
+            result = engine.attest(b"c")
+            assert verifier.verify(result, b"c").ok
+
+    def test_single_instruction_loop(self, keystore):
+        source = """
+.entry main
+main:
+    mov r4, #0
+top:
+    add r4, r4, #1
+    cmp r4, #3
+    blt top
+    bkpt
+"""
+        image, _, mcu, engine, verifier, _ = rap_setup(
+            source, keystore=keystore)
+        result = engine.attest(b"c")
+        assert verifier.verify(result, b"c").ok
+        assert mcu.cpu.regs[4] == 3
+
+    def test_zero_trip_simple_loop_shape(self, keystore):
+        # a loop whose counter starts past the bound still runs once
+        # (do-while shape) and must replay exactly
+        source = """
+.entry main
+main:
+    mov r4, #9
+top:
+    add r5, r5, #1
+    add r4, r4, #1
+    cmp r4, #5
+    blt top
+    bkpt
+"""
+        image, _, mcu, engine, verifier, _ = rap_setup(
+            source, keystore=keystore)
+        result = engine.attest(b"c")
+        assert verifier.verify(result, b"c").ok
+        assert mcu.cpu.regs[5] == 1
+
+    def test_deep_call_chain(self, keystore):
+        parts = [".entry main", "main:", "    push {lr}", "    bl f0",
+                 "    pop {pc}"]
+        for i in range(12):
+            parts += [f"f{i}:", "    push {lr}", f"    bl f{i + 1}",
+                      "    pop {pc}"]
+        parts += ["f12:", "    mov r0, #42", "    bx lr"]
+        image, _, mcu, engine, verifier, _ = rap_setup(
+            "\n".join(parts), keystore=keystore)
+        result = engine.attest(b"c")
+        assert verifier.verify(result, b"c").ok
+        assert mcu.cpu.regs[0] == 42
+
+
+class TestGuards:
+    def test_verifier_step_guard(self, keystore):
+        image, bound, _, engine, _, _ = rap_setup(
+            ".entry main\nmain:\n    mov r4, #0\ntop:\n    add r4, r4, #1\n"
+            "    cmp r4, #200\n    blt top\n    bkpt\n", keystore=keystore)
+        result = engine.attest(b"c")
+        tight = Verifier(image, bound, keystore.attestation_key,
+                         max_steps=10)
+        outcome = tight.verify(result, b"c")
+        assert not outcome.lossless
+        assert "step guard" in outcome.error
+
+    def test_naive_wrap_without_watermark_is_detected(self, keystore):
+        # force a wrap: buffer smaller than the log, watermark disabled
+        source = """
+.entry main
+main:
+    mov r4, #0
+    mov r5, #40
+top:
+    add r4, r4, #1
+    cmp r4, r5
+    blt top
+    bkpt
+"""
+        from repro.trace.mtb import PACKET_BYTES
+
+        config = EngineConfig(mtb_buffer_size=4 * PACKET_BYTES,
+                              watermark=1 << 20)  # watermark never hit
+        _, _, _, engine, _, _ = naive_setup(source, engine_config=config,
+                                            keystore=keystore)
+        with pytest.raises(RuntimeError, match="wrapped"):
+            engine.attest(b"c")
+
+    def test_exception_return_without_exception_faults(self):
+        image = assemble_and_link(
+            ".entry main\nmain:\n    mov32 r0, #0xFFFFFFF1\n    bx r0\n")
+        mcu = MCU(image)
+        with pytest.raises(MachineFault):
+            mcu.run()
+
+
+class TestConfigSurface:
+    def test_rap_config_to_rewriter(self):
+        config = RapTrackConfig(nop_padding=False, share_pop_stub=False)
+        rewriter = config.rewriter()
+        assert not rewriter.nop_padding
+        assert not rewriter.share_pop_stub
+
+    def test_all_options_off_still_lossless(self, keystore):
+        source = """
+.entry main
+main:
+    push {r4, lr}
+    mov r4, #0
+top:
+    add r4, r4, #1
+    cmp r4, #6
+    blt top
+    pop {r4, pc}
+"""
+        config = RapTrackConfig(nop_padding=False, loop_opt=False,
+                                fixed_loops=False, share_pop_stub=False)
+        engine_config = EngineConfig(activation_latency=0)
+        image, _, _, engine, verifier, tracer = rap_setup(
+            source, rap_config=config, engine_config=engine_config,
+            keystore=keystore)
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        assert outcome.ok
+        # with fixed loops off, every latch iteration is logged
+        assert len(result.cflog) >= 5
+
+    def test_watermark_default_is_buffer_size(self, keystore):
+        _, _, _, engine, _, _ = rap_setup(
+            ".entry main\nmain: bkpt\n", keystore=keystore)
+        engine.attest(b"c")
+        assert engine.mtb.watermark == engine.config.mtb_buffer_size
+
+
+class TestVulnerableAcrossMethods:
+    @pytest.mark.parametrize("setup", [naive_setup, traces_setup])
+    def test_benign_clean_everywhere(self, setup, keystore):
+        from repro.workloads import vulnerable
+
+        workload = vulnerable.make()
+        image, _, mcu, engine, verifier, _ = setup(workload,
+                                                   keystore=keystore)
+        mcu.mmio.device("uart").set_feed(vulnerable.benign_feed())
+        result = engine.attest(b"c")
+        assert verifier.verify(result, b"c").ok
+        assert mcu.mmio.device("gpio").latches[0] == vulnerable.STATUS_NORMAL
+
+    def test_attack_visible_to_naive_verifier(self, keystore):
+        from repro.workloads import vulnerable
+
+        workload = vulnerable.make()
+        image, _, mcu, engine, verifier, _ = naive_setup(
+            workload, keystore=keystore)
+        mcu.mmio.device("uart").set_feed(vulnerable.attack_feed(image))
+        result = engine.attest(b"c")
+        outcome = verifier.verify(result, b"c")
+        assert outcome.authenticated and outcome.lossless
+        assert any(v.kind == "rop-return" for v in outcome.violations)
+
+
+class TestLinkLayouts:
+    def test_custom_layout(self):
+        module = assemble(".entry m\nm: bkpt\n")
+        image = link(module, layout={"text": 0x0024_0000})
+        assert image.entry == 0x0024_0000
+
+    def test_rewritten_image_is_relinkable(self, keystore):
+        source = """
+.entry main
+main:
+    cmp r0, #0
+    beq out
+    nop
+out:
+    bkpt
+"""
+        result = transform(assemble(source))
+        one = link(result.module)
+        two = link(result.module)
+        assert one.code_bytes() == two.code_bytes()

@@ -1,0 +1,79 @@
+"""Integration: full attestation + lossless verification, every
+workload under every method, with ground-truth path equality."""
+
+import pytest
+
+from repro.cfa.engine import EngineConfig
+from repro.workloads import WORKLOADS, load_workload
+from conftest import (
+    assert_lossless,
+    naive_setup,
+    rap_setup,
+    text_path,
+    traces_setup,
+)
+
+ALL = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_rap_track_lossless(name, keystore):
+    workload = load_workload(name)
+    image, _, _, engine, verifier, tracer = rap_setup(
+        workload, keystore=keystore)
+    assert_lossless(image, engine, verifier, tracer)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_traces_lossless(name, keystore):
+    workload = load_workload(name)
+    image, _, _, engine, verifier, tracer = traces_setup(
+        workload, keystore=keystore)
+    assert_lossless(image, engine, verifier, tracer)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_naive_lossless(name, keystore):
+    workload = load_workload(name)
+    image, _, _, engine, verifier, tracer = naive_setup(
+        workload, keystore=keystore)
+    result = engine.attest(b"test-ch")
+    outcome = verifier.verify(result, b"test-ch")
+    assert outcome.ok, outcome.error
+    assert outcome.path == text_path(image, tracer)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_paper_shape_holds_per_workload(name, keystore):
+    """The headline comparison of figure 8/9 on every workload:
+    RAP-Track is never slower than TRACES and the naive MTB log is
+    never smaller than RAP-Track's."""
+    workload = load_workload(name)
+    _, _, _, rap_engine, _, _ = rap_setup(workload, keystore=keystore)
+    rap = rap_engine.attest(b"c")
+    workload = load_workload(name)
+    _, _, _, traces_engine, _, _ = traces_setup(workload, keystore=keystore)
+    traces = traces_engine.attest(b"c")
+    workload = load_workload(name)
+    _, _, _, naive_engine, _, _ = naive_setup(workload, keystore=keystore)
+    naive = naive_engine.attest(b"c")
+
+    assert rap.cycles <= traces.cycles
+    assert rap.cflog_bytes <= naive.cflog_bytes
+    # both optimized methods log the same *events*
+    assert len(rap.cflog) == len(traces.cflog)
+
+
+def test_quickstart_api():
+    from repro import attest_rap_track
+
+    outcome = attest_rap_track("temperature")
+    assert outcome.verification.ok
+    assert outcome.result.final_report.final
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

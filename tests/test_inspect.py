@@ -1,0 +1,104 @@
+"""Tests for the analysis-inspection tooling (dot export, report)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cli import main
+from repro.core.classify import classify_module
+from repro.core.inspect import analysis_report, cfg_to_dot
+
+SAMPLE = """
+.entry main
+main:
+    push {r4, lr}
+    mov r4, #0
+top:
+    add r4, r4, #1
+    cmp r4, #5
+    blt top
+    adr r2, helper
+    blx r2
+    pop {r4, pc}
+helper:
+    bx lr
+"""
+
+
+@pytest.fixture(scope="module")
+def classification():
+    return classify_module(assemble(SAMPLE))
+
+
+class TestDotExport:
+    def test_valid_digraph_structure(self, classification):
+        dot = cfg_to_dot(classification, title="sample")
+        assert dot.startswith('digraph "sample" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= 3
+
+    def test_blocks_carry_instructions(self, classification):
+        dot = cfg_to_dot(classification)
+        assert "blt top" in dot
+        assert "blx r2" in dot
+        assert "main:" in dot
+
+    def test_classes_colour_coded(self, classification):
+        dot = cfg_to_dot(classification)
+        assert "palegreen" in dot  # fixed loop latch
+        assert "salmon" in dot  # indirect call / return
+
+    def test_every_block_is_a_node(self, classification):
+        dot = cfg_to_dot(classification)
+        for block in classification.cfg.blocks:
+            assert f"b{block.bid} [" in dot
+
+
+class TestReport:
+    def test_report_sections(self, classification):
+        report = analysis_report(classification)
+        assert "offline analysis report" in report
+        assert "FIXED_LOOP_LATCH" in report
+        assert "INDIRECT_CALL" in report
+        assert "trip count 5" in report
+
+    def test_tracked_ratio_line(self, classification):
+        report = analysis_report(classification)
+        assert "tracked (trampolined) sites:" in report
+
+    def test_address_taken_listed(self, classification):
+        assert "helper" in analysis_report(classification)
+
+
+class TestAnalyzeCli:
+    def test_report_output(self, capsys):
+        assert main(["analyze", "syringe"]) == 0
+        out = capsys.readouterr().out
+        assert "LOOP_OPT_LATCH" in out
+        assert "INDIRECT_LDR" in out
+
+    def test_dot_output(self, capsys):
+        assert main(["analyze", "fibcall", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "fibcall"')
+
+
+class TestPolicyExcludesEquates:
+    def test_equate_values_are_not_legal_targets(self):
+        from repro.asm import link
+        from repro.core.pipeline import transform
+
+        source = """
+.entry main
+.equ MAGIC, 0x40000500
+main:
+    ldr r0, =MAGIC
+    adr r1, f
+    blx r1
+    bkpt
+f:  bx lr
+"""
+        result = transform(assemble(source))
+        image = link(result.module)
+        bound = result.rmap.bind(image)
+        assert 0x40000500 not in bound.address_taken_addrs
+        assert image.addr_of("f") in bound.address_taken_addrs

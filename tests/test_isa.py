@@ -1,0 +1,277 @@
+"""Unit tests: registers, ALU flag semantics, conditions, encoding."""
+
+import pytest
+
+from repro.isa import alu
+from repro.isa.conditions import cond_passed, invert_cond, normalise_cond
+from repro.isa.encoding import encode_instr, encode_program_bytes
+from repro.isa.instructions import (
+    MNEMONICS,
+    Instr,
+    InstrKind,
+    make_instr,
+)
+from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+from repro.isa.registers import LR, PC, SP, Flags, parse_reg, reg_name
+
+
+class TestRegisters:
+    def test_parse_named_aliases(self):
+        assert parse_reg("sp") == SP == 13
+        assert parse_reg("lr") == LR == 14
+        assert parse_reg("pc") == PC == 15
+        assert parse_reg("fp") == 11
+        assert parse_reg("ip") == 12
+
+    def test_parse_numeric(self):
+        for n in range(16):
+            assert parse_reg(f"r{n}") == n
+
+    def test_parse_case_insensitive(self):
+        assert parse_reg("R7") == 7
+        assert parse_reg("LR") == 14
+
+    @pytest.mark.parametrize("bad", ["r16", "x0", "", "r-1", "reg"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+    def test_reg_name_roundtrip(self):
+        for n in range(16):
+            assert parse_reg(reg_name(n)) == n
+
+    def test_flags_str(self):
+        assert str(Flags(True, False, True, False)) == "NzCv"
+
+    def test_flags_copy_independent(self):
+        f = Flags(z=True)
+        g = f.copy()
+        g.z = False
+        assert f.z
+
+
+class TestAlu:
+    def test_add_no_flags_set(self):
+        result, n, z, c, v = alu.add_with_flags(1, 2)
+        assert (result, n, z, c, v) == (3, False, False, False, False)
+
+    def test_add_carry_out(self):
+        result, n, z, c, v = alu.add_with_flags(0xFFFFFFFF, 1)
+        assert result == 0 and z and c and not v
+
+    def test_add_signed_overflow(self):
+        result, n, z, c, v = alu.add_with_flags(0x7FFFFFFF, 1)
+        assert result == 0x80000000 and n and v and not c
+
+    def test_sub_borrow_semantics(self):
+        # ARM carry means "no borrow"
+        _, _, _, c, _ = alu.sub_with_flags(5, 3)
+        assert c
+        _, _, _, c, _ = alu.sub_with_flags(3, 5)
+        assert not c
+
+    def test_sub_equal_sets_zero_and_carry(self):
+        result, n, z, c, v = alu.sub_with_flags(42, 42)
+        assert result == 0 and z and c and not n and not v
+
+    def test_sub_signed_overflow(self):
+        _, _, _, _, v = alu.sub_with_flags(0x80000000, 1)
+        assert v
+
+    def test_s32_u32(self):
+        assert alu.s32(0xFFFFFFFF) == -1
+        assert alu.s32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert alu.u32(-1) == 0xFFFFFFFF
+
+    def test_lsl_carry(self):
+        result, carry = alu.lsl(0x80000001, 1, False)
+        assert result == 2 and carry
+
+    def test_lsl_zero_amount_keeps_carry(self):
+        result, carry = alu.lsl(5, 0, True)
+        assert result == 5 and carry
+
+    def test_lsl_over_32(self):
+        assert alu.lsl(0xFFFFFFFF, 33, True) == (0, False)
+
+    def test_lsr_carry(self):
+        result, carry = alu.lsr(0b11, 1, False)
+        assert result == 1 and carry
+
+    def test_asr_sign_extends(self):
+        result, _ = alu.asr(0x80000000, 4, False)
+        assert result == 0xF8000000
+
+    def test_asr_saturates_at_32(self):
+        result, _ = alu.asr(0x80000000, 40, False)
+        assert result == 0xFFFFFFFF
+
+    def test_udiv_basic_and_by_zero(self):
+        assert alu.udiv(10, 3) == 3
+        assert alu.udiv(10, 0) == 0  # ARM semantics
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert alu.s32(alu.sdiv(alu.u32(-7), 2)) == -3
+        assert alu.s32(alu.sdiv(7, alu.u32(-2))) == -3
+        assert alu.sdiv(5, 0) == 0
+
+
+class TestConditions:
+    def test_eq_ne(self):
+        assert cond_passed("eq", Flags(z=True))
+        assert not cond_passed("eq", Flags(z=False))
+        assert cond_passed("ne", Flags(z=False))
+
+    def test_unsigned_comparisons(self):
+        # 5 - 3: c=1 -> hs/cs passes, lo/cc fails
+        _, n, z, c, v = alu.sub_with_flags(5, 3)
+        flags = Flags(n, z, c, v)
+        assert cond_passed("cs", flags)
+        assert cond_passed("hi", flags)
+        assert not cond_passed("cc", flags)
+        assert not cond_passed("ls", flags)
+
+    def test_signed_comparisons(self):
+        _, n, z, c, v = alu.sub_with_flags(alu.u32(-1), 1)  # -1 < 1
+        flags = Flags(n, z, c, v)
+        assert cond_passed("lt", flags)
+        assert cond_passed("le", flags)
+        assert not cond_passed("ge", flags)
+        assert not cond_passed("gt", flags)
+
+    def test_mi_pl_vs_vc(self):
+        assert cond_passed("mi", Flags(n=True))
+        assert cond_passed("pl", Flags(n=False))
+        assert cond_passed("vs", Flags(v=True))
+        assert cond_passed("vc", Flags(v=False))
+
+    def test_aliases(self):
+        assert normalise_cond("hs") == "cs"
+        assert normalise_cond("lo") == "cc"
+
+    def test_invert_involution(self):
+        for cond in ("eq", "ne", "lt", "ge", "hi", "ls", "mi", "pl"):
+            assert invert_cond(invert_cond(cond)) == cond
+
+    def test_invert_is_complement(self):
+        import itertools
+
+        for cond in ("eq", "cs", "mi", "vs", "hi", "ge", "gt"):
+            inverse = invert_cond(cond)
+            for bits in itertools.product([False, True], repeat=4):
+                flags = Flags(*bits)
+                assert cond_passed(cond, flags) != cond_passed(inverse, flags)
+
+    def test_unknown_condition(self):
+        with pytest.raises(ValueError):
+            normalise_cond("xx")
+
+
+class TestInstr:
+    def test_make_instr_validates_mnemonic(self):
+        with pytest.raises(ValueError):
+            make_instr("frobnicate")
+
+    def test_make_instr_validates_arity(self):
+        with pytest.raises(ValueError):
+            make_instr("mov", Reg(0))
+
+    def test_writes_pc_pop(self):
+        assert make_instr("pop", RegList((4, PC))).writes_pc()
+        assert not make_instr("pop", RegList((4, 5))).writes_pc()
+
+    def test_writes_pc_ldr(self):
+        mem = Mem(Reg(1))
+        assert make_instr("ldr", Reg(PC), mem).writes_pc()
+        assert not make_instr("ldr", Reg(0), mem).writes_pc()
+
+    def test_writes_pc_branches(self):
+        assert make_instr("b", Label("x")).writes_pc()
+        assert make_instr("bl", Label("x")).writes_pc()
+        assert make_instr("blx", Reg(3)).writes_pc()
+        assert make_instr("bx", Reg(LR)).writes_pc()
+        assert make_instr("cbz", Reg(0), Label("x")).writes_pc()
+        assert not make_instr("add", Reg(0), Reg(0), Imm(1)).writes_pc()
+
+    def test_direct_target(self):
+        assert make_instr("b", Label("t")).direct_target() == Label("t")
+        assert make_instr("bl", Label("t")).direct_target() == Label("t")
+        assert make_instr("cbnz", Reg(0), Label("t")).direct_target() == Label("t")
+        assert make_instr("bx", Reg(0)).direct_target() is None
+
+    def test_is_conditional(self):
+        assert make_instr("b", Label("t"), cond="eq").is_conditional()
+        assert make_instr("cbz", Reg(0), Label("t")).is_conditional()
+        assert not make_instr("b", Label("t")).is_conditional()
+
+    def test_meta_does_not_affect_equality(self):
+        a = make_instr("nop")
+        b = make_instr("nop").with_meta(origin="x")
+        assert a == b
+        assert b.get_meta("origin") == "x"
+        assert b.get_meta("missing", 7) == 7
+
+    def test_sizes_are_thumb_proportioned(self):
+        assert make_instr("nop").size == 2
+        assert make_instr("bl", Label("x")).size == 4
+        for spec in MNEMONICS.values():
+            assert spec.size in (2, 4)
+
+    def test_str_form(self):
+        instr = make_instr("add", Reg(0), Reg(1), Imm(2))
+        assert str(instr) == "add r0, r1, #2"
+        assert str(make_instr("b", Label("loop"), cond="ne")) == "bne loop"
+
+
+class TestEncoding:
+    def test_deterministic(self):
+        instr = make_instr("add", Reg(0), Reg(1), Imm(2))
+        assert encode_instr(instr) == encode_instr(instr)
+
+    def test_length_matches_size(self):
+        for mnemonic, ops in [("nop", ()), ("bl", (Label("x"),)),
+                              ("mov", (Reg(0), Imm(1)))]:
+            instr = make_instr(mnemonic, *ops)
+            assert len(encode_instr(instr)) == instr.size
+
+    def test_operand_sensitivity(self):
+        a = make_instr("mov", Reg(0), Imm(5))
+        b = make_instr("mov", Reg(0), Imm(6))
+        assert encode_instr(a) != encode_instr(b)
+
+    def test_condition_sensitivity(self):
+        a = make_instr("b", Label("x"), cond="eq")
+        b = make_instr("b", Label("x"), cond="ne")
+        assert encode_instr(a) != encode_instr(b)
+
+    def test_label_resolution_sensitivity(self):
+        instr = make_instr("b", Label("x"))
+        one = encode_instr(instr, resolve=lambda name: 0x1000)
+        two = encode_instr(instr, resolve=lambda name: 0x2000)
+        assert one != two
+
+    def test_program_bytes_concatenates(self):
+        instrs = [make_instr("nop"), make_instr("bl", Label("x"))]
+        blob = encode_program_bytes(instrs, resolve=lambda n: 0)
+        assert len(blob) == 6
+
+
+class TestOperands:
+    def test_reglist_sorted_dedup(self):
+        assert RegList((5, 4, 5)).regs == (4, 5)
+
+    def test_reglist_without(self):
+        assert RegList((4, 15)).without(15).regs == (4,)
+
+    def test_reglist_contains(self):
+        assert 4 in RegList((4, 5))
+        assert 6 not in RegList((4, 5))
+
+    def test_mem_str_forms(self):
+        assert str(Mem(Reg(1))) == "[r1]"
+        assert str(Mem(Reg(1), offset=8)) == "[r1, #8]"
+        assert str(Mem(Reg(1), index=Reg(2))) == "[r1, r2]"
+        assert str(Mem(Reg(1), index=Reg(2), shift=2)) == "[r1, r2, lsl #2]"
+
+    def test_reglist_str(self):
+        assert str(RegList((4, 14))) == "{r4, lr}"

@@ -1,0 +1,99 @@
+"""Tests for the extended ALU/memory operations (adc/sbc/bic/ror, halfwords)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.isa import alu
+from conftest import run_source
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run(body, extra=""):
+    return run_source(".entry main\nmain:\n" + body + "\n    bkpt\n" + extra)
+
+
+class TestCarryChain:
+    def test_adc_propagates_carry(self):
+        # 64-bit add: 0xFFFFFFFF_00000001 + 0x00000000_FFFFFFFF
+        mcu = run("""
+    mov32 r0, #0x00000001
+    mov32 r1, #0xFFFFFFFF
+    mov32 r2, #0xFFFFFFFF
+    mov r3, #0
+    add r4, r0, r2            ; low word (sets carry)
+    adc r5, r1, r3            ; high word + carry
+""")
+        assert mcu.cpu.regs[4] == 0x00000000
+        assert mcu.cpu.regs[5] == 0x00000000  # 0xFFFFFFFF + 0 + 1 wraps
+
+    def test_adc_without_carry(self):
+        mcu = run("""
+    mov r0, #1
+    add r1, r0, r0            ; no carry out
+    adc r2, r0, r0            ; 1 + 1 + 0
+""")
+        assert mcu.cpu.regs[2] == 2
+
+    def test_sbc_borrows(self):
+        # 64-bit subtract: (0x1_00000000) - 1 = 0x0_FFFFFFFF
+        mcu = run("""
+    mov r0, #0                ; low(a)
+    mov r1, #1                ; high(a)
+    mov r2, #1                ; low(b)
+    mov r3, #0                ; high(b)
+    sub r4, r0, r2            ; low diff (borrows: carry clear)
+    sbc r5, r1, r3            ; high diff - borrow
+""")
+        assert mcu.cpu.regs[4] == 0xFFFFFFFF
+        assert mcu.cpu.regs[5] == 0
+
+
+class TestBitOps:
+    def test_bic(self):
+        mcu = run("""
+    mov r0, #0b1111
+    mov r1, #0b0101
+    bic r2, r0, r1
+""")
+        assert mcu.cpu.regs[2] == 0b1010
+
+    def test_ror(self):
+        mcu = run("""
+    mov r0, #1
+    ror r1, r0, #1
+    mov32 r2, #0x80000001
+    ror r3, r2, #4
+""")
+        assert mcu.cpu.regs[1] == 0x80000000
+        assert mcu.cpu.regs[3] == 0x18000000
+
+    @given(u32, st.integers(min_value=0, max_value=64))
+    def test_ror_property(self, value, amount):
+        result, _ = alu.ror(value, amount, False)
+        k = amount % 32
+        expected = ((value >> k) | (value << (32 - k))) & 0xFFFFFFFF \
+            if k else value
+        assert result == expected
+
+
+class TestHalfwords:
+    def test_strh_ldrh_roundtrip(self):
+        mcu = run("""
+    ldr r0, =buf
+    mov32 r1, #0x12345678
+    strh r1, [r0]
+    ldrh r2, [r0]
+    ldr r3, [r0]
+""", extra="\n.data\nbuf: .word 0\n")
+        assert mcu.cpu.regs[2] == 0x5678  # truncated to 16 bits
+        assert mcu.cpu.regs[3] == 0x5678  # upper half untouched (was 0)
+
+    def test_ldrh_with_index(self):
+        mcu = run("""
+    ldr r0, =buf
+    mov r1, #2
+    ldrh r2, [r0, r1]
+""", extra="\n.data\nbuf: .word 0x9ABC1234\n")
+        assert mcu.cpu.regs[2] == 0x9ABC

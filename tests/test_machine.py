@@ -1,0 +1,193 @@
+"""Unit tests: memory map, MPU locking, MMIO bus, MCU lifecycle."""
+
+import pytest
+
+from repro.asm.assembler import assemble_and_link
+from repro.machine.faults import MemFault
+from repro.machine.mcu import MCU
+from repro.machine.memmap import (
+    MMIO_BASE,
+    MTB_SRAM_BASE,
+    NS_RAM_BASE,
+    NS_TEXT_BASE,
+    S_RAM_BASE,
+    MemoryMap,
+    World,
+)
+from repro.machine.memory import Memory
+from repro.machine.mmio import MMIOBus, MMIODevice
+
+
+class TestMemoryMap:
+    def setup_method(self):
+        self.mm = MemoryMap()
+
+    def test_region_lookup(self):
+        assert self.mm.region_at(NS_TEXT_BASE).name == "ns_text"
+        assert self.mm.region_at(NS_RAM_BASE).name == "ns_ram"
+        assert self.mm.region_at(0xDEAD0000) is None
+
+    def test_by_name(self):
+        assert self.mm.by_name("mtb_sram").base == MTB_SRAM_BASE
+        with pytest.raises(KeyError):
+            self.mm.by_name("nope")
+
+    def test_ns_read_of_secure_denied(self):
+        with pytest.raises(MemFault):
+            self.mm.check_access(S_RAM_BASE, world=World.NONSECURE,
+                                 is_write=False)
+
+    def test_secure_can_read_ns(self):
+        region = self.mm.check_access(NS_RAM_BASE, world=World.SECURE,
+                                      is_write=False)
+        assert region.name == "ns_ram"
+
+    def test_write_lock_round_trip(self):
+        self.mm.check_access(NS_TEXT_BASE, world=World.NONSECURE,
+                             is_write=True)  # unlocked flash is writable
+        self.mm.lock_region_writes("ns_text")
+        with pytest.raises(MemFault):
+            self.mm.check_access(NS_TEXT_BASE, world=World.NONSECURE,
+                                 is_write=True)
+        self.mm.unlock_region_writes("ns_text")
+        self.mm.check_access(NS_TEXT_BASE, world=World.NONSECURE,
+                             is_write=True)
+
+    def test_lock_blocks_secure_writes_too(self):
+        # the MPU lock protects the attested binary against everything
+        self.mm.lock_region_writes("ns_text")
+        with pytest.raises(MemFault):
+            self.mm.check_access(NS_TEXT_BASE, world=World.SECURE,
+                                 is_write=True)
+
+    def test_fetch_from_ram_denied(self):
+        with pytest.raises(MemFault):
+            self.mm.check_access(NS_RAM_BASE, world=World.NONSECURE,
+                                 is_write=False, is_fetch=True)
+
+    def test_rodata_never_writable(self):
+        from repro.machine.memmap import RODATA_BASE
+
+        with pytest.raises(MemFault):
+            self.mm.check_access(RODATA_BASE, world=World.SECURE,
+                                 is_write=True)
+
+
+class _Latch(MMIODevice):
+    WINDOW = 0x10
+
+    def __init__(self):
+        self.value = 0
+        self.reads = 0
+        self.ticks = 0
+
+    def read(self, offset, size):
+        self.reads += 1
+        return self.value
+
+    def write(self, offset, value, size):
+        self.value = value
+
+    def tick(self, cycles):
+        self.ticks += cycles
+
+
+class TestMMIOBus:
+    def setup_method(self):
+        self.bus = MMIOBus()
+        self.dev = self.bus.register(MMIO_BASE, _Latch(), "latch")
+
+    def test_read_write_dispatch(self):
+        self.bus.write(MMIO_BASE, 0x1234, 4)
+        assert self.bus.read(MMIO_BASE, 4) == 0x1234
+
+    def test_read_masks_to_size(self):
+        self.bus.write(MMIO_BASE, 0x1FF, 4)
+        assert self.bus.read(MMIO_BASE, 1) == 0xFF
+
+    def test_named_lookup(self):
+        assert self.bus.device("latch") is self.dev
+
+    def test_unmapped_address(self):
+        with pytest.raises(MemFault):
+            self.bus.read(MMIO_BASE + 0x1000, 4)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            self.bus.register(MMIO_BASE + 8, _Latch())
+
+    def test_tick_propagates(self):
+        self.bus.tick(7)
+        assert self.dev.ticks == 7
+
+
+class TestMemoryFrontend:
+    def setup_method(self):
+        self.memory = Memory()
+
+    def test_peek_poke_little_endian(self):
+        self.memory.poke(NS_RAM_BASE, 0x04030201, 4)
+        assert self.memory.peek(NS_RAM_BASE, 1) == 1
+        assert self.memory.peek(NS_RAM_BASE + 3, 1) == 4
+        assert self.memory.peek(NS_RAM_BASE, 4) == 0x04030201
+
+    def test_load_blob_dict_and_bytes(self):
+        self.memory.load_blob(0, {NS_RAM_BASE: 7})
+        assert self.memory.peek(NS_RAM_BASE, 1) == 7
+        self.memory.load_blob(NS_RAM_BASE + 8, b"\x01\x02")
+        assert self.memory.peek(NS_RAM_BASE + 8, 2) == 0x0201
+
+    def test_checked_read_routes_mmio(self):
+        dev = self.memory.mmio.register(MMIO_BASE, _Latch())
+        dev.value = 42
+        assert self.memory.read(MMIO_BASE, 4, World.NONSECURE) == 42
+
+    def test_checked_write_routes_mmio(self):
+        dev = self.memory.mmio.register(MMIO_BASE, _Latch())
+        self.memory.write(MMIO_BASE, 9, 4, World.NONSECURE)
+        assert dev.value == 9
+
+    def test_unaligned_word_faults(self):
+        with pytest.raises(MemFault):
+            self.memory.read(NS_RAM_BASE + 2, 4, World.NONSECURE)
+        with pytest.raises(MemFault):
+            self.memory.write(NS_RAM_BASE + 2, 1, 4, World.NONSECURE)
+
+    def test_byte_access_any_alignment(self):
+        self.memory.write(NS_RAM_BASE + 3, 5, 1, World.NONSECURE)
+        assert self.memory.read(NS_RAM_BASE + 3, 1, World.NONSECURE) == 5
+
+
+class TestMCU:
+    def test_reset_restores_cpu_and_devices(self):
+        image = assemble_and_link(
+            ".entry m\nm: mov r0, #1\n    mov32 r1, #0x40000000\n"
+            "    str r0, [r1]\n    bkpt\n")
+        mcu = MCU(image)
+        dev = mcu.attach_device(MMIO_BASE, _Latch(), "latch")
+        mcu.run()
+        assert dev.value == 1
+        mcu.reset()
+        assert mcu.cpu.regs[0] == 0
+        assert mcu.cpu.cycles == 0
+        result = mcu.run()
+        assert result.exit_reason == "bkpt"
+
+    def test_data_image_loaded(self):
+        image = assemble_and_link(
+            ".entry m\nm: bkpt\n.data\nv: .word 0xABCD\n")
+        mcu = MCU(image)
+        assert mcu.memory.peek(image.addr_of("v"), 4) == 0xABCD
+
+    def test_devices_tick_with_cycles(self):
+        image = assemble_and_link(".entry m\nm: nop\n    nop\n    bkpt\n")
+        mcu = MCU(image)
+        dev = mcu.attach_device(MMIO_BASE, _Latch())
+        mcu.run()
+        assert dev.ticks == mcu.cpu.cycles
+
+    def test_run_result_counts(self):
+        image = assemble_and_link(".entry m\nm: nop\n    bkpt\n")
+        result = MCU(image).run()
+        assert result.instructions == 2
+        assert result.cycles == 2

@@ -1,0 +1,170 @@
+"""NVIC tests: exception entry/return, and the section-III guarantee
+that Non-Secure interrupts never fire during attested execution."""
+
+import pytest
+
+from repro.asm.assembler import assemble_and_link
+from repro.machine.faults import MachineFault
+from repro.machine.mcu import MCU
+from repro.machine.nvic import FRAME_BYTES
+from conftest import rap_setup
+
+# main polls a RAM flag the ISR sets; the ISR also counts invocations
+ISR_PROGRAM = """
+.entry main
+main:
+    mov r0, #0
+    mov r1, #0
+poll:
+    ldr r2, =flag
+    ldr r3, [r2]
+    cmp r3, #0
+    beq poll
+    bkpt
+
+isr:
+    push {r4, lr}
+    ldr r4, =flag
+    mov r0, #1
+    str r0, [r4]
+    ldr r4, =isr_count
+    ldr r0, [r4]
+    add r0, r0, #1
+    str r0, [r4]
+    pop {r4, lr}
+    bx lr
+
+.data
+flag:       .word 0
+isr_count:  .word 0
+"""
+
+
+def _machine():
+    image = assemble_and_link(ISR_PROGRAM)
+    mcu = MCU(image, max_instructions=100_000)
+    mcu.nvic.register_vector(5, image.addr_of("isr"))
+    return image, mcu
+
+
+class TestExceptionEntry:
+    def test_isr_runs_and_main_resumes(self):
+        image, mcu = _machine()
+        fired = []
+
+        def raiser(pc):
+            if mcu.cpu.retired == 20 and not fired:
+                fired.append(True)
+                mcu.nvic.raise_irq(5)
+
+        mcu.cpu.pre_hooks.append(raiser)
+        result = mcu.run()
+        assert result.exit_reason == "bkpt"
+        assert mcu.memory.peek(image.addr_of("isr_count")) == 1
+        assert mcu.nvic.serviced == [5]
+
+    def test_registers_preserved_across_isr(self):
+        image, mcu = _machine()
+
+        def raiser(pc):
+            if mcu.cpu.retired == 10 and not mcu.nvic.serviced:
+                mcu.nvic.raise_irq(5)
+
+        mcu.cpu.pre_hooks.append(raiser)
+        mcu.run()
+        # r1 was 0 before the ISR and the ISR clobbers r0/r2/r3/r4;
+        # the hardware frame must restore the caller-saved set
+        assert mcu.cpu.regs[1] == 0
+
+    def test_stack_balanced_after_isr(self):
+        image, mcu = _machine()
+        sp_samples = []
+
+        def raiser(pc):
+            if mcu.cpu.retired == 10 and not mcu.nvic.serviced:
+                sp_samples.append(mcu.cpu.regs[13])
+                mcu.nvic.raise_irq(5)
+
+        mcu.cpu.pre_hooks.append(raiser)
+        mcu.run()
+        assert mcu.cpu.regs[13] == sp_samples[0]
+
+    def test_unvectored_irq_rejected(self):
+        _, mcu = _machine()
+        with pytest.raises(MachineFault):
+            mcu.nvic.raise_irq(99)
+
+    def test_lowest_irq_serviced_first(self):
+        image, mcu = _machine()
+        mcu.nvic.register_vector(3, image.addr_of("isr"))
+
+        def raiser(pc):
+            if mcu.cpu.retired == 10 and not mcu.nvic.serviced:
+                mcu.nvic.raise_irq(5)
+                mcu.nvic.raise_irq(3)
+
+        mcu.cpu.pre_hooks.append(raiser)
+        mcu.run()
+        assert mcu.nvic.serviced[0] == 3
+
+    def test_disabled_nvic_defers(self):
+        image, mcu = _machine()
+        mcu.nvic.ns_enabled = False
+        mcu.nvic.raise_irq(5)
+
+        # without the ISR the poll loop spins forever: cap and check
+        from repro.machine.faults import ExecutionLimitExceeded
+
+        with pytest.raises(ExecutionLimitExceeded):
+            mcu.run(max_instructions=500)
+        assert mcu.nvic.serviced == []
+        assert mcu.nvic.pending == [5]
+
+    def test_frame_size_constant(self):
+        assert FRAME_BYTES == 32  # 6 regs + return address + xpsr
+
+
+ATTESTED_PROGRAM = """
+.entry main
+main:
+    mov r4, #0
+    mov r0, #0
+busy:
+    add r0, r0, #1
+    cmp r0, #30
+    blt busy
+    bkpt
+
+isr:
+    mov r4, #99
+    bx lr
+
+.data
+marker: .word 0
+"""
+
+
+class TestInterruptsDuringAttestation:
+    def test_pending_irq_never_fires_while_attesting(self, keystore):
+        """Paper section III: the CFA engine disables NS interrupts for
+        the attested execution; a pended IRQ stays pending."""
+        image, _, mcu, engine, verifier, _ = rap_setup(
+            ATTESTED_PROGRAM, keystore=keystore)
+        mcu.nvic.register_vector(7, image.addr_of("isr"))
+
+        def raiser(pc):
+            if mcu.cpu.retired == 5 and 7 not in mcu.nvic.pending:
+                mcu.nvic.raise_irq(7)
+
+        mcu.cpu.pre_hooks.append(raiser)
+        result = engine.attest(b"c")
+        assert mcu.nvic.serviced == []  # the ISR never ran
+        assert mcu.cpu.regs[4] == 0  # r4 untouched by the ISR
+        assert 7 in mcu.nvic.pending  # still pending for later
+        assert verifier.verify(result, b"c").ok
+
+    def test_interrupts_reenabled_after_attestation(self, keystore):
+        image, _, mcu, engine, _, _ = rap_setup(
+            ATTESTED_PROGRAM, keystore=keystore)
+        engine.attest(b"c")
+        assert mcu.nvic.ns_enabled

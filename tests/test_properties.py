@@ -1,0 +1,341 @@
+"""Property-based tests (hypothesis).
+
+The headline property: for *arbitrary* structured programs — random
+nests of if/else, fixed loops, variable loops, while loops, and calls —
+the RAP-Track and TRACES transformations preserve program semantics,
+and the Verifier's replay reconstructs the exact executed path from the
+CFLog alone.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.isa import alu
+from repro.isa.conditions import CONDITIONS, cond_passed, invert_cond
+from repro.isa.registers import Flags
+from conftest import (
+    assert_lossless,
+    naive_setup,
+    rap_setup,
+    text_path,
+    traces_setup,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+small = st.integers(min_value=0, max_value=255)
+
+
+class TestAluProperties:
+    @given(u32, u32)
+    def test_add_matches_python(self, a, b):
+        result, n, z, c, v = alu.add_with_flags(a, b)
+        assert result == (a + b) & 0xFFFFFFFF
+        assert z == (result == 0)
+        assert n == bool(result >> 31)
+        assert c == (a + b > 0xFFFFFFFF)
+        assert v == (alu.s32(a) + alu.s32(b) != alu.s32(result))
+
+    @given(u32, u32)
+    def test_sub_matches_python(self, a, b):
+        result, _, z, c, _ = alu.sub_with_flags(a, b)
+        assert result == (a - b) & 0xFFFFFFFF
+        assert c == (a >= b)  # no borrow
+        assert z == (a == b)
+
+    @given(u32, u32)
+    def test_cmp_orders_unsigned(self, a, b):
+        _, n, z, c, v = alu.sub_with_flags(a, b)
+        flags = Flags(n, z, c, v)
+        assert cond_passed("hi", flags) == (a > b)
+        assert cond_passed("cs", flags) == (a >= b)
+        assert cond_passed("cc", flags) == (a < b)
+        assert cond_passed("ls", flags) == (a <= b)
+
+    @given(u32, u32)
+    def test_cmp_orders_signed(self, a, b):
+        _, n, z, c, v = alu.sub_with_flags(a, b)
+        flags = Flags(n, z, c, v)
+        sa, sb = alu.s32(a), alu.s32(b)
+        assert cond_passed("gt", flags) == (sa > sb)
+        assert cond_passed("ge", flags) == (sa >= sb)
+        assert cond_passed("lt", flags) == (sa < sb)
+        assert cond_passed("le", flags) == (sa <= sb)
+
+    @given(u32, st.integers(min_value=0, max_value=40))
+    def test_shifts_match_python(self, value, amount):
+        lsl, _ = alu.lsl(value, amount, False)
+        lsr, _ = alu.lsr(value, amount, False)
+        assert lsl == (value << amount) & 0xFFFFFFFF
+        assert lsr == (value >> amount if amount < 64 else 0)
+
+    @given(u32, u32)
+    def test_udiv_matches_python(self, a, b):
+        expected = 0 if b == 0 else a // b
+        assert alu.udiv(a, b) == expected
+
+    @given(st.sampled_from(CONDITIONS),
+           st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_inverse_condition_complements(self, cond, n, z, c, v):
+        flags = Flags(n, z, c, v)
+        assert cond_passed(cond, flags) != cond_passed(invert_cond(cond),
+                                                       flags)
+
+
+class TestTripCountProperty:
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=4))
+    @settings(deadline=None, max_examples=25)
+    def test_down_count_trip_matches_execution(self, init, step):
+        from repro.asm import assemble
+        from repro.core.cfg import build_cfg
+        from repro.core.flat import FlatProgram
+        from repro.core.loops import (analyse_simple_loop,
+                                      find_natural_loops, trip_count)
+        from conftest import run_source
+
+        source = f"""
+.entry main
+main:
+    mov r4, #{init}
+top:
+    add r5, r5, #1
+    sub r4, r4, #{step}
+    cmp r4, #0
+    bgt top
+    bkpt
+"""
+        flat = FlatProgram(assemble(source))
+        cfg = build_cfg(flat)
+        (loop,) = find_natural_loops(cfg, 0)
+        shape = analyse_simple_loop(cfg, loop)
+        assert shape is not None
+        mcu = run_source(source)
+        assert trip_count(shape, init) == mcu.cpu.regs[5]
+
+
+# --------------------------------------------------------------------------
+# Random structured program generation
+# --------------------------------------------------------------------------
+
+
+class _ProgramBuilder:
+    """Emit a random but well-formed, terminating program.
+
+    Computation registers are r0-r2; r3 is reserved for function-pointer
+    scratch (its value is a code address, which legitimately differs
+    between original and rewritten layouts); loop counters use r4-r6 by
+    nesting depth, so generated loops are never clobbered by their own
+    bodies.
+    """
+
+    COMPUTE_REGS = ("r0", "r1", "r2")
+
+    def __init__(self, draw):
+        self.draw = draw
+        self.lines = []
+        self.label_counter = 0
+        self.functions = []  # (name, is_leaf)
+
+    def fresh(self, tag):
+        self.label_counter += 1
+        return f"L{tag}_{self.label_counter}"
+
+    def reg(self):
+        return self.draw(st.sampled_from(self.COMPUTE_REGS))
+
+    def imm(self, hi=50):
+        return self.draw(st.integers(min_value=0, max_value=hi))
+
+    def statement(self, depth, loop_depth):
+        kind = self.draw(st.sampled_from(
+            ["assign", "assign", "op", "op", "if", "fixed", "var",
+             "while", "call"] if depth > 0 else ["assign", "op"]))
+        if kind == "assign":
+            self.lines.append(f"    mov {self.reg()}, #{self.imm()}")
+        elif kind == "op":
+            op = self.draw(st.sampled_from(["add", "sub", "eor", "orr"]))
+            self.lines.append(
+                f"    {op} {self.reg()}, {self.reg()}, #{self.imm(15)}")
+        elif kind == "if":
+            self.emit_if(depth, loop_depth)
+        elif kind == "fixed" and loop_depth < 3:
+            self.emit_fixed_loop(depth, loop_depth)
+        elif kind == "var" and loop_depth < 3:
+            self.emit_var_loop(depth, loop_depth)
+        elif kind == "while" and loop_depth < 3:
+            self.emit_while_loop(depth, loop_depth)
+        elif kind == "call" and self.functions:
+            name, _ = self.draw(st.sampled_from(self.functions))
+            if self.draw(st.booleans()):
+                self.lines.append(f"    bl {name}")
+            else:
+                self.lines.append(f"    adr r3, {name}")
+                self.lines.append("    blx r3")
+        else:
+            self.lines.append(f"    mov {self.reg()}, #{self.imm()}")
+
+    def block(self, depth, loop_depth):
+        for _ in range(self.draw(st.integers(min_value=1, max_value=3))):
+            self.statement(depth - 1, loop_depth)
+
+    def emit_if(self, depth, loop_depth):
+        other = self.fresh("else")
+        end = self.fresh("endif")
+        cond = self.draw(st.sampled_from(["eq", "ne", "lt", "ge", "gt"]))
+        self.lines.append(f"    cmp {self.reg()}, #{self.imm(20)}")
+        self.lines.append(f"    b{cond} {other}")
+        self.block(depth, loop_depth)
+        self.lines.append(f"    b {end}")
+        self.lines.append(f"{other}:")
+        self.block(depth, loop_depth)
+        self.lines.append(f"{end}:")
+
+    def emit_fixed_loop(self, depth, loop_depth):
+        counter = f"r{4 + loop_depth}"
+        top = self.fresh("floop")
+        bound = self.draw(st.integers(min_value=1, max_value=6))
+        self.lines.append(f"    mov {counter}, #0")
+        self.lines.append(f"{top}:")
+        self.block(depth, loop_depth + 1)
+        self.lines.append(f"    add {counter}, {counter}, #1")
+        self.lines.append(f"    cmp {counter}, #{bound}")
+        self.lines.append(f"    blt {top}")
+
+    def emit_var_loop(self, depth, loop_depth):
+        counter = f"r{4 + loop_depth}"
+        top = self.fresh("vloop")
+        self.lines.append(f"    and {counter}, {self.reg()}, #7")
+        self.lines.append(f"    add {counter}, {counter}, #1")
+        self.lines.append(f"{top}:")
+        self.block(depth, loop_depth + 1)
+        self.lines.append(f"    sub {counter}, {counter}, #1")
+        self.lines.append(f"    cmp {counter}, #0")
+        self.lines.append(f"    bgt {top}")
+
+    def emit_while_loop(self, depth, loop_depth):
+        counter = f"r{4 + loop_depth}"
+        top = self.fresh("wloop")
+        out = self.fresh("wdone")
+        bound = self.draw(st.integers(min_value=1, max_value=6))
+        self.lines.append(f"    mov {counter}, #{bound}")
+        self.lines.append(f"{top}:")
+        self.lines.append(f"    cmp {counter}, #0")
+        self.lines.append(f"    beq {out}")
+        self.lines.append(f"    sub {counter}, {counter}, #1")
+        self.block(depth, loop_depth + 1)
+        self.lines.append(f"    b {top}")
+        self.lines.append(f"{out}:")
+
+    def emit_function(self, index):
+        name = f"func{index}"
+        leaf = self.draw(st.booleans())
+        self.lines.append(f"{name}:")
+        if leaf:
+            op = self.draw(st.sampled_from(["add", "eor"]))
+            self.lines.append(f"    {op} r0, r0, #{self.imm(9)}")
+            self.lines.append("    bx lr")
+        else:
+            self.lines.append("    push {r4, lr}")
+            self.block(2, 3)  # loop_depth 3: no further loops
+            self.lines.append("    pop {r4, pc}")
+        self.functions.append((name, leaf))
+
+    def build(self):
+        # functions first so call statements have targets
+        prologue = [".entry main"]
+        for i in range(self.draw(st.integers(min_value=0, max_value=2))):
+            self.emit_function(i)
+        body_start = len(self.lines)
+        self.lines.append("main:")
+        self.lines.append("    push {r4, r5, r6, r7, lr}")
+        self.block(3, 0)
+        self.lines.append("    bkpt")
+        # order: main first is not required; keep functions before main
+        return "\n".join(prologue + self.lines)
+
+
+@st.composite
+def structured_programs(draw):
+    return _ProgramBuilder(draw).build()
+
+
+def _compute_state(mcu):
+    # r3 may hold a code pointer (layout-dependent); compare data regs
+    return mcu.cpu.regs[:3]
+
+
+class TestRandomProgramProperties:
+    @given(structured_programs())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_rap_rewrite_preserves_semantics_and_is_lossless(self, source):
+        from repro.asm.assembler import assemble_and_link
+        from repro.machine.mcu import MCU
+
+        baseline = MCU(assemble_and_link(source), max_instructions=300_000)
+        baseline.run()
+
+        image, _, mcu, engine, verifier, tracer = rap_setup(source)
+        mcu.max_instructions = 300_000
+        result, outcome = assert_lossless(image, engine, verifier, tracer)
+        assert _compute_state(mcu) == _compute_state(baseline)
+
+    @given(structured_programs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_traces_rewrite_preserves_semantics_and_is_lossless(self, source):
+        from repro.asm.assembler import assemble_and_link
+        from repro.machine.mcu import MCU
+
+        baseline = MCU(assemble_and_link(source), max_instructions=300_000)
+        baseline.run()
+
+        image, _, mcu, engine, verifier, tracer = traces_setup(source)
+        mcu.max_instructions = 300_000
+        assert_lossless(image, engine, verifier, tracer)
+        assert _compute_state(mcu) == _compute_state(baseline)
+
+    @given(structured_programs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_naive_replay_is_lossless(self, source):
+        image, _, mcu, engine, verifier, tracer = naive_setup(source)
+        mcu.max_instructions = 300_000
+        result = engine.attest(b"p")
+        outcome = verifier.verify(result, b"p")
+        assert outcome.ok, outcome.error
+        assert outcome.path == text_path(image, tracer)
+
+
+class TestMtbProperties:
+    @given(st.lists(st.tuples(u32, u32), min_size=1, max_size=64),
+           st.integers(min_value=2, max_value=16))
+    @settings(deadline=None)
+    def test_buffer_holds_most_recent_packets(self, transfers, slots):
+        from repro.machine.cpu import RetireEvent
+        from repro.machine.memory import Memory
+        from repro.isa.instructions import make_instr
+        from repro.trace.mtb import MTB, PACKET_BYTES
+
+        mtb = MTB(Memory(), buffer_size=slots * PACKET_BYTES,
+                  activation_latency=0)
+        mtb.start()
+        for src, dst in transfers:
+            mtb.on_retire(RetireEvent(src, dst, False, make_instr("nop")))
+        assert mtb.total_packets == len(transfers)
+        kept = [(p.src, p.dst) for p in mtb.drain()]
+        # after a wrap the buffer holds a suffix of the stream
+        assert kept == transfers[len(transfers) - len(kept):]
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_lcg_chance_is_deterministic(self, seed_bytes):
+        from repro.workloads.peripherals import LCG
+
+        seed = int.from_bytes(seed_bytes[:4].ljust(4, b"\0"), "little")
+        a = [LCG(seed).randint(0, 9) for _ in range(5)]
+        b = [LCG(seed).randint(0, 9) for _ in range(5)]
+        assert a == b

@@ -1,0 +1,91 @@
+"""Protocol tests: challenge freshness, tampering, replay."""
+
+import pytest
+
+from repro.cfa.protocol import (
+    Challenge,
+    ProtocolError,
+    ProverDevice,
+    VerifierEndpoint,
+    run_attestation,
+)
+from conftest import rap_setup
+
+PROGRAM = """
+.entry main
+main:
+    push {r4, lr}
+    mov r4, #0
+    cmp r4, #0
+    beq fine
+    mov r4, #9
+fine:
+    pop {r4, pc}
+"""
+
+
+def make_pair(keystore):
+    _, _, _, engine, verifier, _ = rap_setup(PROGRAM, keystore=keystore)
+    return ProverDevice(engine), VerifierEndpoint(verifier)
+
+
+class TestChallenge:
+    def test_derivation_deterministic(self):
+        a = Challenge.derive(b"seed", 0)
+        b = Challenge.derive(b"seed", 0)
+        assert a == b
+
+    def test_counter_changes_nonce(self):
+        assert Challenge.derive(b"s", 0) != Challenge.derive(b"s", 1)
+
+    def test_nonce_length(self):
+        assert len(Challenge.derive(b"s", 0).nonce) == 16
+
+
+class TestProtocolRounds:
+    def test_honest_round_succeeds(self, keystore):
+        prover, endpoint = make_pair(keystore)
+        outcome = run_attestation(prover, endpoint)
+        assert outcome.ok
+
+    def test_multiple_rounds_fresh_nonces(self, keystore):
+        prover, endpoint = make_pair(keystore)
+        for _ in range(3):
+            assert run_attestation(prover, endpoint).ok
+
+    def test_assess_without_challenge_raises(self, keystore):
+        prover, endpoint = make_pair(keystore)
+        outcome = run_attestation(prover, endpoint)
+        assert outcome.ok
+        with pytest.raises(ProtocolError):
+            endpoint.assess(prover.handle_request(Challenge.derive(b"x", 0)))
+
+    def test_replayed_response_rejected(self, keystore):
+        prover, endpoint = make_pair(keystore)
+        challenge = endpoint.new_challenge()
+        stale = prover.handle_request(challenge)
+        assert endpoint.assess(stale).ok
+        # adversary replays the old response against a new challenge
+        endpoint.new_challenge()
+        assert not endpoint.assess(stale).ok
+
+    def test_tampered_response_rejected(self, keystore):
+        prover, endpoint = make_pair(keystore)
+
+        def tamper(response):
+            report = response.final_report
+            report.mac = b"\x00" * len(report.mac)
+            return response
+
+        outcome = run_attestation(prover, endpoint, tamper=tamper)
+        assert not outcome.authenticated
+
+    def test_response_from_wrong_device_rejected(self, keystore):
+        from repro.tz.keystore import KeyStore
+
+        # prover provisioned with a different key
+        rogue = KeyStore(b"prv-0", b"wrong-secret")
+        _, _, _, engine, _, _ = rap_setup(PROGRAM, keystore=rogue)
+        _, endpoint = make_pair(keystore)
+        outcome = run_attestation(ProverDevice(engine), endpoint)
+        assert not outcome.authenticated

@@ -1,0 +1,203 @@
+"""Direct unit tests for the silent-cycle analysis."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.classify import BranchClass, classify_module
+from repro.core.silent import _cyclic_sccs
+
+
+def classify(source):
+    return classify_module(assemble(".entry main\n" + source))
+
+
+def classes(classification, cls):
+    return [idx for idx, s in classification.sites.items() if s.cls is cls]
+
+
+class TestTarjan:
+    def test_no_cycles(self):
+        graph = {0: {1}, 1: {2}, 2: set()}
+        assert _cyclic_sccs(graph) == []
+
+    def test_self_loop(self):
+        graph = {0: {0}}
+        assert _cyclic_sccs(graph) == [{0}]
+
+    def test_two_node_cycle(self):
+        graph = {0: {1}, 1: {0}}
+        assert _cyclic_sccs(graph) == [{0, 1}]
+
+    def test_mixed(self):
+        graph = {0: {1}, 1: {2, 3}, 2: {1}, 3: set(), 4: {4}}
+        components = _cyclic_sccs(graph)
+        assert {1, 2} in components
+        assert {4} in components
+        assert len(components) == 2
+
+    def test_nested_cycles_one_scc(self):
+        graph = {0: {1}, 1: {2}, 2: {0, 1}}
+        assert _cyclic_sccs(graph) == [{0, 1, 2}]
+
+    def test_disjoint_cycles(self):
+        graph = {0: {1}, 1: {0}, 2: {3}, 3: {2}, 4: set()}
+        components = _cyclic_sccs(graph)
+        assert {0, 1} in components and {2, 3} in components
+
+
+class TestSilentBreaking:
+    def test_pure_spin_loop_broken(self):
+        c = classify("""
+main:
+    mov r0, #0
+spin:
+    add r0, r0, #1
+    b spin
+""")
+        assert classes(c, BranchClass.UNCOND_LATCH)
+
+    def test_logged_latch_loop_untouched(self):
+        c = classify("""
+main:
+    mov r4, #0
+    mov r5, #9
+top:
+    add r4, r4, #1
+    cmp r4, r5
+    blt top
+    bkpt
+""")
+        assert not classes(c, BranchClass.UNCOND_LATCH)
+        assert not classes(c, BranchClass.LOGGED_CALL)
+
+    def test_loop_opt_header_edge_breaks_outer_silence(self):
+        # outer loop's only content is a loop-opt inner loop: the svc at
+        # the inner header logs every outer iteration -> no extra latch
+        c = classify("""
+main:
+    mov r4, #0
+    mov r6, #9
+outer:
+    lsr r5, r6, #1
+inner:
+    nop
+    sub r5, r5, #1
+    cmp r5, #0
+    bgt inner
+    add r4, r4, #1
+    cmp r4, r6
+    blt outer
+    bkpt
+""")
+        assert classes(c, BranchClass.LOOP_OPT_LATCH)
+        assert not classes(c, BranchClass.UNCOND_LATCH)
+
+    def test_fixed_inner_does_not_break_outer_silence(self):
+        # the fixed inner loop logs nothing, so an otherwise-silent
+        # outer loop still needs its latch trampolined
+        c = classify("""
+main:
+    mov r4, #0
+outer:
+    mov r5, #4
+inner:
+    nop
+    sub r5, r5, #1
+    cmp r5, #0
+    bgt inner
+    add r4, r4, #1
+    b outer
+""")
+        assert classes(c, BranchClass.FIXED_LOOP_LATCH)
+        assert classes(c, BranchClass.UNCOND_LATCH)
+
+    def test_tracked_callee_return_breaks_silence(self):
+        c = classify("""
+main:
+top:
+    bl logger
+    b top
+logger:
+    push {r4, lr}
+    pop {r4, pc}
+""")
+        assert not classes(c, BranchClass.UNCOND_LATCH)
+        assert not classes(c, BranchClass.LOGGED_CALL)
+
+    def test_leaf_callee_keeps_cycle_silent(self):
+        c = classify("""
+main:
+top:
+    bl leaf
+    b top
+leaf:
+    bx lr
+""")
+        assert classes(c, BranchClass.UNCOND_LATCH)
+
+    def test_self_recursion_logged(self):
+        c = classify("""
+main:
+    bl f
+    bkpt
+f:
+    push {r4, lr}
+    cmp r0, #0
+    beq out
+    sub r0, r0, #1
+    bl f
+out:
+    pop {r4, pc}
+""")
+        logged = classes(c, BranchClass.LOGGED_CALL)
+        assert len(logged) == 1
+        # the logged site is the recursive call, not main's
+        assert logged[0] > c.flat.index_of("f")
+
+    def test_indirect_call_in_loop_breaks_silence(self):
+        c = classify("""
+main:
+    adr r3, leaf
+top:
+    blx r3
+    b top
+leaf:
+    bx lr
+""")
+        # the blx itself is always logged: no extra latch needed
+        assert not classes(c, BranchClass.UNCOND_LATCH)
+
+    def test_forward_exit_loop_not_broken_twice(self):
+        c = classify("""
+main:
+    mov r0, #5
+top:
+    cmp r0, #0
+    beq out
+    sub r0, r0, #1
+    b top
+out:
+    bkpt
+""")
+        assert classes(c, BranchClass.COND_FORWARD_EXIT)
+        assert not classes(c, BranchClass.UNCOND_LATCH)
+
+    def test_multi_exit_loop_gets_latch_not_exits(self):
+        c = classify("""
+main:
+    mov r0, #5
+    mov r1, #3
+top:
+    cmp r0, #0
+    beq out
+    cmp r1, #0
+    beq out
+    sub r0, r0, #1
+    sub r1, r1, #1
+    b top
+out:
+    bkpt
+""")
+        assert not classes(c, BranchClass.COND_FORWARD_EXIT)
+        assert classes(c, BranchClass.UNCOND_LATCH)
+        assert len(classes(c, BranchClass.COND_NONLOOP)) == 2

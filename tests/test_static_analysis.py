@@ -1,0 +1,446 @@
+"""Unit tests: CFG construction, dominators, natural loops, shapes."""
+
+import networkx as nx
+import pytest
+
+from repro.asm import assemble
+from repro.core.cfg import build_cfg
+from repro.core.dominators import compute_dominators, dominates
+from repro.core.flat import FlatProgram
+from repro.core.loops import (
+    analyse_simple_loop,
+    find_natural_loops,
+    trip_count,
+)
+
+
+def flat_cfg(source):
+    flat = FlatProgram(assemble(".entry main\n" + source))
+    return flat, build_cfg(flat)
+
+
+class TestFlatProgram:
+    def test_indexing_and_labels(self):
+        flat, _ = flat_cfg("main:\n    nop\nx:  nop\n    bkpt\n")
+        assert len(flat) == 3
+        assert flat.index_of("main") == 0
+        assert flat.index_of("x") == 1
+
+    def test_address_taken_from_adr_and_words(self):
+        flat, _ = flat_cfg("""
+main:
+    adr r0, f
+    bkpt
+f:  bx lr
+.rodata
+t:  .word g
+.text
+g:  bx lr
+""")
+        assert flat.address_taken_labels() == {"f", "g"}
+
+    def test_function_starts(self):
+        flat, _ = flat_cfg("""
+main:
+    bl f
+    bkpt
+f:  bx lr
+""")
+        starts = flat.function_starts()
+        assert flat.index_of("main") in starts
+        assert flat.index_of("f") in starts
+
+    def test_function_extent(self):
+        flat, _ = flat_cfg("""
+main:
+    bl f
+    bkpt
+f:  nop
+    bx lr
+""")
+        start, end = flat.function_extent(flat.index_of("f"))
+        assert start == flat.index_of("f")
+        assert end == len(flat)
+
+    def test_writes_lr_detection(self):
+        flat, _ = flat_cfg("""
+main:
+    bl leaf
+    bl nonleaf
+    bkpt
+leaf:
+    add r0, r0, #1
+    bx lr
+nonleaf:
+    push {lr}
+    bl leaf
+    pop {pc}
+""")
+        assert not flat.function_writes_lr(flat.index_of("leaf"))
+        assert flat.function_writes_lr(flat.index_of("nonleaf"))
+
+
+class TestCFG:
+    def test_straightline_single_block(self):
+        _, cfg = flat_cfg("main:\n    nop\n    nop\n    bkpt\n")
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == []
+
+    def test_diamond(self):
+        flat, cfg = flat_cfg("""
+main:
+    cmp r0, #0
+    beq right
+    mov r1, #1
+    b join
+right:
+    mov r1, #2
+join:
+    bkpt
+""")
+        entry = cfg.block_at(0)
+        assert len(entry.succs) == 2
+        join = cfg.block_at(flat.index_of("join"))
+        assert sorted(join.preds) == sorted(
+            {cfg.block_of_index[flat.index_of("right")],
+             cfg.block_of_index[flat.index_of("right")] - 1})
+
+    def test_call_falls_through(self):
+        flat, cfg = flat_cfg("""
+main:
+    bl f
+    bkpt
+f:  bx lr
+""")
+        entry = cfg.block_at(0)
+        # call continues to the next block, not into the callee
+        assert cfg.block_of_index[flat.index_of("f")] not in entry.succs
+        assert cfg.call_edges == [(0, flat.index_of("f"))]
+
+    def test_exit_indices(self):
+        flat, cfg = flat_cfg("""
+main:
+    bl f
+    bkpt
+f:  pop {pc}
+""")
+        assert flat.index_of("f") in cfg.exit_indices
+
+    def test_reachability(self):
+        flat, cfg = flat_cfg("""
+main:
+    b end
+dead:
+    nop
+end:
+    bkpt
+""")
+        reachable = cfg.reachable_from(cfg.block_of_index[0])
+        assert cfg.block_of_index[flat.index_of("dead")] not in reachable
+
+
+class TestDominators:
+    def _check_against_networkx(self, cfg, entry_bid):
+        idom = compute_dominators(cfg, entry_bid)
+        graph = nx.DiGraph()
+        graph.add_node(entry_bid)
+        for block in cfg.blocks:
+            if block.bid in idom:
+                for succ in block.succs:
+                    if succ in idom:
+                        graph.add_edge(block.bid, succ)
+        expected = dict(nx.immediate_dominators(graph, entry_bid))
+        expected[entry_bid] = entry_bid  # this nx version omits the root
+        assert idom == expected
+
+    def test_diamond_idoms(self):
+        flat, cfg = flat_cfg("""
+main:
+    cmp r0, #0
+    beq r_
+    nop
+    b j_
+r_: nop
+j_: bkpt
+""")
+        self._check_against_networkx(cfg, 0)
+        join = cfg.block_of_index[flat.index_of("j_")]
+        assert dominates(compute_dominators(cfg, 0), 0, join)
+
+    def test_loop_idoms(self):
+        _, cfg = flat_cfg("""
+main:
+    mov r0, #0
+top:
+    add r0, r0, #1
+    cmp r0, #5
+    blt top
+    bkpt
+""")
+        self._check_against_networkx(cfg, 0)
+
+    def test_nested_loops_idoms(self):
+        _, cfg = flat_cfg("""
+main:
+    mov r0, #0
+outer:
+    mov r1, #0
+inner:
+    add r1, r1, #1
+    cmp r1, #3
+    blt inner
+    add r0, r0, #1
+    cmp r0, #3
+    blt outer
+    bkpt
+""")
+        self._check_against_networkx(cfg, 0)
+
+    def test_dominates_self(self):
+        _, cfg = flat_cfg("main:\n    bkpt\n")
+        idom = compute_dominators(cfg, 0)
+        assert dominates(idom, 0, 0)
+
+
+class TestNaturalLoops:
+    def test_single_loop(self):
+        flat, cfg = flat_cfg("""
+main:
+    mov r0, #0
+top:
+    add r0, r0, #1
+    cmp r0, #5
+    blt top
+    bkpt
+""")
+        loops = find_natural_loops(cfg, 0)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == cfg.block_of_index[flat.index_of("top")]
+        assert len(loop.latches) == 1
+
+    def test_nested_loops_found(self):
+        _, cfg = flat_cfg("""
+main:
+    mov r0, #0
+outer:
+    mov r1, #0
+inner:
+    add r1, r1, #1
+    cmp r1, #3
+    blt inner
+    add r0, r0, #1
+    cmp r0, #3
+    blt outer
+    bkpt
+""")
+        loops = find_natural_loops(cfg, 0)
+        assert len(loops) == 2
+        inner = min(loops, key=lambda l: len(l.body))
+        outer = max(loops, key=lambda l: len(l.body))
+        assert inner.body < outer.body
+
+    def test_while_loop_uncond_latch(self):
+        flat, cfg = flat_cfg("""
+main:
+    mov r0, #5
+top:
+    cmp r0, #0
+    beq out
+    sub r0, r0, #1
+    b top
+out:
+    bkpt
+""")
+        loops = find_natural_loops(cfg, 0)
+        assert len(loops) == 1
+        latch = cfg.blocks[loops[0].latches[0]]
+        assert str(cfg.flat.instrs[latch.terminator_index]) == "b top"
+
+    def test_no_loops(self):
+        _, cfg = flat_cfg("main:\n    nop\n    bkpt\n")
+        assert find_natural_loops(cfg, 0) == []
+
+
+class TestSimpleLoopShapes:
+    def _loop(self, source):
+        flat, cfg = flat_cfg(source)
+        loops = find_natural_loops(cfg, 0)
+        assert len(loops) == 1
+        return cfg, loops[0]
+
+    def test_cmp_idiom_up_count(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #0
+top:
+    nop
+    add r4, r4, #1
+    cmp r4, #10
+    blt top
+    bkpt
+""")
+        shape = analyse_simple_loop(cfg, loop)
+        assert shape is not None
+        assert (shape.counter_reg, shape.bound, shape.step) == (4, 10, 1)
+        assert shape.cond == "lt"
+        assert shape.init_const == 0
+        assert trip_count(shape, 0) == 10
+
+    def test_self_flag_down_count(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #7
+top:
+    nop
+    sub r4, r4, #1
+    bne top
+    bkpt
+""")
+        shape = analyse_simple_loop(cfg, loop)
+        assert shape is not None
+        assert shape.init_const == 7
+        assert trip_count(shape, 7) == 7
+
+    def test_self_flag_rejects_carry_conditions(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #7
+top:
+    nop
+    sub r4, r4, #1
+    bcs top
+    bkpt
+""")
+        assert analyse_simple_loop(cfg, loop) is None
+
+    def test_cbnz_latch(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #3
+top:
+    nop
+    sub r4, r4, #1
+    cbnz r4, top
+    bkpt
+""")
+        shape = analyse_simple_loop(cfg, loop)
+        assert shape is not None
+        assert trip_count(shape, 3) == 3
+
+    def test_register_bound_not_simple(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #0
+    mov r5, #10
+top:
+    add r4, r4, #1
+    cmp r4, r5
+    blt top
+    bkpt
+""")
+        assert analyse_simple_loop(cfg, loop) is None
+
+    def test_memory_counter_not_simple(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #0
+top:
+    ldr r4, [r5]
+    add r4, r4, #1
+    cmp r4, #10
+    blt top
+    bkpt
+""")
+        assert analyse_simple_loop(cfg, loop) is None
+
+    def test_call_in_body_not_simple(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #0
+top:
+    bl helper
+    add r4, r4, #1
+    cmp r4, #10
+    blt top
+    bkpt
+helper:
+    bx lr
+""")
+        assert analyse_simple_loop(cfg, loop) is None
+
+    def test_two_counter_updates_not_simple(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #0
+top:
+    add r4, r4, #1
+    add r4, r4, #1
+    cmp r4, #10
+    blt top
+    bkpt
+""")
+        assert analyse_simple_loop(cfg, loop) is None
+
+    def test_variable_init_shape_without_const(self):
+        cfg, loop = self._loop("""
+main:
+    lsr r4, r0, #2
+top:
+    nop
+    sub r4, r4, #1
+    cmp r4, #0
+    bgt top
+    bkpt
+""")
+        shape = analyse_simple_loop(cfg, loop)
+        assert shape is not None
+        assert shape.init_const is None
+        assert trip_count(shape, 5) == 5
+        assert trip_count(shape, 1) == 1
+
+    def test_trip_count_matches_execution(self):
+        from conftest import run_source
+
+        for init, bound, step, cond in [(0, 10, 1, "lt"), (3, 9, 2, "lt"),
+                                        (0, 7, 1, "ne")]:
+            cfg, loop = self._loop(f"""
+main:
+    mov r4, #{init}
+top:
+    add r5, r5, #1
+    add r4, r4, #{step}
+    cmp r4, #{bound}
+    b{cond} top
+    bkpt
+""")
+            shape = analyse_simple_loop(cfg, loop)
+            assert shape is not None
+            mcu = run_source(f"""
+.entry main
+main:
+    mov r4, #{init}
+top:
+    add r5, r5, #1
+    add r4, r4, #{step}
+    cmp r4, #{bound}
+    b{cond} top
+    bkpt
+""")
+            assert trip_count(shape, init) == mcu.cpu.regs[5]
+
+    def test_non_terminating_shape_raises(self):
+        cfg, loop = self._loop("""
+main:
+    mov r4, #0
+top:
+    nop
+    add r4, r4, #0x10000
+    cmp r4, #3
+    bne top
+    bkpt
+""")
+        shape = analyse_simple_loop(cfg, loop)
+        if shape is not None:
+            with pytest.raises(ValueError):
+                trip_count(shape, 0)

@@ -1,0 +1,211 @@
+"""Unit tests: MTB and DWT models (the paper's tracing substrate)."""
+
+import pytest
+
+from repro.asm.assembler import assemble_and_link
+from repro.machine.cpu import RetireEvent
+from repro.machine.mcu import MCU
+from repro.machine.memmap import MTB_SRAM_BASE
+from repro.machine.memory import Memory
+from repro.isa.instructions import make_instr
+from repro.trace.dwt import COMPARATOR_SLOTS, DWT, RangeComparator
+from repro.trace.mtb import PACKET_BYTES, MTB
+
+
+def _event(src, dst, sequential=False):
+    return RetireEvent(src, dst, sequential, make_instr("nop"))
+
+
+def make_mtb(**kw):
+    return MTB(Memory(), **kw)
+
+
+class TestMTB:
+    def test_disabled_records_nothing(self):
+        mtb = make_mtb()
+        mtb.on_retire(_event(0x100, 0x200))
+        assert mtb.total_packets == 0
+
+    def test_records_non_sequential_only(self):
+        mtb = make_mtb(activation_latency=0)
+        mtb.start()
+        mtb.on_retire(_event(0x100, 0x102, sequential=True))
+        mtb.on_retire(_event(0x102, 0x200, sequential=False))
+        assert mtb.total_packets == 1
+        packets = mtb.drain()
+        assert (packets[0].src, packets[0].dst) == (0x102, 0x200)
+
+    def test_packets_hit_trace_sram(self):
+        mtb = make_mtb(activation_latency=0)
+        mtb.start()
+        mtb.on_retire(_event(0xAAAA, 0xBBBB))
+        assert mtb.memory.peek(MTB_SRAM_BASE, 4) == 0xAAAA
+        assert mtb.memory.peek(MTB_SRAM_BASE + 4, 4) == 0xBBBB
+
+    def test_activation_latency_drops_first_retire(self):
+        mtb = make_mtb(activation_latency=1)
+        mtb.start()
+        mtb.on_retire(_event(0x100, 0x200))  # lost in the warmup window
+        mtb.on_retire(_event(0x200, 0x300))
+        packets = mtb.drain()
+        assert len(packets) == 1 and packets[0].src == 0x200
+
+    def test_restart_while_enabled_keeps_warmup_consumed(self):
+        mtb = make_mtb(activation_latency=1)
+        mtb.start()
+        mtb.on_retire(_event(0x0, 0x4, sequential=True))  # consumes warmup
+        mtb.start()  # already enabled: no new warmup
+        mtb.on_retire(_event(0x4, 0x100))
+        assert mtb.total_packets == 1
+
+    def test_stop_then_start_rearms_warmup(self):
+        mtb = make_mtb(activation_latency=1)
+        mtb.start()
+        mtb.on_retire(_event(0x0, 0x4, sequential=True))
+        mtb.stop()
+        mtb.start()
+        mtb.on_retire(_event(0x4, 0x100))  # warmup again: dropped
+        assert mtb.total_packets == 0
+
+    def test_wraparound_overwrites_oldest(self):
+        mtb = make_mtb(buffer_size=2 * PACKET_BYTES, activation_latency=0)
+        mtb.start()
+        for i in range(3):
+            mtb.on_retire(_event(i, 100 + i))
+        assert mtb.wrapped
+        assert mtb.total_packets == 3
+
+    def test_watermark_fires_handler(self):
+        fired = []
+        mtb = make_mtb(buffer_size=64, activation_latency=0)
+        mtb.configure(watermark=2 * PACKET_BYTES,
+                      watermark_handler=lambda m: fired.append(m.position))
+        mtb.start()
+        mtb.on_retire(_event(0, 1))
+        assert not fired
+        mtb.on_retire(_event(2, 3))
+        assert fired == [2 * PACKET_BYTES]
+
+    def test_drain_resets_position(self):
+        mtb = make_mtb(activation_latency=0)
+        mtb.start()
+        mtb.on_retire(_event(1, 2))
+        assert mtb.bytes_used == PACKET_BYTES
+        packets = mtb.drain()
+        assert len(packets) == 1
+        assert mtb.bytes_used == 0
+        assert mtb.drain() == []
+
+    def test_buffer_size_validation(self):
+        with pytest.raises(ValueError):
+            make_mtb(buffer_size=10)  # not a packet multiple
+        with pytest.raises(ValueError):
+            make_mtb(buffer_size=1 << 20)  # exceeds trace SRAM
+
+
+class TestDWT:
+    def test_start_stop_ranges(self):
+        mtb = make_mtb(activation_latency=0)
+        dwt = DWT(mtb)
+        dwt.configure_range("start", 0x1000, 0x2000)
+        dwt.configure_range("stop", 0x0000, 0x1000)
+        dwt.evaluate(0x1500)
+        assert mtb.enabled
+        dwt.evaluate(0x0500)
+        assert not mtb.enabled
+
+    def test_outside_ranges_is_neutral(self):
+        mtb = make_mtb(activation_latency=0)
+        dwt = DWT(mtb)
+        dwt.configure_range("start", 0x1000, 0x2000)
+        dwt.evaluate(0x1000)
+        dwt.evaluate(0x9000)  # no comparator: state unchanged
+        assert mtb.enabled
+
+    def test_range_bounds_inclusive_exclusive(self):
+        comp = RangeComparator("start", 0x100, 0x200)
+        assert comp.matches(0x100)
+        assert comp.matches(0x1FE)
+        assert not comp.matches(0x200)
+
+    def test_comparator_budget(self):
+        dwt = DWT(make_mtb())
+        dwt.configure_range("start", 0, 10)
+        dwt.configure_range("stop", 10, 20)  # 4 slots used
+        with pytest.raises(ValueError):
+            dwt.configure_range("start", 20, 30)
+        assert COMPARATOR_SLOTS == 4
+
+    def test_bad_action(self):
+        with pytest.raises(ValueError):
+            DWT(make_mtb()).configure_range("pause", 0, 1)
+
+    def test_clear(self):
+        dwt = DWT(make_mtb())
+        dwt.configure_range("start", 0, 10)
+        dwt.clear()
+        dwt.configure_range("start", 0, 10)
+        dwt.configure_range("stop", 10, 20)
+
+
+class TestActivationDiscipline:
+    """Paper section IV-B: MTBDR->MTBAR transitions are not recorded;
+    MTBAR->MTBDR transitions are."""
+
+    def _machine(self):
+        # text at 0x200000 (MTBDR), mtbar at 0x300000
+        source = """
+.entry main
+main:
+    b stub              ; MTBDR -> MTBAR : must NOT be recorded
+back:
+    bkpt
+.mtbar
+stub:
+    nop
+    b back              ; MTBAR -> MTBDR : must be recorded
+"""
+        image = assemble_and_link(source)
+        mcu = MCU(image)
+        mtb = MTB(mcu.memory, activation_latency=1)
+        dwt = DWT(mtb)
+        lo, hi = image.section_ranges["mtbar"]
+        dwt.configure_range("start", lo, hi)
+        tlo, thi = image.section_ranges["text"]
+        dwt.configure_range("stop", tlo, thi)
+        mcu.cpu.pre_hooks.append(dwt.evaluate)
+        mcu.cpu.retire_hooks.append(mtb.on_retire)
+        return image, mcu, mtb
+
+    def test_entry_suppressed_exit_recorded(self):
+        image, mcu, mtb = self._machine()
+        mcu.run()
+        packets = mtb.drain()
+        assert len(packets) == 1
+        stub_branch = image.addr_of("stub") + 2  # after the nop
+        assert packets[0].src == stub_branch
+        assert packets[0].dst == image.addr_of("back")
+
+    def test_without_nop_padding_first_branch_is_lost(self):
+        source = """
+.entry main
+main:
+    b stub
+back:
+    bkpt
+.mtbar
+stub:
+    b back              ; no nop: consumed by the activation window
+"""
+        image = assemble_and_link(source)
+        mcu = MCU(image)
+        mtb = MTB(mcu.memory, activation_latency=1)
+        dwt = DWT(mtb)
+        lo, hi = image.section_ranges["mtbar"]
+        dwt.configure_range("start", lo, hi)
+        tlo, thi = image.section_ranges["text"]
+        dwt.configure_range("stop", tlo, thi)
+        mcu.cpu.pre_hooks.append(dwt.evaluate)
+        mcu.cpu.retire_hooks.append(mtb.on_retire)
+        mcu.run()
+        assert mtb.total_packets == 0  # the paper's reason for NOPs

@@ -1,0 +1,180 @@
+"""Workload correctness and cross-method consistency.
+
+Every workload must compute the right answer (against its Python
+reference model) on the bare simulator and under every CFA method, and
+peripherals must behave identically regardless of method runtime — the
+property the figures depend on.
+"""
+
+import pytest
+
+from repro.asm import link
+from repro.workloads import WORKLOADS, load_workload
+from repro.workloads.base import make_mcu
+from repro.workloads.peripherals import (
+    ADCDevice,
+    GeigerTube,
+    LCG,
+    StepperMotor,
+    UartRx,
+    UltrasonicRanger,
+)
+from conftest import naive_setup, rap_setup, traces_setup
+
+ALL = sorted(WORKLOADS)
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("name", ALL)
+    def test_reference_model_matches(self, name):
+        workload = load_workload(name)
+        image = link(workload.module())
+        mcu = make_mcu(image, workload)
+        result = mcu.run()
+        assert result.exit_reason == "bkpt"
+        workload.check(mcu)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_deterministic_across_runs(self, name):
+        def one_run():
+            workload = load_workload(name)
+            mcu = make_mcu(link(workload.module()), workload)
+            result = mcu.run()
+            return result.cycles, result.instructions
+
+        assert one_run() == one_run()
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            load_workload("nonexistent")
+
+
+class TestCrossMethodConsistency:
+    @pytest.mark.parametrize("name", ALL)
+    def test_gpio_results_identical_across_methods(self, name):
+        outputs = []
+        for setup in (naive_setup, rap_setup, traces_setup):
+            workload = load_workload(name)
+            image, _, mcu, engine, _, _ = setup(workload)
+            engine.attest(b"c")
+            try:
+                gpio = mcu.mmio.device("gpio")
+            except KeyError:
+                pytest.skip("workload has no GPIO")
+            outputs.append(list(gpio.latches))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestPeripherals:
+    def test_lcg_deterministic(self):
+        a, b = LCG(42), LCG(42)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+    def test_lcg_randint_bounds(self):
+        rng = LCG(1)
+        values = [rng.randint(3, 7) for _ in range(200)]
+        assert set(values) <= set(range(3, 8))
+        assert len(set(values)) > 1
+
+    def test_adc_expected_samples_match_reads(self):
+        adc = ADCDevice(seed=5)
+        read = [adc.read(ADCDevice.DATA, 4) for _ in range(8)]
+        assert read == ADCDevice(seed=5).expected_samples(8)
+
+    def test_adc_last_register(self):
+        adc = ADCDevice(seed=5)
+        value = adc.read(ADCDevice.DATA, 4)
+        assert adc.read(ADCDevice.LAST, 4) == value
+
+    def test_geiger_counts_monotonic(self):
+        tube = GeigerTube(seed=3)
+        counts = [tube.read(GeigerTube.COUNT, 4) for _ in range(20)]
+        assert counts == sorted(counts)
+        assert counts == GeigerTube(seed=3).expected_counts(20)
+
+    def test_geiger_reset_register(self):
+        tube = GeigerTube(seed=3, rate_per_1024=1024)  # always fires
+        assert tube.read(GeigerTube.COUNT, 4) > 0
+        tube.write(GeigerTube.RESET, 1, 4)
+        assert tube.count == 0
+
+    def test_ultrasonic_echo_constant(self):
+        ranger = UltrasonicRanger(seed=9)
+        ranger.write(UltrasonicRanger.TRIGGER, 1, 4)
+        echo = ranger.read(UltrasonicRanger.ECHO_US, 4)
+        distance = ranger.expected_distances(1)[0]
+        assert echo == distance * 58
+
+    def test_uart_feed_and_status(self):
+        uart = UartRx(b"\x01\x02")
+        assert uart.read(UartRx.STATUS, 4) == 1
+        assert uart.read(UartRx.DATA, 4) == 1
+        assert uart.read(UartRx.DATA, 4) == 2
+        assert uart.read(UartRx.STATUS, 4) == 0
+        assert uart.read(UartRx.DATA, 4) == 0  # empty: zero
+
+    def test_uart_set_feed_resets_cursor(self):
+        uart = UartRx(b"\x01")
+        uart.read(UartRx.DATA, 4)
+        uart.set_feed(b"\x09")
+        assert uart.read(UartRx.DATA, 4) == 9
+
+    def test_stepper_direction_and_position(self):
+        motor = StepperMotor()
+        motor.write(StepperMotor.STEP, 1, 4)
+        motor.write(StepperMotor.STEP, 1, 4)
+        motor.write(StepperMotor.DIR, 1, 4)
+        motor.write(StepperMotor.STEP, 1, 4)
+        assert motor.position == 1
+        assert motor.total_steps == 3
+        assert motor.read(StepperMotor.POS, 4) == 1
+
+
+class TestWorkloadShapes:
+    """Structural expectations the figures rely on."""
+
+    def test_matmult_fully_deterministic(self):
+        workload = load_workload("matmult")
+        _, _, _, engine, _, _ = rap_setup(workload)
+        result = engine.attest(b"c")
+        assert len(result.cflog) == 0
+
+    def test_crc32_fully_deterministic(self):
+        workload = load_workload("crc32")
+        _, _, _, engine, _, _ = rap_setup(workload)
+        result = engine.attest(b"c")
+        assert len(result.cflog) == 0
+
+    def test_geiger_huge_naive_ratio(self):
+        naive = naive_setup(load_workload("geiger"))
+        rap = rap_setup(load_workload("geiger"))
+        naive_log = naive[3].attest(b"c").cflog_bytes
+        rap_log = rap[3].attest(b"c").cflog_bytes
+        assert naive_log / rap_log > 50  # the paper's 217x end
+
+    def test_ultrasonic_loop_opt_matters(self):
+        from repro.core.pipeline import RapTrackConfig
+
+        with_opt = rap_setup(load_workload("ultrasonic"))
+        without = rap_setup(load_workload("ultrasonic"),
+                            rap_config=RapTrackConfig(loop_opt=False))
+        log_with = with_opt[3].attest(b"c").cflog_bytes
+        log_without = without[3].attest(b"c").cflog_bytes
+        assert log_without > 3 * log_with  # section V-B showcase
+
+    def test_fibcall_return_heavy(self):
+        from repro.cfa.cflog import BranchRecord
+
+        workload = load_workload("fibcall")
+        _, bound, _, engine, _, _ = rap_setup(workload)
+        result = engine.attest(b"c")
+        pops = [r for r in result.cflog
+                if isinstance(r, BranchRecord)
+                and r.key == engine.image.addr_of("__rt_pop_rec")]
+        assert len(pops) > 100  # deep recursion
+
+    def test_gps_branch_dense(self):
+        workload = load_workload("gps")
+        _, _, _, engine, _, _ = rap_setup(workload)
+        result = engine.attest(b"c")
+        assert len(result.cflog) > 50
