@@ -19,17 +19,20 @@ from repro.trace.mtb import PACKET_BYTES
 from conftest import save_table
 
 
-def _log_bytes(name, rap_config=None, engine_config=None):
+def _log_bytes(name, rap_config=None, engine_config=None, cache=None):
+    # each distinct RapTrackConfig gets its own offline-cache key, so
+    # ablation sweeps amortize across benchmark sessions too
     run = run_method(name, "rap-track", config=engine_config,
-                     rap_config=rap_config)
+                     rap_config=rap_config, cache=cache)
     return run
 
 
-def test_ablation_loop_opt(results_dir):
+def test_ablation_loop_opt(results_dir, artifact_cache):
     rows = []
     for name in ("ultrasonic", "syringe", "geiger"):
-        with_opt = _log_bytes(name)
-        without = _log_bytes(name, RapTrackConfig(loop_opt=False))
+        with_opt = _log_bytes(name, cache=artifact_cache)
+        without = _log_bytes(name, RapTrackConfig(loop_opt=False),
+                             cache=artifact_cache)
         rows.append({
             "workload": name,
             "with_loop_opt_B": with_opt.cflog_bytes,
@@ -42,11 +45,12 @@ def test_ablation_loop_opt(results_dir):
     assert any(r["reduction"] > 3 for r in rows)
 
 
-def test_ablation_fixed_loops(results_dir):
+def test_ablation_fixed_loops(results_dir, artifact_cache):
     rows = []
     for name in ("crc32", "matmult", "geiger"):
-        with_fixed = _log_bytes(name)
-        without = _log_bytes(name, RapTrackConfig(fixed_loops=False))
+        with_fixed = _log_bytes(name, cache=artifact_cache)
+        without = _log_bytes(name, RapTrackConfig(fixed_loops=False),
+                             cache=artifact_cache)
         rows.append({
             "workload": name,
             "with_fixed_elision_B": with_fixed.cflog_bytes,

@@ -33,9 +33,9 @@ def test_fig1b_instrumentation_runtime_band(all_runs):
     assert min(factors) < 1.5  # the 1.1x end
 
 
-def test_bench_naive_mtb_attestation(benchmark):
+def test_bench_naive_mtb_attestation(benchmark, artifact_cache):
     """Time one naive-MTB attested execution (temperature)."""
     result = benchmark.pedantic(
-        lambda: run_method("temperature", "naive-mtb"),
+        lambda: run_method("temperature", "naive-mtb", cache=artifact_cache),
         rounds=3, iterations=1)
     assert result.verified

@@ -28,9 +28,9 @@ def test_naive_never_fewer_partials(all_runs):
         assert row["naive_partials"] >= row["rap_partials"], row["workload"]
 
 
-def test_bench_attestation_with_partials(benchmark):
+def test_bench_attestation_with_partials(benchmark, artifact_cache):
     """Time a bubblesort attestation (log > 4 KB: forces partials)."""
     result = benchmark.pedantic(
-        lambda: run_method("bubblesort", "rap-track"),
+        lambda: run_method("bubblesort", "rap-track", cache=artifact_cache),
         rounds=3, iterations=1)
     assert result.partial_reports >= 1

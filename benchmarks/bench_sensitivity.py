@@ -16,15 +16,20 @@ WORKLOADS = ("gps", "prime", "temperature")
 SWEEP = (15, 75, 300)  # cheap, calibrated, expensive world switches
 
 
-def test_gateway_cost_sweep(results_dir):
+def test_gateway_cost_sweep(results_dir, artifact_cache):
+    # the EngineConfig sweep reuses one offline artifact per
+    # (workload, method): only the execution phase varies
     rows = []
     for cost in SWEEP:
         config = EngineConfig(gateway=GatewayCosts(entry=cost * 3 // 5,
                                                    exit=cost * 2 // 5))
         for name in WORKLOADS:
-            base = run_method(name, "baseline", config)
-            rap = run_method(name, "rap-track", config)
-            traces = run_method(name, "traces", config)
+            base = run_method(name, "baseline", config,
+                              cache=artifact_cache)
+            rap = run_method(name, "rap-track", config,
+                             cache=artifact_cache)
+            traces = run_method(name, "traces", config,
+                                cache=artifact_cache)
             rows.append({
                 "switch_cycles": cost,
                 "workload": name,
@@ -42,14 +47,15 @@ def test_gateway_cost_sweep(results_dir):
     assert abs(gps[-1]["rap_pct"] - gps[0]["rap_pct"]) < 25
 
 
-def test_activation_latency_sweep(results_dir):
+def test_activation_latency_sweep(results_dir, artifact_cache):
     """Longer MTB activation windows need more stub padding; the stock
     single-NOP padding covers latency <= 1 (and the model lets users
     explore beyond)."""
     rows = []
     for latency in (0, 1):
         run = run_method("temperature", "rap-track",
-                         config=EngineConfig(activation_latency=latency))
+                         config=EngineConfig(activation_latency=latency),
+                         cache=artifact_cache)
         rows.append({"activation_latency": latency,
                      "verified": run.verified,
                      "cflog_B": run.cflog_bytes})

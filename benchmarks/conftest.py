@@ -6,23 +6,41 @@ per-figure benches assert the paper's shape bands against it, print the
 reproduced table, and time a representative operation with
 pytest-benchmark. Tables are also written to ``benchmarks/results/``
 for EXPERIMENTS.md.
+
+The collection goes through the parallel evaluation subsystem
+(``repro.eval.parallel``): set ``REPRO_BENCH_JOBS=N`` to fan the grid
+out across worker processes, and ``REPRO_CACHE_DIR`` to relocate the
+offline-artifact cache that repeated benchmark sessions reuse.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.eval.figures import collect_all
+from repro.eval.cache import ArtifactCache, default_cache_dir
+from repro.eval.parallel import evaluate_grid
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def all_runs():
+def artifact_cache():
+    """Offline-phase cache shared by every bench in the session."""
+    return ArtifactCache(default_cache_dir())
+
+
+@pytest.fixture(scope="session")
+def all_runs(artifact_cache):
     """Every workload x every method, verified, collected once."""
-    return collect_all()
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    from repro.eval.figures import EVAL_WORKLOADS
+
+    runs, _ = evaluate_grid(list(EVAL_WORKLOADS), jobs=jobs,
+                            cache=artifact_cache)
+    return runs
 
 
 @pytest.fixture(scope="session")

@@ -4,9 +4,16 @@ Commands:
 
 * ``list`` — the workload registry;
 * ``run WORKLOAD [--method M]`` — one attested, verified execution;
-* ``figures [--workloads ...]`` — regenerate the paper's tables;
+* ``figures [--workloads ...] [--jobs N]`` — regenerate the paper's
+  tables, optionally fanning the (workload × method) grid out across
+  worker processes;
 * ``offline WORKLOAD`` — show the rewriter's output (MTBDR/MTBAR);
 * ``attack`` — the ROP detection demonstration.
+
+``run`` and ``figures`` memoize the offline phase (classify/rewrite/
+link) in a content-addressed on-disk cache — ``--cache-dir`` moves it,
+``--no-cache`` disables it. Tables go to stdout; the progress/metrics
+stream goes to stderr, so piping stdout captures clean tables.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from typing import List, Optional
 
 from repro.asm import link
 from repro.core.pipeline import transform
+from repro.eval.cache import ArtifactCache, default_cache_dir
+from repro.eval.parallel import evaluate_grid, ProgressEvent
 from repro.eval.figures import (
     EVAL_WORKLOADS,
-    collect_all,
     fig1_motivation,
     fig8_runtime,
     fig9_cflog,
@@ -31,6 +39,20 @@ from repro.eval.runner import METHODS, run_method
 from repro.workloads import WORKLOADS, load_workload
 
 
+def _make_cache(args) -> Optional[ArtifactCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ArtifactCache(args.cache_dir or default_cache_dir())
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="offline-artifact cache location "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="rebuild offline artifacts from scratch")
+
+
 def _cmd_list(_args) -> int:
     print(f"{'workload':12s}  description")
     print(f"{'-' * 12}  {'-' * 50}")
@@ -40,7 +62,7 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    run = run_method(args.workload, args.method)
+    run = run_method(args.workload, args.method, cache=_make_cache(args))
     print(f"workload:        {run.workload}")
     print(f"method:          {run.method}")
     print(f"cycles:          {run.cycles}")
@@ -55,13 +77,32 @@ def _cmd_run(args) -> int:
     return 0 if run.verified else 1
 
 
+def _progress(event: ProgressEvent) -> None:
+    if event.kind == "cell":
+        print(f"[{event.done}/{event.total}] {event.spec} {event.detail}",
+              file=sys.stderr)
+    elif event.kind == "retry":
+        print(f"[{event.done}/{event.total}] {event.detail}",
+              file=sys.stderr)
+    else:
+        print(f"eval: {event.detail}", file=sys.stderr)
+
+
 def _cmd_figures(args) -> int:
     names = args.workloads or list(EVAL_WORKLOADS)
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
         print(f"unknown workloads: {unknown}", file=sys.stderr)
         return 2
-    runs = collect_all(workloads=names)
+    runs, metrics = evaluate_grid(
+        names,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        timeout_s=args.cell_timeout,
+        progress=_progress if not args.quiet else None,
+    )
+    if args.quiet:
+        print(f"eval: {metrics.summary()}", file=sys.stderr)
     for title, fig in (
         ("Figure 1 — motivation", fig1_motivation),
         ("Figure 8 — runtime (CPU cycles)", fig8_runtime),
@@ -145,12 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="attest and verify one workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
     run.add_argument("--method", choices=METHODS, default="rap-track")
+    _add_cache_flags(run)
     run.set_defaults(func=_cmd_run)
 
     figures = sub.add_parser("figures",
                              help="regenerate the paper's tables")
     figures.add_argument("--workloads", nargs="*",
                          help="subset to evaluate (default: all)")
+    figures.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the evaluation grid "
+                              "(default: 1 = serial)")
+    figures.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="per-cell wall-clock timeout")
+    figures.add_argument("--quiet", action="store_true",
+                         help="suppress the per-cell progress stream")
+    _add_cache_flags(figures)
     figures.set_defaults(func=_cmd_figures)
 
     offline = sub.add_parser("offline",

@@ -1,8 +1,25 @@
-"""Evaluation harness: method runners and figure/table generators."""
+"""Evaluation harness: method runners, the offline-artifact cache,
+the parallel grid executor, and figure/table generators."""
 
+from repro.eval.cache import (
+    ArtifactCache,
+    config_fingerprint,
+    default_cache_dir,
+    offline_key,
+)
+from repro.eval.parallel import (
+    CellResult,
+    CellSpec,
+    EvalMetrics,
+    ProgressEvent,
+    evaluate_grid,
+    run_cell,
+    run_cells,
+)
 from repro.eval.runner import (
     METHODS,
     MethodRun,
+    offline_artifact,
     prepare,
     run_all_methods,
     run_method,
@@ -19,7 +36,19 @@ from repro.eval.figures import (
 __all__ = [
     "METHODS",
     "MethodRun",
+    "ArtifactCache",
+    "CellResult",
+    "CellSpec",
+    "EvalMetrics",
+    "ProgressEvent",
+    "config_fingerprint",
+    "default_cache_dir",
+    "evaluate_grid",
+    "offline_artifact",
+    "offline_key",
     "prepare",
+    "run_cell",
+    "run_cells",
     "run_method",
     "run_all_methods",
     "fig1_motivation",

@@ -13,7 +13,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cfa.engine import EngineConfig
-from repro.eval.runner import MethodRun, run_all_methods
+from repro.eval.cache import ArtifactCache
+from repro.eval.parallel import evaluate_grid, ProgressFn
+from repro.eval.runner import MethodRun
 
 #: evaluation order (real applications first, BEEBs after — as the paper)
 EVAL_WORKLOADS = (
@@ -25,10 +27,22 @@ EVAL_WORKLOADS = (
 
 def collect_all(config: Optional[EngineConfig] = None,
                 workloads: Sequence[str] = EVAL_WORKLOADS,
-                verify: bool = True) -> Dict[str, Dict[str, MethodRun]]:
-    """Run every workload under every method."""
-    return {name: run_all_methods(name, config, verify=verify)
-            for name in workloads}
+                verify: bool = True,
+                jobs: Optional[int] = None,
+                cache: Optional[ArtifactCache] = None,
+                progress: Optional[ProgressFn] = None
+                ) -> Dict[str, Dict[str, MethodRun]]:
+    """Run every workload under every method.
+
+    Serial by default; ``jobs`` fans the grid out across worker
+    processes and ``cache`` memoizes the offline phase — both routes go
+    through :func:`repro.eval.parallel.evaluate_grid`, so the result is
+    identical either way.
+    """
+    runs, _ = evaluate_grid(list(workloads), jobs=jobs,
+                            engine_config=config, verify=verify,
+                            cache=cache, progress=progress)
+    return runs
 
 
 def fig1_motivation(runs: Dict[str, Dict[str, MethodRun]]) -> List[dict]:

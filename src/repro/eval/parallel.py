@@ -1,0 +1,332 @@
+"""Parallel (workload × method) evaluation with per-cell robustness.
+
+One evaluation *cell* is a single :func:`repro.eval.runner.run_method`
+call — the serial primitive stays the only place a cell executes, so
+the serial and parallel paths cannot drift apart. This module adds:
+
+* a ``ProcessPoolExecutor`` fan-out (``jobs`` worker processes) over a
+  grid of cells, falling back to an in-process loop for ``jobs <= 1``;
+* a per-cell wall-clock timeout (``SIGALRM``-based, so a wedged cell
+  cannot stall the whole grid) and retry-once semantics when a worker
+  process dies underneath the pool;
+* a structured progress/metrics stream: a :class:`ProgressEvent` per
+  cell plus an aggregate :class:`EvalMetrics` (cells completed, cache
+  hit rate, wall-clock vs. CPU time).
+
+Workers share the offline-phase :class:`ArtifactCache` through its
+on-disk root; a memory-only cache amortizes within one process only.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from concurrent.futures import as_completed, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
+
+from repro.cfa.engine import EngineConfig
+from repro.core.pipeline import RapTrackConfig
+from repro.eval.cache import ArtifactCache
+from repro.eval.runner import METHODS, MethodRun, run_method
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (workload, method) cell of the evaluation grid."""
+
+    workload: str
+    method: str
+
+    def __str__(self) -> str:
+        return f"{self.workload}×{self.method}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: the run, or a structured failure."""
+
+    spec: CellSpec
+    run: Optional[MethodRun] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    offline_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One item of the structured progress stream."""
+
+    kind: str  # "cell" | "retry" | "done"
+    done: int
+    total: int
+    spec: Optional[CellSpec] = None
+    detail: str = ""
+
+
+ProgressFn = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class EvalMetrics:
+    """Aggregate metrics for one grid evaluation."""
+
+    cells_total: int = 0
+    cells_ok: int = 0
+    cells_failed: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    offline_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.cells_ok}/{self.cells_total} cells ok "
+            f"({self.cells_failed} failed, {self.retries} retried), "
+            f"jobs={self.jobs}, offline cache hit rate "
+            f"{100.0 * self.cache_hit_rate:.0f}% "
+            f"({self.cache_hits}/{self.cache_hits + self.cache_misses}), "
+            f"offline {self.offline_s * 1e3:.1f}ms, "
+            f"wall {self.wall_s:.2f}s, cpu {self.cpu_s:.2f}s"
+        )
+
+
+class CellTimeout(Exception):
+    """A cell exceeded its wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise CellTimeout()
+
+
+def run_cell(spec: CellSpec,
+             engine_config: Optional[EngineConfig] = None,
+             rap_config: Optional[RapTrackConfig] = None,
+             verify: bool = True,
+             timeout_s: Optional[float] = None,
+             cache: Optional[ArtifactCache] = None) -> CellResult:
+    """Run one cell with timing, cache accounting, and error capture.
+
+    Never raises: failures (including timeouts and verification
+    rejections) come back as ``CellResult.error`` so the orchestrator
+    can keep the rest of the grid moving.
+    """
+    hits0, misses0, offline0 = cache.snapshot() if cache else (0, 0, 0.0)
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    run = None
+    error = None
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        run = run_method(spec.workload, spec.method, config=engine_config,
+                         rap_config=rap_config, verify=verify, cache=cache)
+    except CellTimeout:
+        error = f"timeout after {timeout_s:.1f}s"
+    except Exception as exc:  # captured, reported, surfaced by caller
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+    hits1, misses1, offline1 = cache.snapshot() if cache else (0, 0, 0.0)
+    return CellResult(
+        spec=spec,
+        run=run,
+        error=error,
+        wall_s=time.perf_counter() - wall0,
+        cpu_s=time.process_time() - cpu0,
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+        offline_s=offline1 - offline0,
+    )
+
+
+# -- process-pool plumbing --------------------------------------------------
+
+_worker_cache: Optional[ArtifactCache] = None
+
+
+def _init_worker(cache_root: Optional[str]) -> None:
+    """Open the shared on-disk cache once per worker process."""
+    global _worker_cache
+    _worker_cache = ArtifactCache(cache_root) if cache_root else None
+
+
+def _pool_cell(spec: CellSpec,
+               engine_config: Optional[EngineConfig],
+               rap_config: Optional[RapTrackConfig],
+               verify: bool,
+               timeout_s: Optional[float]) -> CellResult:
+    return run_cell(spec, engine_config, rap_config, verify, timeout_s,
+                    cache=_worker_cache)
+
+
+def _emit(progress: Optional[ProgressFn], event: ProgressEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def run_cells(specs: Sequence[CellSpec],
+              jobs: Optional[int] = None,
+              engine_config: Optional[EngineConfig] = None,
+              rap_config: Optional[RapTrackConfig] = None,
+              verify: bool = True,
+              cache: Optional[ArtifactCache] = None,
+              timeout_s: Optional[float] = None,
+              retries: int = 1,
+              progress: Optional[ProgressFn] = None
+              ) -> Tuple[List[CellResult], EvalMetrics]:
+    """Run a grid of cells, serially or across worker processes.
+
+    ``jobs`` of ``None``/``0``/``1`` runs in-process (no pool); higher
+    values fan out. A cell whose worker process dies (segfault,
+    ``os._exit``, OOM-kill) is retried up to ``retries`` more times in
+    a fresh pool before being recorded as failed; a cell that merely
+    raises is *not* retried — cells are deterministic, so a Python
+    error would only repeat.
+    """
+    specs = list(specs)
+    jobs = max(1, jobs or 1)
+    wall0 = time.perf_counter()
+    if jobs == 1:
+        results = []
+        for done, spec in enumerate(specs, start=1):
+            result = run_cell(spec, engine_config, rap_config, verify,
+                              timeout_s, cache=cache)
+            results.append(result)
+            _emit(progress, ProgressEvent(
+                "cell", done, len(specs), spec,
+                result.error or "ok"))
+        metrics = _aggregate(results, jobs, time.perf_counter() - wall0)
+        _emit(progress, ProgressEvent("done", len(specs), len(specs),
+                                      detail=metrics.summary()))
+        return results, metrics
+
+    cache_root = str(cache.root) if cache is not None and cache.root else None
+    by_spec: Dict[CellSpec, CellResult] = {}
+    attempts: Dict[CellSpec, int] = {spec: 0 for spec in specs}
+    total_retries = 0
+    while True:
+        pending = [s for s in specs if s not in by_spec]
+        if not pending:
+            break
+        for spec in pending:
+            attempts[spec] += 1
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending)),
+                    initializer=_init_worker,
+                    initargs=(cache_root,)) as pool:
+                futures = {
+                    pool.submit(_pool_cell, spec, engine_config, rap_config,
+                                verify, timeout_s): spec
+                    for spec in pending
+                }
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    result = future.result()  # BrokenProcessPool escapes
+                    result.attempts = attempts[spec]
+                    by_spec[spec] = result
+                    _emit(progress, ProgressEvent(
+                        "cell", len(by_spec), len(specs), spec,
+                        result.error or "ok"))
+        except BrokenProcessPool:
+            # a worker died mid-batch: cells not yet harvested either
+            # crashed or were queued behind the crash — retry them once
+            crashed = [s for s in pending if s not in by_spec]
+            exhausted = [s for s in crashed if attempts[s] > retries]
+            for spec in exhausted:
+                by_spec[spec] = CellResult(
+                    spec=spec, attempts=attempts[spec],
+                    error="worker process died "
+                          f"(after {attempts[spec]} attempt(s))")
+                _emit(progress, ProgressEvent(
+                    "cell", len(by_spec), len(specs), spec,
+                    by_spec[spec].error))
+            retriable = [s for s in crashed if s not in by_spec]
+            total_retries += len(retriable)
+            if retriable:
+                _emit(progress, ProgressEvent(
+                    "retry", len(by_spec), len(specs),
+                    detail=f"worker crash; retrying {len(retriable)} "
+                           "cell(s) in a fresh pool"))
+
+    results = [by_spec[spec] for spec in specs]
+    metrics = _aggregate(results, jobs, time.perf_counter() - wall0)
+    metrics.retries = total_retries
+    _emit(progress, ProgressEvent("done", len(specs), len(specs),
+                                  detail=metrics.summary()))
+    return results, metrics
+
+
+def _aggregate(results: Sequence[CellResult], jobs: int,
+               wall_s: float) -> EvalMetrics:
+    metrics = EvalMetrics(cells_total=len(results), jobs=jobs, wall_s=wall_s)
+    for result in results:
+        if result.ok:
+            metrics.cells_ok += 1
+        else:
+            metrics.cells_failed += 1
+        metrics.cache_hits += result.cache_hits
+        metrics.cache_misses += result.cache_misses
+        metrics.cpu_s += result.cpu_s
+        metrics.offline_s += result.offline_s
+    return metrics
+
+
+def evaluate_grid(workloads: Sequence[str],
+                  methods: Sequence[str] = METHODS,
+                  jobs: Optional[int] = None,
+                  engine_config: Optional[EngineConfig] = None,
+                  rap_config: Optional[RapTrackConfig] = None,
+                  verify: bool = True,
+                  cache: Optional[ArtifactCache] = None,
+                  timeout_s: Optional[float] = None,
+                  retries: int = 1,
+                  progress: Optional[ProgressFn] = None,
+                  strict: bool = True
+                  ) -> Tuple[Dict[str, Dict[str, MethodRun]], EvalMetrics]:
+    """Evaluate every workload under every method.
+
+    Returns the same ``{workload: {method: MethodRun}}`` shape as the
+    serial :func:`repro.eval.figures.collect_all`, plus the metrics.
+    With ``strict`` (the default) any failed cell raises ``RuntimeError``
+    naming every failure; otherwise failed cells are simply absent.
+    """
+    specs = [CellSpec(w, m) for w in workloads for m in methods]
+    results, metrics = run_cells(
+        specs, jobs=jobs, engine_config=engine_config,
+        rap_config=rap_config, verify=verify, cache=cache,
+        timeout_s=timeout_s, retries=retries, progress=progress)
+    failures = [r for r in results if not r.ok]
+    if strict and failures:
+        detail = "; ".join(f"{r.spec}: {r.error}" for r in failures[:5])
+        raise RuntimeError(
+            f"{len(failures)} evaluation cell(s) failed: {detail}")
+    runs: Dict[str, Dict[str, MethodRun]] = {w: {} for w in workloads}
+    for result in results:
+        if result.ok:
+            runs[result.spec.workload][result.spec.method] = result.run
+    return runs, metrics

@@ -18,6 +18,8 @@ from repro.cfa.engine import EngineConfig, RapTrackEngine
 from repro.cfa.verifier import NaiveVerifier, Verifier
 from repro.core.classify import classify_module
 from repro.core.pipeline import RapTrackConfig, transform
+from repro.core.rewrite_map import RewriteMap
+from repro.eval.cache import ArtifactCache, offline_key
 from repro.tz.keystore import KeyStore
 from repro.workloads import Workload, load_workload
 from repro.workloads.base import make_mcu
@@ -49,33 +51,55 @@ class MethodRun:
         return (self.cycles - base.cycles) / base.cycles
 
 
-def prepare(workload: Workload, method: str,
-            rap_config: Optional[RapTrackConfig] = None
-            ) -> Tuple[Image, Optional[object]]:
-    """Build the image (and bound rewrite map) for a method."""
+def offline_artifact(workload: Workload, method: str,
+                     rap_config: Optional[RapTrackConfig] = None
+                     ) -> Tuple[Image, Optional[RewriteMap]]:
+    """Run the offline phase: classify/transform/link one workload.
+
+    Returns the linked image plus the (unbound) rewrite map — exactly
+    what the artifact cache persists for a (source, method, config) key.
+    """
     module = workload.module()
     if method in ("baseline", "naive-mtb"):
         return link(module), None
     if method == "rap-track":
         result = transform(module, rap_config)
-        image = link(result.module)
-        return image, result.rmap.bind(image)
+        return link(result.module), result.rmap
     if method == "traces":
         classification = classify_module(module)
         rewritten, rmap = rewrite_for_traces(module, classification)
-        image = link(rewritten)
-        return image, rmap.bind(image)
+        return link(rewritten), rmap
     raise ValueError(f"unknown method {method!r}")
+
+
+def prepare(workload: Workload, method: str,
+            rap_config: Optional[RapTrackConfig] = None,
+            cache: Optional[ArtifactCache] = None
+            ) -> Tuple[Image, Optional[object]]:
+    """Build the image (and bound rewrite map) for a method.
+
+    With a ``cache``, the offline phase is memoized on
+    :func:`~repro.eval.cache.offline_key`; the cached and freshly-built
+    paths produce identical artifacts.
+    """
+    if cache is not None:
+        key = offline_key(workload.source, method, rap_config)
+        image, rmap = cache.get_or_build(
+            key, lambda: offline_artifact(workload, method, rap_config))
+    else:
+        image, rmap = offline_artifact(workload, method, rap_config)
+    return image, (rmap.bind(image) if rmap is not None else None)
 
 
 def run_method(name: str, method: str,
                config: Optional[EngineConfig] = None,
                rap_config: Optional[RapTrackConfig] = None,
                verify: bool = True,
-               check: bool = True) -> MethodRun:
+               check: bool = True,
+               cache: Optional[ArtifactCache] = None) -> MethodRun:
     """Run one workload under one method; verify and sanity-check."""
     workload = load_workload(name)
-    image, bound = prepare(workload, method, rap_config)
+    image, bound = prepare(workload, method, rap_config, cache)
     mcu = make_mcu(image, workload)
     keystore = KeyStore.provision()
     config = config or EngineConfig()
@@ -128,7 +152,9 @@ def run_method(name: str, method: str,
 
 def run_all_methods(name: str,
                     config: Optional[EngineConfig] = None,
-                    verify: bool = True) -> dict:
+                    verify: bool = True,
+                    cache: Optional[ArtifactCache] = None) -> dict:
     """Run a workload under all four methods; returns method -> run."""
-    return {method: run_method(name, method, config, verify=verify)
+    return {method: run_method(name, method, config, verify=verify,
+                               cache=cache)
             for method in METHODS}

@@ -13,17 +13,22 @@ _ALIASES = {"sp": SP, "lr": LR, "pc": PC, "fp": 11, "ip": 12}
 
 
 def parse_reg(name: str) -> int:
-    """Parse a register name (``r0``..``r15``, ``sp``, ``lr``, ``pc``)."""
+    """Parse a register name (``r0``..``r15``, ``sp``, ``lr``, ``pc``).
+
+    Only canonical spellings count: ``r00``, ``r 5``, or ``r+5`` are
+    identifiers (labels), not registers — so everything the instruction
+    printer emits parses back to the same operand it printed.
+    """
     low = name.strip().lower()
     if low in _ALIASES:
         return _ALIASES[low]
     if low.startswith("r"):
-        try:
-            num = int(low[1:])
-        except ValueError:
-            raise ValueError(f"not a register: {name!r}") from None
-        if 0 <= num < REG_COUNT:
-            return num
+        digits = low[1:]
+        if (digits.isascii() and digits.isdigit()
+                and (len(digits) == 1 or digits[0] != "0")):
+            num = int(digits)
+            if 0 <= num < REG_COUNT:
+                return num
     raise ValueError(f"not a register: {name!r}")
 
 

@@ -1,0 +1,235 @@
+"""Property tests for the offline-artifact cache.
+
+The contract under test: keys are pure functions of (source, method,
+RapTrackConfig) — stable across processes and hash seeds — and a cache
+hit hands back an artifact indistinguishable from a fresh offline run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pipeline import RapTrackConfig
+from repro.eval.cache import (
+    ArtifactCache,
+    config_fingerprint,
+    offline_key,
+    source_fingerprint,
+)
+from repro.eval.runner import offline_artifact, prepare, run_method
+from repro.workloads import load_workload
+
+rap_configs = st.builds(
+    RapTrackConfig,
+    nop_padding=st.booleans(),
+    loop_opt=st.booleans(),
+    fixed_loops=st.booleans(),
+    share_pop_stub=st.booleans(),
+)
+
+sources = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0, max_size=200)
+
+
+def image_state(image):
+    """Everything observable about a linked image, as comparable data."""
+    return {
+        "entry": image.entry_symbol,
+        "symbols": image.symbols,
+        "sections": image.section_ranges,
+        "equates": image.equates,
+        "data": image.data_bytes,
+        "code": image.code_bytes(),
+    }
+
+
+def bound_state(bound):
+    """Comparable projection of a BoundRewriteMap."""
+    if bound is None:
+        return None
+    return {
+        "method": bound.method,
+        "cond_at": bound.cond_at,
+        "indirect_at": bound.indirect_at,
+        "loop_at": bound.loop_at,
+        "loop_latches": bound.loop_latches,
+        "fixed_trip_at": bound.fixed_trip_at,
+        "address_taken": bound.address_taken_addrs,
+        "function_entries": bound.function_entry_addrs,
+    }
+
+
+class TestKeyProperties:
+    @given(rap_configs, sources)
+    @settings(deadline=None, max_examples=100)
+    def test_key_is_deterministic(self, config, source):
+        assert offline_key(source, "rap-track", config) == \
+            offline_key(source, "rap-track", config)
+
+    @given(rap_configs, rap_configs, sources)
+    @settings(deadline=None, max_examples=100)
+    def test_any_config_change_invalidates_key(self, a, b, source):
+        keys_equal = (offline_key(source, "rap-track", a) ==
+                      offline_key(source, "rap-track", b))
+        assert keys_equal == (a == b)
+
+    @given(sources, sources)
+    @settings(deadline=None, max_examples=100)
+    def test_any_source_change_invalidates_key(self, a, b):
+        keys_equal = (offline_key(a, "rap-track") ==
+                      offline_key(b, "rap-track"))
+        assert keys_equal == (a == b)
+
+    @given(sources)
+    @settings(deadline=None, max_examples=50)
+    def test_methods_never_collide_except_plain_pair(self, source):
+        keys = {method: offline_key(source, method)
+                for method in ("baseline", "naive-mtb", "rap-track",
+                               "traces")}
+        # baseline and naive-mtb run the unmodified binary: shared entry
+        assert keys["baseline"] == keys["naive-mtb"]
+        assert len({keys["baseline"], keys["rap-track"],
+                    keys["traces"]}) == 3
+
+    def test_default_config_and_none_share_a_key(self):
+        assert offline_key("src", "rap-track", None) == \
+            offline_key("src", "rap-track", RapTrackConfig())
+
+    def test_engine_config_is_not_an_offline_input(self):
+        # rap-config only: traces/plain keys ignore it entirely
+        assert offline_key("src", "traces", RapTrackConfig(loop_opt=False)) \
+            == offline_key("src", "traces", None)
+
+    def test_key_stable_across_processes_and_hash_seeds(self):
+        """The content address must survive PYTHONHASHSEED changes."""
+        program = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.core.pipeline import RapTrackConfig\n"
+            "from repro.eval.cache import offline_key, config_fingerprint\n"
+            "cfg = RapTrackConfig(loop_opt=False)\n"
+            "print(offline_key('mov r0, #1', 'rap-track', cfg))\n"
+            "print(config_fingerprint(cfg))\n"
+        )
+        outputs = set()
+        for seed in ("0", "42", "random"):
+            proc = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                cwd="/root/repo")
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
+        assert offline_key("mov r0, #1", "rap-track",
+                           RapTrackConfig(loop_opt=False)) in \
+            next(iter(outputs))
+
+    @given(rap_configs)
+    @settings(deadline=None, max_examples=50)
+    def test_config_fingerprint_reflects_equality(self, config):
+        assert config_fingerprint(config) == \
+            config_fingerprint(RapTrackConfig(**dataclasses.asdict(config)))
+
+    def test_source_fingerprint_is_sha256(self):
+        assert len(source_fingerprint("x")) == 64
+        assert source_fingerprint("x") != source_fingerprint("y")
+
+
+class TestCacheHitFidelity:
+    @pytest.mark.parametrize("method", ["baseline", "rap-track", "traces"])
+    def test_hit_returns_equal_image_and_bound_map(self, tmp_path, method):
+        cache = ArtifactCache(tmp_path)
+        workload = load_workload("fibcall")
+        cold_image, cold_bound = prepare(workload, method, cache=cache)
+        warm_image, warm_bound = prepare(workload, method, cache=cache)
+        fresh_image, fresh_bound = prepare(workload, method)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert image_state(warm_image) == image_state(cold_image) \
+            == image_state(fresh_image)
+        assert bound_state(warm_bound) == bound_state(cold_bound) \
+            == bound_state(fresh_bound)
+
+    def test_hit_survives_a_new_cache_instance(self, tmp_path):
+        workload = load_workload("crc32")
+        writer = ArtifactCache(tmp_path)
+        prepare(workload, "rap-track", cache=writer)
+        reader = ArtifactCache(tmp_path)  # fresh process stand-in
+        image, bound = prepare(workload, "rap-track", cache=reader)
+        assert reader.stats.hits == 1 and reader.stats.misses == 0
+        fresh_image, fresh_bound = prepare(workload, "rap-track")
+        assert image_state(image) == image_state(fresh_image)
+        assert bound_state(bound) == bound_state(fresh_bound)
+
+    def test_cached_run_method_equals_uncached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cached = run_method("strsearch", "rap-track", cache=cache)
+        recached = run_method("strsearch", "rap-track", cache=cache)
+        plain = run_method("strsearch", "rap-track")
+        assert dataclasses.asdict(cached) == dataclasses.asdict(plain)
+        assert dataclasses.asdict(recached) == dataclasses.asdict(plain)
+
+    @given(rap_configs)
+    @settings(deadline=None, max_examples=10)
+    def test_config_sweep_artifacts_do_not_cross_pollute(self, config):
+        cache = ArtifactCache()  # memory-only
+        workload = load_workload("fibcall")
+        cached_image, _ = prepare(workload, "rap-track", config, cache)
+        fresh_image, _ = prepare(workload, "rap-track", config)
+        assert image_state(cached_image) == image_state(fresh_image)
+
+
+class TestCacheMechanics:
+    def test_memory_only_cache_needs_no_disk(self):
+        cache = ArtifactCache()
+        assert cache.root is None
+        cache.put("k", (1, 2))
+        assert cache.get("k") == (1, 2)
+        assert cache.stats.hits == 1
+
+    def test_miss_then_build_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+        build = lambda: calls.append(1) or "artifact"  # noqa: E731
+        assert cache.get_or_build("k", build) == "artifact"
+        assert cache.get_or_build("k", build) == "artifact"
+        assert calls == [1]
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+    def test_corrupt_entry_is_rebuilt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = offline_key("src", "rap-track")
+        (tmp_path / f"{key}.pkl").write_bytes(b"\x80not a pickle")
+        assert cache.get_or_build(key, lambda: "rebuilt") == "rebuilt"
+        # and the overwrite repaired the entry on disk
+        reader = ArtifactCache(tmp_path)
+        assert reader.get(key) == "rebuilt"
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", list(range(1000)))
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+        assert pickle.loads((tmp_path / "k.pkl").read_bytes()) == \
+            list(range(1000))
+
+    def test_stats_hit_rate(self):
+        cache = ArtifactCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_offline_artifact_matches_prepare_uncached(self):
+        workload = load_workload("fibcall")
+        image, rmap = offline_artifact(workload, "rap-track")
+        via_prepare, bound = prepare(workload, "rap-track")
+        assert image_state(image) == image_state(via_prepare)
+        assert bound_state(rmap.bind(image)) == bound_state(bound)

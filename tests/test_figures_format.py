@@ -1,0 +1,160 @@
+"""Dedicated coverage for the figure generators and table formatter.
+
+These run on synthetic :class:`MethodRun` records, so they exercise the
+row/formatting logic without touching the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import (
+    fig1_motivation,
+    fig8_runtime,
+    fig9_cflog,
+    fig10_code_size,
+    format_table,
+    partial_report_table,
+    _fmt,
+    _numeric,
+)
+from repro.eval.runner import MethodRun
+
+
+def _run(workload, method, cycles, cflog_bytes=0, cflog_records=0,
+         code_size=100, partials=0):
+    return MethodRun(workload=workload, method=method, cycles=cycles,
+                     instructions=cycles, cflog_bytes=cflog_bytes,
+                     cflog_records=cflog_records, code_size=code_size,
+                     partial_reports=partials, gateway_calls=0,
+                     report_cycles=0, verified=True)
+
+
+@pytest.fixture()
+def runs():
+    """Two synthetic workloads with hand-picked numbers."""
+    return {
+        "alpha": {
+            "baseline": _run("alpha", "baseline", 1000, code_size=100),
+            "naive-mtb": _run("alpha", "naive-mtb", 1000,
+                              cflog_bytes=4000, cflog_records=500),
+            "rap-track": _run("alpha", "rap-track", 1200, cflog_bytes=40,
+                              cflog_records=10, code_size=120),
+            "traces": _run("alpha", "traces", 3000, cflog_bytes=400,
+                           cflog_records=100, code_size=150, partials=2),
+        },
+        "beta": {
+            "baseline": _run("beta", "baseline", 500, code_size=80),
+            "naive-mtb": _run("beta", "naive-mtb", 500, cflog_bytes=800,
+                              cflog_records=100, partials=3),
+            "rap-track": _run("beta", "rap-track", 510, cflog_bytes=0,
+                              cflog_records=0, code_size=90),
+            "traces": _run("beta", "traces", 550, cflog_bytes=80,
+                           cflog_records=20, code_size=95),
+        },
+    }
+
+
+class TestFigureRows:
+    def test_fig1_ratios(self, runs):
+        rows = {r["workload"]: r for r in fig1_motivation(runs)}
+        assert rows["alpha"]["cflog_ratio"] == pytest.approx(10.0)
+        assert rows["alpha"]["runtime_factor"] == pytest.approx(3.0)
+        assert rows["beta"]["cflog_ratio"] == pytest.approx(10.0)
+
+    def test_fig1_zero_instrumented_log_is_inf(self, runs):
+        runs["beta"]["traces"] = _run("beta", "traces", 550, cflog_bytes=0)
+        rows = {r["workload"]: r for r in fig1_motivation(runs)}
+        assert rows["beta"]["cflog_ratio"] == float("inf")
+
+    def test_fig8_overhead_percentages(self, runs):
+        rows = {r["workload"]: r for r in fig8_runtime(runs)}
+        assert rows["alpha"]["rap_over_naive_pct"] == pytest.approx(20.0)
+        assert rows["alpha"]["traces_over_base_pct"] == pytest.approx(200.0)
+        assert rows["beta"]["rap_over_naive_pct"] == pytest.approx(2.0)
+
+    def test_fig9_sizes_and_records(self, runs):
+        rows = {r["workload"]: r for r in fig9_cflog(runs)}
+        assert rows["alpha"]["naive_mtb_B"] == 4000
+        assert rows["alpha"]["rap_track_B"] == 40
+        assert rows["alpha"]["rap_records"] == 10
+        assert rows["alpha"]["traces_records"] == 100
+
+    def test_fig10_overheads(self, runs):
+        rows = {r["workload"]: r for r in fig10_code_size(runs)}
+        assert rows["alpha"]["rap_overhead_B"] == 20
+        assert rows["alpha"]["traces_overhead_B"] == 50
+        assert rows["beta"]["rap_overhead_B"] == 10
+
+    def test_partial_report_flags(self, runs):
+        rows = {r["workload"]: r for r in partial_report_table(runs)}
+        assert rows["alpha"]["rap_single_report"] is True
+        assert rows["beta"]["naive_partials"] == 3
+        assert rows["alpha"]["traces_partials"] == 2
+
+    def test_row_order_follows_input_order(self, runs):
+        assert [r["workload"] for r in fig8_runtime(runs)] == \
+            ["alpha", "beta"]
+
+
+class TestFormatTable:
+    def test_empty_rows_render_just_the_title(self):
+        assert format_table([], "Only title") == "Only title"
+        assert format_table([]) == ""
+
+    def test_header_separator_and_row_count(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["a", "b"]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_numbers_right_justified_text_left_justified(self):
+        text = format_table([{"name": "abc", "n": 5},
+                             {"name": "d", "n": 12345}])
+        body = text.splitlines()[-1]
+        assert body.startswith("d ")  # text: left
+        assert body.endswith("12345")  # numbers: right
+
+    def test_column_width_fits_widest_cell_or_header(self):
+        text = format_table([{"wide_header": 1}])
+        header, sep, row = text.splitlines()
+        assert len(sep) == len("wide_header")
+        assert row.endswith("1")
+
+    def test_generator_input_accepted(self):
+        rows = ({"v": i} for i in range(3))
+        text = format_table(rows, "gen")
+        assert len(text.splitlines()) == 6
+
+    def test_float_bool_and_inf_rendering(self):
+        text = format_table([{"f": 1.25, "yes": True, "no": False,
+                              "inf": float("inf")}])
+        assert "1.2" in text and "yes" in text and "no" in text
+        assert "inf" in text
+
+
+class TestScalarFormatting:
+    @pytest.mark.parametrize("value,expected", [
+        (True, "yes"),
+        (False, "no"),
+        (3.14159, "3.1"),
+        (float("inf"), "inf"),
+        (42, "42"),
+        (-7, "-7"),
+        ("text", "text"),
+    ])
+    def test_fmt(self, value, expected):
+        assert _fmt(value) == expected
+
+    @pytest.mark.parametrize("text,numeric", [
+        ("42", True),
+        ("-7", True),
+        ("3.1", True),
+        ("inf", True),
+        ("abc", False),
+        ("x1", False),
+    ])
+    def test_numeric(self, text, numeric):
+        assert _numeric(text) is numeric

@@ -1,0 +1,82 @@
+"""The ground-truth execution tracer (the replay oracle's oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm.assembler import assemble_and_link
+from repro.isa.instructions import make_instr
+from repro.machine.cpu import RetireEvent
+from repro.machine.mcu import MCU
+from repro.trace.groundtruth import GroundTruthTracer
+
+
+def _event(src, dst, sequential=False):
+    return RetireEvent(src, dst, sequential, make_instr("nop"))
+
+
+class TestTracerUnit:
+    def test_records_only_transfers_by_default(self):
+        tracer = GroundTruthTracer()
+        tracer.on_retire(_event(0x100, 0x102, sequential=True))
+        tracer.on_retire(_event(0x102, 0x200, sequential=False))
+        assert tracer.transfers == [(0x102, 0x200)]
+        assert tracer.pcs == []
+
+    def test_record_all_keeps_every_pc(self):
+        tracer = GroundTruthTracer(record_all=True)
+        tracer.on_retire(_event(0x100, 0x102, sequential=True))
+        tracer.on_retire(_event(0x102, 0x200, sequential=False))
+        assert tracer.pcs == [0x100, 0x102]
+        assert tracer.executed_addresses() == [0x100, 0x102]
+
+    def test_executed_addresses_requires_record_all(self):
+        tracer = GroundTruthTracer()
+        with pytest.raises(ValueError):
+            tracer.executed_addresses()
+
+    def test_executed_addresses_returns_a_copy(self):
+        tracer = GroundTruthTracer(record_all=True)
+        tracer.on_retire(_event(0x100, 0x102, sequential=True))
+        snapshot = tracer.executed_addresses()
+        snapshot.append(0xBAD)
+        assert tracer.pcs == [0x100]
+
+
+class TestTracerOnMachine:
+    SOURCE = """
+    .entry main
+main:
+    mov   r0, #3
+loop:
+    sub   r0, r0, #1
+    cmp   r0, #0
+    bne   loop
+    bkpt
+"""
+
+    @pytest.fixture()
+    def traced(self):
+        image = assemble_and_link(self.SOURCE)
+        mcu = MCU(image)
+        tracer = GroundTruthTracer(record_all=True)
+        mcu.cpu.retire_hooks.append(tracer.on_retire)
+        run = mcu.run()
+        return image, tracer, run
+
+    def test_one_pc_per_retired_instruction(self, traced):
+        image, tracer, run = traced
+        assert len(tracer.pcs) == run.instructions
+        assert tracer.pcs[0] == image.entry
+
+    def test_loop_latch_transfers_captured(self, traced):
+        image, tracer, run = traced
+        loop_addr = image.addr_of("loop")
+        taken = [t for t in tracer.transfers if t[1] == loop_addr]
+        assert len(taken) == 2  # r0: 3 -> 2 -> 1, then falls through
+        assert all(src > dst for src, dst in taken)  # backward latch
+
+    def test_transfers_are_a_subsequence_of_pcs(self, traced):
+        _, tracer, _ = traced
+        sources = [src for src, _ in tracer.transfers]
+        assert set(sources) <= set(tracer.pcs)
