@@ -1,0 +1,132 @@
+"""Fleet verification throughput: serial Vrf vs the fleet service.
+
+One 200-session honest fleet (fibcall/prime under RAP-Track) transmits
+the same report stream to every configuration: the serial baseline
+verifies one session at a time through ``verify_session_chain`` with
+no sharing; the fleet service runs the identical stream inline with
+the replay cache and through a 4-worker pool. The service must reach
+at least 2x the baseline's reports/sec with 4 workers while producing
+byte-identical per-session verdicts — concurrency and caching are only
+allowed to move the clock, never the verdict.
+
+Chain generation (the Prv side) happens before the timed window; the
+measurement is ingest + verification only.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.cfa.fleet import (
+    ChainFactory,
+    FleetService,
+    build_fleet_specs,
+    device_key,
+    verify_session_chain,
+)
+from conftest import save_table
+
+SESSIONS = 200
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return build_fleet_specs(SESSIONS, attack_fraction=0.0, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def factory(artifact_cache):
+    return ChainFactory(watermark=1024, cache=artifact_cache)
+
+
+@pytest.fixture(scope="module")
+def baseline(specs, factory):
+    """Serial verification: per-session, uncached, one at a time."""
+    service = FleetService(workers=0, replay_cache=False)
+    sessions = []
+    for spec in specs:
+        challenge = service.open_session(
+            spec.device_id, spec.profile, device_key(spec.device_id))
+        sessions.append((spec, challenge.nonce,
+                         factory.chain(spec, challenge.nonce)))
+    reports = sum(len(chunks) for _, _, chunks in sessions)
+    t0 = time.perf_counter()
+    verdicts = {
+        spec.device_id: verify_session_chain(
+            spec.device_id, spec.profile, device_key(spec.device_id),
+            nonce, chunks)
+        for spec, nonce, chunks in sessions
+    }
+    wall = time.perf_counter() - t0
+    return verdicts, wall, reports
+
+
+def run_fleet(specs, factory, **service_kwargs):
+    """Drive the same interleaved stream through a fleet service."""
+    service = FleetService(**service_kwargs)
+    chains = {}
+    order = []
+    for spec in specs:
+        challenge = service.open_session(
+            spec.device_id, spec.profile, device_key(spec.device_id))
+        chains[spec.device_id] = factory.chain(spec, challenge.nonce)
+        order.extend((spec.device_id, i)
+                     for i in range(len(chains[spec.device_id])))
+    random.Random(SEED).shuffle(order)
+    cursors = dict.fromkeys(chains, 0)
+    t0 = time.perf_counter()
+    for device_id, _ in order:  # per-device cursors keep in-session order
+        index = cursors[device_id]
+        cursors[device_id] += 1
+        service.submit(device_id, chains[device_id][index])
+    metrics = service.close()
+    wall = time.perf_counter() - t0
+    return dict(service.verdicts), wall, metrics
+
+
+def test_fleet_throughput(specs, factory, baseline, results_dir):
+    base_verdicts, base_wall, reports = baseline
+    base_rps = reports / base_wall
+    rows = [("serial baseline", base_wall, base_rps, 1.0, "-")]
+    speedups = {}
+    for label, kwargs in (
+        ("fleet inline + cache", dict(workers=0)),
+        ("fleet 4 workers + cache", dict(workers=4)),
+        ("fleet 4 process workers", dict(workers=4, executor="process")),
+    ):
+        verdicts, wall, metrics = run_fleet(specs, factory, **kwargs)
+        assert verdicts == base_verdicts, f"{label}: verdicts diverged"
+        assert all(v.accepted for v in verdicts.values())
+        speedups[label] = base_rps and (reports / wall) / base_rps
+        rows.append((f"{label} ({metrics.executor})", wall,
+                     reports / wall, speedups[label],
+                     f"{metrics.replay_cache_hits}/{SESSIONS}"))
+    lines = [f"Fleet verification throughput "
+             f"({SESSIONS} sessions, {reports} reports)",
+             f"{'configuration':38s} {'wall':>7s} {'rps':>7s} "
+             f"{'speedup':>8s} {'cache':>9s}"]
+    lines += [f"{label:38s} {wall:6.2f}s {rps:7.0f} {speedup:7.2f}x "
+              f"{cache:>9s}"
+              for label, wall, rps, speedup, cache in rows]
+    save_table(results_dir, "fleet_throughput", "\n".join(lines))
+    # the headline claim: 4 pool workers at >= 2x serial reports/sec
+    assert speedups["fleet 4 workers + cache"] >= 2.0
+
+
+def test_bench_session_verify_latency(benchmark, specs, factory):
+    """Time one end-to-end session verification (no cache)."""
+    spec = specs[0]
+    service = FleetService(workers=0, replay_cache=False)
+    challenge = service.open_session(
+        spec.device_id, spec.profile, device_key(spec.device_id))
+    chunks = factory.chain(spec, challenge.nonce)
+    verdict = benchmark.pedantic(
+        lambda: verify_session_chain(
+            spec.device_id, spec.profile, device_key(spec.device_id),
+            challenge.nonce, chunks),
+        rounds=5, iterations=1)
+    assert verdict.accepted

@@ -1,0 +1,53 @@
+"""Fleet attestation: one Vrf serving many concurrent device sessions.
+
+The package splits along the cost structure of fleet CFA:
+
+* :mod:`~repro.cfa.fleet.session` — cheap per-report protocol state
+  (challenges, replay protection, sequencing, expiry/retry);
+* :mod:`~repro.cfa.fleet.verify` — the expensive chain-verification
+  primitive shared verbatim by the serial and pooled paths;
+* :mod:`~repro.cfa.fleet.service` — the multiplexing front end with a
+  worker-pool fan-out, bounded-queue backpressure, and metrics;
+* :mod:`~repro.cfa.fleet.simulator` — the load generator / adversary
+  model used by the tests, the ``fleet`` CLI, and the benchmarks.
+"""
+
+from repro.cfa.fleet.metrics import FleetMetrics
+from repro.cfa.fleet.service import FleetService
+from repro.cfa.fleet.session import FleetOverloadError, Session, SessionManager
+from repro.cfa.fleet.simulator import (
+    BEHAVIORS,
+    ChainFactory,
+    DeviceSpec,
+    FleetSimulator,
+    HONEST_BEHAVIORS,
+    HOSTILE_BEHAVIORS,
+    SimulationReport,
+    build_fleet_specs,
+    device_key,
+)
+from repro.cfa.fleet.verify import (
+    DeviceProfile,
+    SessionVerdict,
+    verify_session_chain,
+)
+
+__all__ = [
+    "BEHAVIORS",
+    "ChainFactory",
+    "DeviceProfile",
+    "DeviceSpec",
+    "FleetMetrics",
+    "FleetOverloadError",
+    "FleetService",
+    "FleetSimulator",
+    "HONEST_BEHAVIORS",
+    "HOSTILE_BEHAVIORS",
+    "Session",
+    "SessionManager",
+    "SessionVerdict",
+    "SimulationReport",
+    "build_fleet_specs",
+    "device_key",
+    "verify_session_chain",
+]

@@ -1,0 +1,88 @@
+"""Structured metrics for the fleet verification service.
+
+Mirrors the :class:`~repro.eval.parallel.EvalMetrics` idiom: plain
+counters mutated under the service lock, plus derived views (latency
+percentiles, throughput) computed on demand and a one-line
+``summary()`` for the CLI/CI smoke output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class FleetMetrics:
+    """Aggregate counters for one service lifetime."""
+
+    # sessions
+    sessions_opened: int = 0
+    sessions_verified: int = 0
+    sessions_rejected: int = 0
+    sessions_expired: int = 0
+    sessions_retried: int = 0
+    sessions_refused: int = 0  # overload: never admitted
+    # reports
+    reports_ingested: int = 0
+    reports_ignored: int = 0   # late / unknown-device deliveries
+    duplicates_dropped: int = 0
+    bytes_ingested: int = 0
+    # verification engine
+    verify_latencies_s: List[float] = field(default_factory=list, repr=False)
+    queue_depth: int = 0
+    queue_depth_max: int = 0
+    workers: int = 0
+    executor: str = "inline"
+    replay_cache_hits: int = 0
+    replay_cache_misses: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def sessions_settled(self) -> int:
+        return (self.sessions_verified + self.sessions_rejected
+                + self.sessions_expired)
+
+    @property
+    def reports_per_second(self) -> float:
+        return self.reports_ingested / self.wall_s if self.wall_s else 0.0
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        sample = self.verify_latencies_s
+        return {
+            "p50": percentile(sample, 0.50),
+            "p95": percentile(sample, 0.95),
+            "p99": percentile(sample, 0.99),
+        }
+
+    def summary(self) -> str:
+        pct = self.latency_percentiles()
+        return (
+            f"{self.sessions_settled}/{self.sessions_opened} sessions "
+            f"settled ({self.sessions_verified} ok, "
+            f"{self.sessions_rejected} rejected, "
+            f"{self.sessions_expired} expired, "
+            f"{self.sessions_retried} retried, "
+            f"{self.sessions_refused} refused), "
+            f"{self.reports_ingested} reports "
+            f"({self.bytes_ingested} B, {self.duplicates_dropped} dup, "
+            f"{self.reports_ignored} ignored) "
+            f"at {self.reports_per_second:.0f} rps, "
+            f"workers={self.workers} ({self.executor}), "
+            f"verify p50/p95/p99 {pct['p50'] * 1e3:.1f}/"
+            f"{pct['p95'] * 1e3:.1f}/{pct['p99'] * 1e3:.1f} ms, "
+            f"queue depth max {self.queue_depth_max}, "
+            f"replay cache {self.replay_cache_hits}/"
+            f"{self.replay_cache_hits + self.replay_cache_misses} hits, "
+            f"wall {self.wall_s:.2f}s"
+        )

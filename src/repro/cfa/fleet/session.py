@@ -1,0 +1,259 @@
+"""Per-device session bookkeeping for the fleet Vrf.
+
+The :class:`SessionManager` is the protocol brain of the service and
+deliberately knows nothing about threads or worker pools: every method
+is a pure state transition driven by an explicit logical clock, which
+is what makes session semantics unit-testable and the serial/pooled
+service paths identical. It owns:
+
+* **challenge issuance** — one fresh nonce per session attempt,
+  derived from a counter exactly like
+  :class:`~repro.cfa.protocol.VerifierEndpoint`, with a seen-nonce set
+  guarding reuse;
+* **replay protection** — a report is only accepted if its challenge
+  matches the session's *outstanding* nonce and its device id matches
+  the session's device: chains replayed from an earlier challenge (or
+  another device) die at ingest, before any MAC work is spent;
+* **sequence tracking** — in-order reports extend the accepted chain;
+  out-of-order reports are buffered inside a bounded *reorder window*
+  and drained when the gap fills; duplicates of already-seen reports
+  are dropped iff byte-identical (a conflicting duplicate is
+  equivocation and rejects the session); anything past the final
+  report rejects;
+* **idle expiry and retry** — a session with no activity for
+  ``idle_timeout`` logical seconds is re-challenged (fresh nonce,
+  chain discarded) up to ``max_attempts`` times, then expired.
+
+Structural checks here are *pre-filters*: the authoritative verdict
+always comes from replaying the accepted chain through
+:func:`~repro.cfa.fleet.verify.verify_session_chain`, which re-checks
+MACs, challenge, and sequencing from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfa.protocol import Challenge
+from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
+from repro.cfa.report import Report
+from repro.cfa.wire import WireError, decode_report
+
+# session lifecycle states
+PENDING = "pending"        # challenged, no report accepted yet
+STREAMING = "streaming"    # mid-chain
+QUEUED = "queued"          # chain complete, awaiting verification
+VERIFIED = "verified"      # verdict in, accepted
+REJECTED = "rejected"      # verdict in (or protocol violation), refused
+EXPIRED = "expired"        # idled out after the last attempt
+
+#: states in which a session still occupies Vrf resources
+ACTIVE_STATES = (PENDING, STREAMING, QUEUED)
+
+
+class FleetOverloadError(Exception):
+    """The service refused a new session: at its max_sessions limit."""
+
+
+@dataclass
+class Session:
+    """One device's attestation session (possibly across retries)."""
+
+    device_id: str
+    profile: DeviceProfile
+    key: bytes
+    challenge: Challenge
+    opened_at: float
+    last_activity: float
+    state: str = PENDING
+    attempt: int = 1
+    chunks: List[bytes] = field(default_factory=list)  # accepted, in order
+    #: the decoded twins of ``chunks`` — ingest already paid for the
+    #: decode, so in-process verification need not decode again
+    reports: List[Report] = field(default_factory=list)
+    #: reorder-window holding area: seq -> (bytes, decoded report)
+    buffered: Dict[int, Tuple[bytes, Report]] = field(default_factory=dict)
+    next_seq: int = 0
+    final_seq: Optional[int] = None
+    duplicates: int = 0
+    reject_reason: str = ""
+    verdict: Optional[SessionVerdict] = None
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+
+class SessionManager:
+    """Protocol state for every device session at the fleet Vrf."""
+
+    def __init__(self, seed: bytes = b"fleet-vrf",
+                 idle_timeout: float = 30.0,
+                 reorder_window: int = 8,
+                 max_attempts: int = 2,
+                 max_sessions: Optional[int] = None):
+        self.seed = seed
+        self.idle_timeout = idle_timeout
+        self.reorder_window = reorder_window
+        self.max_attempts = max_attempts
+        self.max_sessions = max_sessions
+        self.sessions: Dict[str, Session] = {}
+        self._counter = 0
+        self._seen_nonces = set()
+        # aggregate ingest accounting (the service folds these into metrics)
+        self.duplicates_dropped = 0
+        self.reports_ignored = 0
+
+    # -- challenge issuance -------------------------------------------------
+
+    def _fresh_challenge(self) -> Challenge:
+        challenge = Challenge.derive(self.seed, self._counter)
+        self._counter += 1
+        if challenge.nonce in self._seen_nonces:
+            raise RuntimeError("nonce reuse")  # unreachable with a counter
+        self._seen_nonces.add(challenge.nonce)
+        return challenge
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for s in self.sessions.values() if s.active)
+
+    def open(self, device_id: str, profile: DeviceProfile, key: bytes,
+             now: float = 0.0) -> Session:
+        """Admit a device and issue its challenge."""
+        existing = self.sessions.get(device_id)
+        if existing is not None and existing.active:
+            raise ValueError(f"device {device_id!r} already has an "
+                             f"active session")
+        if (self.max_sessions is not None
+                and self.active_count >= self.max_sessions):
+            raise FleetOverloadError(
+                f"at the {self.max_sessions}-session limit; "
+                f"refusing {device_id!r}")
+        session = Session(
+            device_id=device_id, profile=profile, key=key,
+            challenge=self._fresh_challenge(),
+            opened_at=now, last_activity=now,
+        )
+        self.sessions[device_id] = session
+        return session
+
+    # -- report ingest ------------------------------------------------------
+
+    def _reject(self, session: Session, reason: str) -> Session:
+        session.state = REJECTED
+        session.reject_reason = reason
+        return session
+
+    def ingest(self, device_id: str, data: bytes,
+               now: float) -> Optional[Session]:
+        """Absorb one wire-encoded report from a device.
+
+        Returns the session so the caller can act on its new state
+        (``QUEUED`` means the chain is complete and ready to verify;
+        ``REJECTED`` means a protocol violation was just detected), or
+        ``None`` when the report has no live session to land in (late,
+        unknown device) and was counted + dropped.
+        """
+        session = self.sessions.get(device_id)
+        if session is None or session.state not in (PENDING, STREAMING):
+            self.reports_ignored += 1
+            return None
+        session.last_activity = now
+        try:
+            report, consumed = decode_report(data)
+            if consumed != len(data):
+                raise WireError("trailing bytes after report")
+        except WireError as exc:
+            return self._reject(session, f"malformed report: {exc}")
+        if report.device_id != device_id.encode():
+            return self._reject(
+                session, "report device id does not match the session")
+        if report.challenge != session.challenge.nonce:
+            return self._reject(
+                session, f"report #{report.seq} does not answer the "
+                         f"outstanding challenge (replayed chain?)")
+        seq = report.seq
+        if seq < session.next_seq:  # duplicate of an accepted report
+            if session.chunks[seq] == data:
+                session.duplicates += 1
+                self.duplicates_dropped += 1
+                return session
+            return self._reject(
+                session, f"conflicting duplicate of report #{seq}")
+        if seq in session.buffered:  # duplicate of a buffered report
+            if session.buffered[seq][0] == data:
+                session.duplicates += 1
+                self.duplicates_dropped += 1
+                return session
+            return self._reject(
+                session, f"conflicting duplicate of report #{seq}")
+        if session.final_seq is not None and seq > session.final_seq:
+            return self._reject(
+                session,
+                f"report #{seq} past the final report #{session.final_seq}")
+        if report.final:
+            if any(b > seq for b in session.buffered):
+                return self._reject(
+                    session, f"buffered report past the final #{seq}")
+            session.final_seq = seq
+        if seq == session.next_seq:
+            session.chunks.append(data)
+            session.reports.append(report)
+            session.next_seq += 1
+            while session.next_seq in session.buffered:  # drain the window
+                chunk, buffered = session.buffered.pop(session.next_seq)
+                session.chunks.append(chunk)
+                session.reports.append(buffered)
+                session.next_seq += 1
+        else:
+            if seq - session.next_seq > self.reorder_window:
+                return self._reject(
+                    session,
+                    f"report #{seq} outside the reorder window "
+                    f"(expecting #{session.next_seq}, window "
+                    f"{self.reorder_window})")
+            session.buffered[seq] = (data, report)
+        session.state = STREAMING
+        if (session.final_seq is not None
+                and session.next_seq > session.final_seq):
+            session.state = QUEUED
+        return session
+
+    # -- timeouts / retry ---------------------------------------------------
+
+    def tick(self, now: float) -> Tuple[List[Session], List[Session]]:
+        """Advance the logical clock; returns (re-challenged, expired).
+
+        A stalled chain (no activity for ``idle_timeout``) is
+        re-challenged with a fresh nonce while attempts remain — the
+        partial chain is discarded, because reports are bound to their
+        challenge — and expired after the last attempt. Sessions that
+        are already queued for verification are not expired: their
+        chain is complete and the verdict is in flight.
+        """
+        rechallenged: List[Session] = []
+        expired: List[Session] = []
+        for session in self.sessions.values():
+            if session.state not in (PENDING, STREAMING):
+                continue
+            if now - session.last_activity < self.idle_timeout:
+                continue
+            if session.attempt < self.max_attempts:
+                session.attempt += 1
+                session.challenge = self._fresh_challenge()
+                session.chunks = []
+                session.reports = []
+                session.buffered = {}
+                session.next_seq = 0
+                session.final_seq = None
+                session.state = PENDING
+                session.last_activity = now
+                rechallenged.append(session)
+            else:
+                session.state = EXPIRED
+                session.reject_reason = (
+                    f"idle timeout after {session.attempt} attempt(s)")
+                expired.append(session)
+        return rechallenged, expired

@@ -1,0 +1,287 @@
+"""Drive N simulated devices through the fleet wire protocol.
+
+The simulator is the load generator *and* the adversary model for the
+fleet service: each :class:`DeviceSpec` names a device profile (which
+workload/method it attests) and a delivery *behavior* — honest, or one
+of the hostile/faulty transports the service must survive:
+
+========== ==============================================================
+behavior    delivery
+========== ==============================================================
+honest      the chain, in order
+duplicate   one report delivered twice (byte-identical)
+reorder     two adjacent reports swapped (inside the reorder window)
+stall       final report withheld; answers the retry challenge in full
+tamper      one byte flipped inside a report (MAC or framing breaks)
+truncate    one report cut short (structural wire damage)
+attack      a genuine ROP execution on the ``vulnerable`` firmware
+========== ==============================================================
+
+Device executions are deterministic, so the simulator attests each
+distinct ``(profile, attacked)`` template **once** and then re-signs
+the template's report chain per session — same CFLog and ``H_MEM``,
+that session's challenge/device id, that device's key — which is
+byte-for-byte what a real deterministic Prv would transmit, and makes
+thousand-session fleets cheap to generate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.naive_mtb import NaiveMtbEngine
+from repro.baselines.traces import TracesEngine
+from repro.cfa.cflog import CFLog
+from repro.cfa.engine import EngineConfig, RapTrackEngine
+from repro.cfa.fleet.service import FleetService
+from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
+from repro.cfa.report import Report
+from repro.cfa.wire import encode_report
+from repro.eval.runner import prepare
+from repro.tz.keystore import KeyStore
+from repro.workloads import load_workload
+from repro.workloads import vulnerable
+from repro.workloads.base import make_mcu
+
+#: behaviors whose sessions a correct service must end up accepting
+HONEST_BEHAVIORS = frozenset({"honest", "duplicate", "reorder", "stall"})
+#: behaviors whose sessions a correct service must end up rejecting
+HOSTILE_BEHAVIORS = frozenset({"tamper", "truncate", "attack"})
+BEHAVIORS = tuple(sorted(HONEST_BEHAVIORS | HOSTILE_BEHAVIORS))
+
+#: fleet-wide provisioning secret (device key = KDF(device id, secret))
+FLEET_SECRET = b"fleet-factory-secret"
+
+
+def device_key(device_id: str) -> bytes:
+    """The symmetric attestation key provisioned for one device."""
+    return KeyStore(device_id.encode(), FLEET_SECRET).attestation_key
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One simulated device: identity, firmware profile, behavior."""
+
+    device_id: str
+    profile: DeviceProfile
+    behavior: str = "honest"
+
+    @property
+    def expected_accepted(self) -> bool:
+        """Whether a correct Vrf accepts this device's session (stalled
+        devices assume the service re-challenges at least once)."""
+        return self.behavior in HONEST_BEHAVIORS
+
+
+@dataclass
+class _Template:
+    """One attested execution, ready to re-sign per session."""
+
+    method: str
+    h_mem: bytes
+    cflogs: List[CFLog]  # one per (partial) report, in order
+
+
+class ChainFactory:
+    """Attest once per (profile, attacked) pair; re-sign per session."""
+
+    def __init__(self, watermark: Optional[int] = 1024, cache=None):
+        self.engine_config = EngineConfig(watermark=watermark)
+        self.cache = cache
+        self._templates: Dict[Tuple[DeviceProfile, bool], _Template] = {}
+
+    def _attest_template(self, profile: DeviceProfile,
+                         attacked: bool) -> _Template:
+        workload = load_workload(profile.workload)
+        image, bound = prepare(workload, profile.method, cache=self.cache)
+        mcu = make_mcu(image, workload)
+        if attacked:
+            # the ROP payload rides the vulnerable firmware's UART feed
+            mcu.mmio.device("uart").set_feed(vulnerable.attack_feed(image))
+        keystore = KeyStore.provision("template")
+        if profile.method == "rap-track":
+            engine = RapTrackEngine(mcu, keystore, bound, self.engine_config)
+        elif profile.method == "traces":
+            engine = TracesEngine(mcu, keystore, bound, self.engine_config)
+        elif profile.method == "naive-mtb":
+            engine = NaiveMtbEngine(mcu, keystore, self.engine_config)
+        else:
+            raise ValueError(f"unknown method {profile.method!r}")
+        result = engine.attest(b"fleet-template")
+        return _Template(
+            method=engine.method,
+            h_mem=result.reports[0].h_mem,
+            cflogs=[r.cflog for r in result.reports],
+        )
+
+    def chain(self, spec: DeviceSpec, nonce: bytes) -> List[bytes]:
+        """The wire-encoded report chain ``spec`` sends for ``nonce``."""
+        key = (spec.profile, spec.behavior == "attack")
+        template = self._templates.get(key)
+        if template is None:
+            template = self._attest_template(*key)
+            self._templates[key] = template
+        last = len(template.cflogs) - 1
+        signing_key = device_key(spec.device_id)
+        return [
+            encode_report(Report(
+                device_id=spec.device_id.encode(),
+                method=template.method,
+                challenge=nonce,
+                h_mem=template.h_mem,
+                seq=seq,
+                final=seq == last,
+                cflog=cflog,
+            ).sign(signing_key))
+            for seq, cflog in enumerate(template.cflogs)
+        ]
+
+
+@dataclass
+class SimulationReport:
+    """What one simulated fleet run produced."""
+
+    verdicts: Dict[str, SessionVerdict] = field(default_factory=dict)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+class FleetSimulator:
+    """Interleave N device sessions against one fleet service."""
+
+    def __init__(self, specs: Sequence[DeviceSpec], seed: int = 0,
+                 watermark: Optional[int] = 1024, cache=None):
+        self.specs = list(specs)
+        self.rng = random.Random(seed)
+        self.factory = ChainFactory(watermark=watermark, cache=cache)
+
+    # -- adversarial deliveries --------------------------------------------
+
+    def _deliveries(self, spec: DeviceSpec,
+                    chunks: List[bytes]) -> List[bytes]:
+        """Apply the spec's transport behavior to an honest chain."""
+        behavior = spec.behavior
+        chunks = list(chunks)
+        if behavior in ("honest", "attack"):
+            return chunks
+        if behavior == "duplicate":
+            index = self.rng.randrange(len(chunks))
+            chunks.insert(index + 1, chunks[index])
+            return chunks
+        if behavior == "reorder":
+            if len(chunks) >= 2:
+                index = self.rng.randrange(len(chunks) - 1)
+                chunks[index], chunks[index + 1] = (
+                    chunks[index + 1], chunks[index])
+            return chunks
+        if behavior == "stall":
+            return chunks[:-1]  # withhold the final report
+        if behavior == "tamper":
+            index = self.rng.randrange(len(chunks))
+            body = bytearray(chunks[index])
+            # flip one bit past the magic/version header
+            offset = self.rng.randrange(9, len(body))
+            body[offset] ^= 1 << self.rng.randrange(8)
+            chunks[index] = bytes(body)
+            return chunks
+        if behavior == "truncate":
+            index = self.rng.randrange(len(chunks))
+            cut = self.rng.randrange(1, 9)
+            chunks[index] = chunks[index][:-cut]
+            return chunks
+        raise ValueError(f"unknown behavior {behavior!r}")
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, service: FleetService,
+            step_s: float = 0.001) -> SimulationReport:
+        """Open every session, interleave all deliveries, settle retries.
+
+        The logical clock advances ``step_s`` per delivered report;
+        after the interleaved stream drains, it jumps past the idle
+        timeout so stalled sessions are re-challenged (answered in
+        full) and then expired if the service is out of retries.
+        """
+        now = 0.0
+        queues: Dict[str, List[bytes]] = {}
+        by_id = {spec.device_id: spec for spec in self.specs}
+        for spec in self.specs:
+            challenge = service.open_session(
+                spec.device_id, spec.profile,
+                device_key(spec.device_id), now)
+            honest = self.factory.chain(spec, challenge.nonce)
+            queues[spec.device_id] = self._deliveries(spec, honest)
+        # interleave: randomly pick among devices that still have traffic
+        live = [d for d, q in queues.items() if q]
+        while live:
+            device_id = live[self.rng.randrange(len(live))]
+            service.submit(device_id, queues[device_id].pop(0), now)
+            now += step_s
+            if not queues[device_id]:
+                live.remove(device_id)
+        # settle stalled chains: retry rounds, then expiry. A stalled
+        # device answers its retry in full (a transient outage); a
+        # hostile device keeps its behavior, so a tamper that merely
+        # stalled the chain (e.g. a flipped seq byte) cannot launder
+        # itself into acceptance through the retry path.
+        for _ in range(service.manager.max_attempts):
+            now += service.manager.idle_timeout + 1.0
+            rechallenges = service.tick(now)
+            for device_id, challenge in rechallenges:
+                spec = by_id[device_id]
+                chunks = self.factory.chain(spec, challenge.nonce)
+                if spec.behavior != "stall":
+                    chunks = self._deliveries(spec, chunks)
+                for chunk in chunks:
+                    service.submit(device_id, chunk, now)
+                    now += step_s
+        service.drain()
+        report = SimulationReport(verdicts=dict(service.verdicts))
+        for spec in self.specs:
+            verdict = report.verdicts.get(spec.device_id)
+            if verdict is None:
+                report.mismatches.append(
+                    f"{spec.device_id} ({spec.behavior}): no verdict")
+            elif verdict.accepted != spec.expected_accepted:
+                want = "accept" if spec.expected_accepted else "reject"
+                report.mismatches.append(
+                    f"{spec.device_id} ({spec.behavior}): expected "
+                    f"{want}, got "
+                    f"{'accept' if verdict.accepted else 'reject'} "
+                    f"({verdict.reason or 'ok'})")
+        return report
+
+
+def build_fleet_specs(devices: int,
+                      workloads: Sequence[str] = ("fibcall", "prime"),
+                      attack_fraction: float = 0.3,
+                      method: str = "rap-track",
+                      seed: int = 0) -> List[DeviceSpec]:
+    """A mixed fleet: honest behaviors cycled over ``workloads``, the
+    hostile fraction cycled over tamper/truncate/attack."""
+    rng = random.Random(seed)
+    hostile = sorted(HOSTILE_BEHAVIORS)
+    honest = sorted(HONEST_BEHAVIORS)
+    specs: List[DeviceSpec] = []
+    n_hostile = round(devices * attack_fraction)
+    for index in range(devices):
+        device_id = f"prv-{index:04d}"
+        if index < n_hostile:
+            behavior = hostile[index % len(hostile)]
+            workload = ("vulnerable" if behavior == "attack"
+                        else rng.choice(list(workloads)))
+        else:
+            behavior = honest[index % len(honest)]
+            workload = rng.choice(list(workloads))
+        specs.append(DeviceSpec(
+            device_id=device_id,
+            profile=DeviceProfile(workload, method),
+            behavior=behavior,
+        ))
+    rng.shuffle(specs)
+    return specs

@@ -1,0 +1,246 @@
+"""The single session-verification primitive behind the fleet service.
+
+One attestation *session* is a device's whole wire-encoded report
+chain; verifying it means running the exact serial machinery —
+:class:`~repro.cfa.streaming.StreamingVerifier` fed one report at a
+time — and folding the outcome into a :class:`SessionVerdict`, a pure
+picklable value. The in-process path and the worker-pool path both
+call :func:`verify_session_chain`, so serial and concurrent fleet
+verification cannot drift apart (the same discipline
+``eval/parallel.py`` applies to evaluation cells).
+
+Worker processes rebuild the Vrf-side artifacts (linked image + bound
+rewrite map) themselves from the device *profile*; the offline phase
+is a pure function of ``(workload, method)`` (see ``eval/cache.py``),
+so worker-built verifiers are identical to main-process ones. Built
+artifacts are memoized per process in :data:`_ARTIFACTS`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cfa.streaming import StreamError, StreamingVerifier
+from repro.cfa.verifier import NaiveVerifier, Verifier
+from repro.cfa.wire import WireError
+from repro.eval.runner import prepare
+from repro.workloads import load_workload
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """What Vrf knows about a device model: which attested binary it
+    runs and under which CFA method — enough to rebuild the verifier."""
+
+    workload: str
+    method: str = "rap-track"
+
+    def __str__(self) -> str:
+        return f"{self.workload}/{self.method}"
+
+
+@dataclass(frozen=True)
+class SessionVerdict:
+    """The fleet-level outcome of one attestation session.
+
+    Pure data: picklable across the worker pool and comparable, so two
+    verification paths agreeing means their verdicts are ``==``. The
+    replayed path is carried as a SHA-256 digest (plus its length) so
+    a large fleet result stays small crossing process boundaries while
+    still pinning the reconstruction bit-for-bit.
+    """
+
+    device_id: str
+    profile: DeviceProfile
+    accepted: bool
+    authenticated: bool = False
+    lossless: bool = False
+    violations: Tuple[Tuple[str, int, str], ...] = ()
+    reason: str = ""
+    reports: int = 0
+    records: int = 0
+    path_len: int = 0
+    path_digest: str = ""
+
+
+def path_digest(path: Sequence[int]) -> str:
+    """Order-sensitive digest of a replayed path."""
+    packed = b"".join(struct.pack("<I", pc & 0xFFFFFFFF) for pc in path)
+    return hashlib.sha256(packed).hexdigest()
+
+
+@dataclass(frozen=True)
+class _ReplaySummary:
+    """The replay-derived half of a verdict (authentication excluded)."""
+
+    lossless: bool
+    violations: Tuple[Tuple[str, int, str], ...]
+    error: str
+    consumed: int
+    path_len: int
+    path_digest: str
+
+
+class ReplayCache:
+    """Memoizes the replay of identical ``(profile, CFLog)`` chains.
+
+    Fleet devices running the same firmware produce byte-identical
+    CFLogs on honest runs, so the expensive lossless replay is shared
+    across the fleet and keyed by a digest of the authenticated record
+    stream. Only the replay is cached — authentication (MACs, nonce,
+    ``H_MEM``, sequencing) is per-session by construction and always
+    re-checked, so a cached entry can never launder a forged chain.
+    Replay is a pure function of ``(verifier artifacts, records)``,
+    which makes the memoization verdict-preserving.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[DeviceProfile, bytes], _ReplaySummary] = {}
+        self._lock = threading.Lock()  # shared by thread-pool workers
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(records) -> bytes:
+        return hashlib.sha256(
+            b"".join(r.pack() for r in records)).digest()
+
+    def lookup(self, profile: DeviceProfile,
+               key: bytes) -> Optional[_ReplaySummary]:
+        with self._lock:
+            entry = self._entries.get((profile, key))
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(self, profile: DeviceProfile, key: bytes,
+              entry: _ReplaySummary) -> None:
+        with self._lock:
+            self._entries[(profile, key)] = entry
+
+
+def _summarize(outcome) -> _ReplaySummary:
+    return _ReplaySummary(
+        lossless=outcome.lossless,
+        violations=tuple(
+            (v.kind, v.address, v.detail) for v in outcome.violations),
+        error=outcome.error or "",
+        consumed=outcome.consumed,
+        path_len=len(outcome.path),
+        path_digest=path_digest(outcome.path),
+    )
+
+
+# per-process memo of Vrf-side offline artifacts: profile -> (image, bound)
+_ARTIFACTS: Dict[DeviceProfile, tuple] = {}
+
+
+def build_verifier(profile: DeviceProfile, key: bytes):
+    """(Re)build the Vrf for a profile; offline artifacts are memoized."""
+    artifacts = _ARTIFACTS.get(profile)
+    if artifacts is None:
+        artifacts = prepare(load_workload(profile.workload), profile.method)
+        _ARTIFACTS[profile] = artifacts
+    image, bound = artifacts
+    if profile.method == "naive-mtb":
+        return NaiveVerifier(image, key)
+    if bound is None:
+        raise ValueError(f"method {profile.method!r} is not attestable")
+    return Verifier(image, bound, key)
+
+
+def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
+                         challenge: bytes, chunks: Sequence[bytes],
+                         cache: Optional[ReplayCache] = None,
+                         reports: Optional[Sequence] = None
+                         ) -> SessionVerdict:
+    """Verify one complete session chain exactly as the serial Vrf would.
+
+    ``chunks`` are the session's wire-encoded reports in sequence
+    order; when the caller already decoded them (the session manager
+    does, for its protocol pre-filters), passing the decoded twins as
+    ``reports`` skips the redundant wire decode — decoding is
+    deterministic, so both forms yield the same verdict.
+    Authentication (MACs, challenge, ``H_MEM``, sequencing) always runs
+    per session; with a ``cache``, only the pure replay step is shared
+    between identical chains — the cached and uncached paths produce
+    ``==`` verdicts. Never raises: wire damage and protocol violations
+    come back as a rejected verdict so a poisoned session cannot take a
+    worker (or the service thread) down with it.
+    """
+    try:
+        verifier = build_verifier(profile, key)
+    except Exception as exc:  # unknown workload/method in the profile
+        return SessionVerdict(
+            device_id=device_id, profile=profile, accepted=False,
+            reason=f"no verifier for profile {profile}: {exc}")
+    stream = StreamingVerifier(verifier, challenge)
+    try:
+        if reports is not None:
+            for report in reports:
+                stream.feed(report)
+        else:
+            for chunk in chunks:
+                stream.feed_bytes(chunk)
+        if not stream.finished:
+            raise StreamError("final report not yet received")
+        if cache is not None:
+            key_digest = ReplayCache.key(stream.records)
+            summary = cache.lookup(profile, key_digest)
+            if summary is None:
+                summary = _summarize(stream.finish())
+                cache.store(profile, key_digest, summary)
+        else:
+            summary = _summarize(stream.finish())
+    except (WireError, StreamError) as exc:
+        return SessionVerdict(
+            device_id=device_id, profile=profile, accepted=False,
+            reason=str(exc), reports=stream.partials_accepted)
+    return SessionVerdict(
+        device_id=device_id,
+        profile=profile,
+        # every report authenticated on feed; ok = replay clean on top
+        accepted=summary.lossless and not summary.violations,
+        authenticated=True,
+        lossless=summary.lossless,
+        violations=summary.violations,
+        reason=summary.error,
+        reports=len(chunks),
+        records=summary.consumed,
+        path_len=summary.path_len,
+        path_digest=summary.path_digest,
+    )
+
+
+# the worker-side replay cache (one per process, like _ARTIFACTS)
+_WORKER_CACHE = ReplayCache()
+
+
+def pool_verify(device_id: str, profile: DeviceProfile, key: bytes,
+                challenge: bytes, chunks: Sequence[bytes],
+                use_cache: bool) -> Tuple[SessionVerdict, int, int]:
+    """Worker-pool entry point (module-level for pickling).
+
+    Returns ``(verdict, cache_hits_delta, cache_misses_delta)`` so the
+    service can aggregate worker-side cache effectiveness.
+    """
+    cache = _WORKER_CACHE if use_cache else None
+    hits0, misses0 = _WORKER_CACHE.hits, _WORKER_CACHE.misses
+    verdict = verify_session_chain(
+        device_id, profile, key, challenge, chunks, cache=cache)
+    return (verdict, _WORKER_CACHE.hits - hits0,
+            _WORKER_CACHE.misses - misses0)
+
+
+def local_verify(args: tuple, cache: Optional[ReplayCache],
+                 reports: Optional[Sequence] = None
+                 ) -> Tuple[SessionVerdict, int, int]:
+    """Thread-pool entry point: shares the service's cache in-process
+    (cache deltas ride the shared object, so none are reported here)."""
+    return verify_session_chain(*args, cache=cache, reports=reports), 0, 0

@@ -37,6 +37,16 @@ class StreamingVerifier:
     def partials_accepted(self) -> int:
         return self._next_seq
 
+    @property
+    def finished(self) -> bool:
+        """True once the final report has been absorbed."""
+        return self._finished
+
+    @property
+    def records(self) -> List[Record]:
+        """The authenticated records accumulated so far (shared list)."""
+        return self._records
+
     def feed_bytes(self, data: bytes) -> None:
         """Feed one wire-encoded report."""
         report, consumed = decode_report(data)

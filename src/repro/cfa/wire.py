@@ -31,6 +31,9 @@ except ImportError:  # pragma: no cover - speccfa is part of the package
 MAGIC = b"RAPT"
 VERSION = 1
 
+#: every record crosses the wire as the 9-byte tagged ``Record.pack``
+RECORD_BYTES = 9
+
 
 class WireError(Exception):
     """Malformed or truncated wire data."""
@@ -109,11 +112,21 @@ def decode_report(data: bytes) -> Tuple[Report, int]:
         raise WireError(f"unsupported version {version}")
     body = _Reader(reader.lp_bytes())
     device_id = body.lp_bytes()
-    method = body.lp_bytes().decode()
+    try:
+        method = body.lp_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"method field is not valid UTF-8: {exc}") from None
     challenge = body.lp_bytes()
     h_mem = body.lp_bytes()
     seq, final = struct.unpack("<IB", body.take(5))
+    if final not in (0, 1):
+        raise WireError(f"final flag must be 0 or 1, got {final}")
     count = body.u32()
+    # each record is exactly RECORD_BYTES; reject absurd counts before
+    # looping so a mutated length cannot drive a long decode spin
+    if count * RECORD_BYTES > len(body.data) - body.pos:
+        raise WireError(
+            f"record count {count} exceeds the remaining body")
     records: List[Record] = [decode_record(body) for _ in range(count)]
     mac = body.lp_bytes()
     if not body.exhausted:

@@ -8,7 +8,10 @@ Commands:
   tables, optionally fanning the (workload × method) grid out across
   worker processes;
 * ``offline WORKLOAD`` — show the rewriter's output (MTBDR/MTBAR);
-* ``attack`` — the ROP detection demonstration.
+* ``attack`` — the ROP detection demonstration;
+* ``fleet [--devices N] [--workers W]`` — simulate a mixed fleet
+  (honest, faulty, and hostile devices) against the fleet attestation
+  service; exits 0 iff every session settles as expected.
 
 ``run`` and ``figures`` memoize the offline phase (classify/rewrite/
 link) in a content-addressed on-disk cache — ``--cache-dir`` moves it,
@@ -172,6 +175,33 @@ def _cmd_attack(_args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.cfa.fleet import (
+        FleetService,
+        FleetSimulator,
+        build_fleet_specs,
+    )
+
+    specs = build_fleet_specs(
+        args.devices, attack_fraction=args.attack_fraction,
+        method=args.method, seed=args.seed)
+    sim = FleetSimulator(specs, seed=args.seed, cache=_make_cache(args))
+    with FleetService(workers=args.workers, executor=args.executor,
+                      idle_timeout=5.0,
+                      replay_cache=not args.no_replay_cache) as service:
+        report = sim.run(service)
+        metrics = service.metrics
+    print(f"fleet: {metrics.summary()}", file=sys.stderr)
+    for line in report.mismatches:
+        print(f"MISMATCH {line}")
+    if not report.ok:
+        print(f"fleet: {len(report.mismatches)}/{len(specs)} sessions "
+              f"settled against expectation")
+        return 1
+    print(f"fleet: all {len(specs)} sessions settled as expected")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +248,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("attack", help="ROP detection demonstration") \
         .set_defaults(func=_cmd_attack)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate a device fleet against the async verifier")
+    fleet.add_argument("--devices", type=int, default=100, metavar="N",
+                       help="fleet size (default: 100)")
+    fleet.add_argument("--workers", type=int, default=0, metavar="W",
+                       help="verification pool size "
+                            "(default: 0 = verify inline)")
+    fleet.add_argument("--executor", choices=["auto", "thread", "process"],
+                       default="auto",
+                       help="pool flavour for --workers > 1")
+    fleet.add_argument("--attack-fraction", type=float, default=0.3,
+                       metavar="F",
+                       help="fraction of hostile/faulty devices "
+                            "(default: 0.3)")
+    fleet.add_argument("--method", choices=["rap-track", "traces"],
+                       default="rap-track")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="fleet composition + delivery RNG seed")
+    fleet.add_argument("--no-replay-cache", action="store_true",
+                       help="disable replay memoization across "
+                            "identical chains")
+    _add_cache_flags(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -19,6 +19,7 @@ from repro.workloads import (
     syringe,
     gps,
 )
+from repro.workloads import vulnerable
 from repro.workloads.beebs import (
     bitcount,
     bubblesort,
@@ -52,15 +53,23 @@ WORKLOADS = {
 }
 
 
+#: demonstration firmwares: attestable by name (e.g. by the fleet
+#: simulator's attack devices) but excluded from the evaluation grid
+DEMO_WORKLOADS = {
+    "vulnerable": vulnerable.make,
+}
+
+
 def load_workload(name: str) -> Workload:
     """Instantiate a fresh workload (new peripheral state) by name."""
-    try:
-        factory = WORKLOADS[name]
-    except KeyError:
+    factory = WORKLOADS.get(name) or DEMO_WORKLOADS.get(name)
+    if factory is None:
         raise KeyError(
-            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
-        ) from None
+            f"unknown workload {name!r}; available: "
+            f"{sorted(WORKLOADS) + sorted(DEMO_WORKLOADS)}"
+        )
     return factory()
 
 
-__all__ = ["Workload", "WORKLOADS", "load_workload", "build_image", "make_mcu"]
+__all__ = ["Workload", "WORKLOADS", "DEMO_WORKLOADS", "load_workload",
+           "build_image", "make_mcu"]

@@ -1,0 +1,108 @@
+"""Differential tests: streaming verification ≡ one-shot verification.
+
+The fleet service leans on :class:`StreamingVerifier` consuming a
+chain chunk-at-a-time being *semantically identical* to handing the
+whole :class:`AttestationResult` to ``Verifier.verify`` — same
+authentication outcome, same replay, same violations, same path. These
+tests pin that equivalence across workloads, methods, honest and
+attacked executions, and damaged chains.
+"""
+
+import pytest
+
+from repro.cfa.engine import EngineConfig
+from repro.cfa.streaming import StreamError, StreamingVerifier
+from repro.cfa.wire import encode_report
+from repro.workloads import load_workload, vulnerable
+from conftest import naive_setup, rap_setup, traces_setup
+
+CHALLENGE = b"diff-chal"
+SETUPS = {"rap-track": rap_setup, "traces": traces_setup,
+          "naive-mtb": naive_setup}
+
+
+def attest(workload_name, method="rap-track", attacked=False,
+           watermark=512):
+    """Attest one execution; returns (result, verifier)."""
+    workload = load_workload(workload_name)
+    image, _, mcu, engine, verifier, _ = SETUPS[method](
+        workload, engine_config=EngineConfig(watermark=watermark))
+    if attacked:
+        mcu.mmio.device("uart").set_feed(vulnerable.attack_feed(image))
+    return engine.attest(CHALLENGE), verifier
+
+
+def one_shot(verifier, result, challenge=CHALLENGE):
+    return verifier.verify(result, challenge)
+
+
+def streamed(verifier, result, challenge=CHALLENGE):
+    """Chunk-at-a-time: each report crosses the wire codec."""
+    stream = StreamingVerifier(verifier, challenge)
+    for report in result.reports:
+        stream.feed_bytes(encode_report(report))
+    return stream.finish()
+
+
+def assert_equivalent(a, b):
+    assert a.authenticated == b.authenticated
+    assert a.lossless == b.lossless
+    assert a.error == b.error
+    assert ([(v.kind, v.address, v.detail) for v in a.violations]
+            == [(v.kind, v.address, v.detail) for v in b.violations])
+    assert a.consumed == b.consumed
+    assert a.path == b.path
+
+
+class TestHonestEquivalence:
+    @pytest.mark.parametrize(
+        "workload", ["fibcall", "prime", "crc32", "bitcount", "vulnerable"])
+    def test_rap_track(self, workload):
+        result, verifier = attest(workload)
+        assert result.reports  # some workloads compress to one report
+        a, b = one_shot(verifier, result), streamed(verifier, result)
+        assert a.lossless and not a.violations
+        assert_equivalent(a, b)
+
+    @pytest.mark.parametrize("workload", ["fibcall", "prime"])
+    def test_traces(self, workload):
+        result, verifier = attest(workload, method="traces")
+        a, b = one_shot(verifier, result), streamed(verifier, result)
+        assert a.lossless
+        assert_equivalent(a, b)
+
+    def test_naive_mtb(self):
+        result, verifier = attest("fibcall", method="naive-mtb")
+        a, b = one_shot(verifier, result), streamed(verifier, result)
+        assert_equivalent(a, b)
+
+
+class TestAttackEquivalence:
+    def test_rop_attack_detected_identically(self):
+        result, verifier = attest("vulnerable", attacked=True)
+        a, b = one_shot(verifier, result), streamed(verifier, result)
+        assert a.authenticated  # genuine device, genuine MACs
+        assert a.violations or not a.lossless  # ...but the path is bad
+        assert_equivalent(a, b)
+
+
+class TestDamagedChains:
+    def test_tampered_mac_rejected_by_both(self):
+        result, verifier = attest("fibcall")
+        result.reports[1].mac = bytes(32)
+        assert not one_shot(verifier, result).authenticated
+        with pytest.raises(StreamError, match="bad MAC"):
+            streamed(verifier, result)
+
+    def test_wrong_challenge_rejected_by_both(self):
+        result, verifier = attest("fibcall")
+        assert not one_shot(verifier, result, b"other-chal").authenticated
+        with pytest.raises(StreamError, match="challenge"):
+            streamed(verifier, result, b"other-chal")
+
+    def test_dropped_report_rejected_by_both(self):
+        result, verifier = attest("fibcall")
+        del result.reports[1]
+        assert not one_shot(verifier, result).authenticated
+        with pytest.raises(StreamError, match="out-of-order"):
+            streamed(verifier, result)

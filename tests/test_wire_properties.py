@@ -1,0 +1,166 @@
+"""Wire-codec property battery (hypothesis).
+
+Three properties pin the codec for the fleet service that trusts it:
+
+1. **Round trip** — ``decode_report(encode_report(r))`` is
+   field-identical for arbitrary record mixes and field contents.
+2. **Canonical form** — whenever a (possibly mutated) buffer decodes
+   at all, re-encoding the result reproduces exactly the consumed
+   bytes. A mutation therefore either raises ``WireError`` or yields a
+   report that honestly reflects the mutated bytes — there is no
+   "silently wrong" parse that re-encodes differently.
+3. **Total error discipline** — arbitrary byte mutations and
+   truncations of valid encodings never surface ``struct.error``,
+   ``IndexError``, ``KeyError``, or ``UnicodeDecodeError``; the only
+   failure mode is ``WireError``.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cfa.cflog import AddressRecord, BranchRecord, CFLog, LoopRecord
+from repro.cfa.report import AttestationResult, Report
+from repro.cfa.speccfa import SpecRecord
+from repro.cfa.wire import (
+    WireError,
+    decode_report,
+    decode_result,
+    encode_report,
+    encode_result,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+records = st.lists(
+    st.one_of(
+        st.builds(BranchRecord, u32, u32),
+        st.builds(AddressRecord, u32, u32),
+        st.builds(LoopRecord, u32, u32),
+        st.builds(SpecRecord, u32, u32),
+    ),
+    max_size=24,
+)
+
+reports = st.builds(
+    Report,
+    device_id=st.binary(max_size=16),
+    method=st.text(max_size=12),
+    challenge=st.binary(max_size=24),
+    h_mem=st.binary(max_size=32),
+    seq=u32,
+    final=st.booleans(),
+    cflog=st.builds(CFLog, records),
+    mac=st.binary(max_size=32),
+)
+
+
+def fields(report):
+    return (
+        report.device_id,
+        report.method,
+        report.challenge,
+        report.h_mem,
+        report.seq,
+        report.final,
+        report.cflog.records,
+        report.mac,
+    )
+
+
+class TestRoundtripProperties:
+    @given(reports)
+    @settings(deadline=None, max_examples=200)
+    def test_report_roundtrip_is_field_identical(self, report):
+        encoded = encode_report(report)
+        decoded, consumed = decode_report(encoded)
+        assert consumed == len(encoded)
+        assert fields(decoded) == fields(report)
+
+    @given(st.lists(reports, min_size=1, max_size=5))
+    @settings(deadline=None, max_examples=60)
+    def test_chain_roundtrip_is_field_identical(self, chain):
+        decoded = decode_result(encode_result(AttestationResult(chain)))
+        assert len(decoded.reports) == len(chain)
+        for got, want in zip(decoded.reports, chain):
+            assert fields(got) == fields(want)
+
+    @given(reports)
+    @settings(deadline=None, max_examples=100)
+    def test_encoding_is_canonical(self, report):
+        encoded = encode_report(report)
+        decoded, _ = decode_report(encoded)
+        assert encode_report(decoded) == encoded
+
+
+class TestMutationProperties:
+    @given(reports, st.data())
+    @settings(deadline=None, max_examples=300)
+    def test_mutation_raises_wire_error_or_decodes_canonically(
+            self, report, data):
+        encoded = bytearray(encode_report(report))
+        index = data.draw(st.integers(0, len(encoded) - 1))
+        flip = data.draw(st.integers(1, 255))
+        encoded[index] ^= flip
+        mutated = bytes(encoded)
+        try:
+            decoded, consumed = decode_report(mutated)
+        except WireError:
+            return  # the only acceptable failure mode
+        # a successful parse must honestly reflect the mutated bytes
+        assert encode_report(decoded) == mutated[:consumed]
+
+    @given(reports, st.data())
+    @settings(deadline=None, max_examples=200)
+    def test_truncation_always_raises_wire_error(self, report, data):
+        encoded = encode_report(report)
+        cut = data.draw(st.integers(0, len(encoded) - 1))
+        with pytest.raises(WireError):
+            decode_report(encoded[:cut])
+
+    @given(reports, st.data())
+    @settings(deadline=None, max_examples=150)
+    def test_chain_mutation_never_escapes_wire_error(self, report, data):
+        encoded = bytearray(encode_result(AttestationResult([report])))
+        index = data.draw(st.integers(0, len(encoded) - 1))
+        encoded[index] ^= data.draw(st.integers(1, 255))
+        try:
+            decode_result(bytes(encoded))
+        except WireError:
+            pass
+
+
+class TestRegressionShapes:
+    """Directed cases the property battery originally surfaced."""
+
+    def base_report(self):
+        return Report(device_id=b"d", method="rap-track", challenge=b"c",
+                      h_mem=b"h", seq=0, final=True,
+                      cflog=CFLog([BranchRecord(1, 2)]), mac=b"m")
+
+    def test_invalid_utf8_method_is_wire_error(self):
+        encoded = bytearray(encode_report(self.base_report()))
+        # the method field starts after magic+version+body_len+device_id
+        offset = 4 + 1 + 4 + 4 + 1 + 4
+        assert encoded[offset:offset + 3] == b"rap"
+        encoded[offset] = 0xFF  # lone 0xFF is never valid UTF-8
+        with pytest.raises(WireError, match="UTF-8"):
+            decode_report(bytes(encoded))
+
+    def test_nonboolean_final_flag_is_wire_error(self):
+        report = self.base_report()
+        encoded = bytearray(encode_report(report))
+        final_offset = encoded.index(b"\x00\x00\x00\x00\x01", 20) + 4
+        assert encoded[final_offset] == 1
+        encoded[final_offset] = 7
+        with pytest.raises(WireError, match="final flag"):
+            decode_report(bytes(encoded))
+
+    def test_absurd_record_count_is_rejected_quickly(self):
+        encoded = bytearray(encode_report(self.base_report()))
+        # the record-count word sits right before the packed records
+        count_offset = bytes(encoded).index(BranchRecord(1, 2).pack()) - 4
+        encoded[count_offset:count_offset + 4] = (0xFFFFFFF0).to_bytes(
+            4, "little")
+        with pytest.raises(WireError, match="record count"):
+            decode_report(bytes(encoded))
