@@ -1,0 +1,58 @@
+"""Static-precision smoke: value-set branch devirtualization.
+
+Compares the dataflow-enabled offline phase against the purely
+syntactic classifier on workloads carrying compiler-idiom
+register-materialized calls (``ldr/adr`` + ``blx``): trampolined-site
+counts, end-to-end cycle and CFLog deltas, and code size. The numbers
+land in ``benchmarks/results/static_precision.txt`` for EXPERIMENTS.md.
+"""
+
+from repro.core.classify import classify_module
+from repro.core.pipeline import RapTrackConfig
+from repro.eval.figures import format_table
+from repro.eval.runner import run_method
+from repro.workloads import load_workload
+from conftest import save_table
+
+#: mixed set: three workloads with provably-devirtualizable sites plus
+#: two where the value analysis must find nothing to improve
+BENCH_WORKLOADS = ["temperature", "gps", "syringe", "bitcount", "crc32"]
+DEVIRT_WORKLOADS = {"temperature", "gps", "syringe"}
+
+
+def test_static_precision(results_dir, artifact_cache):
+    rows = []
+    for name in BENCH_WORKLOADS:
+        with_df = classify_module(load_workload(name).module())
+        without = classify_module(load_workload(name).module(),
+                                  enable_dataflow=False)
+        on = run_method(name, "rap-track", cache=artifact_cache)
+        off = run_method(name, "rap-track",
+                         rap_config=RapTrackConfig(enable_dataflow=False),
+                         cache=artifact_cache)
+        assert on.verified and off.verified
+        rows.append({
+            "workload": name,
+            "tramp_syntactic": len(without.tracked_sites()),
+            "tramp_dataflow": len(with_df.tracked_sites()),
+            "devirt_sites": len(with_df.devirtualized_sites()),
+            "cycles_delta": on.cycles - off.cycles,
+            "cflog_delta_B": on.cflog_bytes - off.cflog_bytes,
+            "code_delta_B": on.code_size - off.code_size,
+        })
+    save_table(results_dir, "static_precision",
+               format_table(rows,
+                            "Static precision: value-set devirtualization"))
+
+    # devirtualization must never cost anything...
+    assert all(r["tramp_dataflow"] <= r["tramp_syntactic"] for r in rows)
+    assert all(r["cycles_delta"] <= 0 for r in rows)
+    assert all(r["cflog_delta_B"] <= 0 for r in rows)
+    # ... and must strictly reduce trampolined sites (and the runtime
+    # log) on the workloads whose indirect calls are provable
+    reduced = [r for r in rows if r["tramp_dataflow"] < r["tramp_syntactic"]]
+    assert len(reduced) >= 3
+    for row in rows:
+        if row["workload"] in DEVIRT_WORKLOADS:
+            assert row["devirt_sites"] >= 1
+            assert row["cflog_delta_B"] < 0

@@ -40,8 +40,8 @@ from repro.core.rewrite_map import (
 )
 from repro.core.trampolines import LabelMint
 from repro.isa.instructions import Instr, InstrKind, make_instr
-from repro.isa.operands import Imm, Label, Mem
-from repro.isa.registers import PC
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import LR, PC
 from repro.machine.cpu import CPU
 from repro.machine.mcu import MCU
 from repro.tz.gateway import SecureGateway
@@ -122,8 +122,17 @@ def rewrite_for_traces(module: Module, classification: Classification
         site = classification.sites.get(idx)
         cls = site.cls if site is not None else None
 
-        if cls in _INDIRECT_SVC:
+        if cls in (BranchClass.DEVIRT_CALL, BranchClass.DEVIRT_JUMP):
+            # proven single-target transfer: direct equivalent, untracked
+            mnemonic = "bl" if cls is BranchClass.DEVIRT_CALL else "b"
+            emit(make_instr(mnemonic, Label(site.devirt_target)), labels)
+        elif cls in _INDIRECT_SVC:
             svc_id, kind = _INDIRECT_SVC[cls]
+            if (cls is BranchClass.INDIRECT_BX
+                    and isinstance(instr.operands[0], Reg)
+                    and instr.operands[0].num == LR):
+                # non-leaf bx lr is a return: shadow-stack checked
+                kind = "return_bx"
             site_label = mint.fresh("site")
             emit(make_instr("svc", Imm(svc_id)), labels + (site_label,))
             emit(instr, ())

@@ -165,7 +165,7 @@ class Verifier:
                         result.violations.append(Violation(
                             "jop-call", pc,
                             f"indirect call to non-entry {dst:#010x}"))
-                elif info.kind == "return_pop":
+                elif info.kind in ("return_pop", "return_bx"):
                     if shadow:
                         expected = shadow.pop()
                         if dst != expected:

@@ -134,15 +134,41 @@ def _cmd_offline(args) -> int:
 
 def _cmd_analyze(args) -> int:
     from repro.core.classify import classify_module
-    from repro.core.inspect import analysis_report, cfg_to_dot
+    from repro.core.inspect import (
+        analysis_report,
+        cfg_to_dot,
+        precision_summary,
+    )
 
     workload = load_workload(args.workload)
     classification = classify_module(workload.module())
     if args.dot:
         print(cfg_to_dot(classification, title=args.workload))
-    else:
-        print(analysis_report(classification))
+        return 0
+    print(analysis_report(classification))
+    baseline = classify_module(workload.module(), enable_dataflow=False)
+    print()
+    print(precision_summary(classification, baseline))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.core.lint import lint_all
+
+    names = [args.workload] if args.workload else None
+    report = lint_all(names)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(f"lint: {report.workloads} workloads, "
+              f"{report.configs_validated} rewrites certified")
+        for finding in report.findings:
+            print(f"  {finding}")
+        if report.ok:
+            print("lint: clean")
+    return 0 if report.ok else 1
 
 
 def _cmd_attack(_args) -> int:
@@ -245,6 +271,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--dot", action="store_true",
                          help="emit graphviz dot instead of the report")
     analyze.set_defaults(func=_cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="certify rewrites + hygiene-check workloads (CI gate)")
+    lint.add_argument("workload", nargs="?", choices=sorted(WORKLOADS),
+                      help="single workload (default: --all)")
+    lint.add_argument("--all", action="store_true",
+                      help="lint every workload (the default)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("attack", help="ROP detection demonstration") \
         .set_defaults(func=_cmd_attack)

@@ -10,13 +10,24 @@ Every control transfer in the attested application is sorted into:
   records;
 * non-deterministic — indirect calls/jumps, stack returns, conditional
   branches: moved into MTBAR via trampolines so the MTB records them.
+
+With ``enable_dataflow`` the value-set analysis
+(:mod:`repro.core.dataflow`) additionally *devirtualizes* indirect
+transfers whose target set is a singleton — ``adr``/literal-pool
+function pointers that never escape a constant — reclassifying them as
+deterministic direct transfers (``DEVIRT_CALL``/``DEVIRT_JUMP``), and
+refines leaf-return detection from the syntactic whole-function LR test
+to a per-path LR-validity fact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.core.dataflow.analyses import DataflowFacts
 
 from repro.asm.program import Module
 from repro.core.cfg import CFG, build_cfg
@@ -48,6 +59,8 @@ class BranchClass(Enum):
     INDIRECT_LDR = auto()  # ldr pc, [...]
     INDIRECT_CALL = auto()  # blx rs
     INDIRECT_BX = auto()  # bx rs (non-leaf / non-lr)
+    DEVIRT_CALL = auto()  # blx rs with a proven single target: direct bl
+    DEVIRT_JUMP = auto()  # bx rs / ldr pc with a proven single target
 
 
 #: Classes that require an MTBAR trampoline.
@@ -74,6 +87,7 @@ class ClassifiedSite:
     loop: Optional[Loop] = None
     trip_count: Optional[int] = None  # for FIXED_LOOP_LATCH
     header_index: Optional[int] = None  # loop header instr index
+    devirt_target: Optional[str] = None  # proven target (DEVIRT_*)
 
 
 @dataclass
@@ -86,16 +100,38 @@ class Classification:
     sites: Dict[int, ClassifiedSite] = field(default_factory=dict)
     address_taken: Set[str] = field(default_factory=set)
     function_entry_labels: Set[str] = field(default_factory=set)
+    #: value-set/LR facts when classified with ``enable_dataflow``
+    dataflow: Optional["DataflowFacts"] = None
 
     def tracked_sites(self) -> List[ClassifiedSite]:
         return [s for s in self.sites.values() if s.cls in TRAMPOLINED]
 
+    def devirtualized_sites(self) -> List[ClassifiedSite]:
+        return [s for s in self.sites.values()
+                if s.cls in (BranchClass.DEVIRT_CALL,
+                             BranchClass.DEVIRT_JUMP)]
+
 
 def classify_module(module: Module, *, enable_loop_opt: bool = True,
-                    enable_fixed_loops: bool = True) -> Classification:
-    """Run the full static classification over a module."""
+                    enable_fixed_loops: bool = True,
+                    enable_dataflow: bool = True) -> Classification:
+    """Run the full static classification over a module.
+
+    ``enable_dataflow`` (default on, gated for rap-track through
+    :class:`~repro.core.pipeline.RapTrackConfig`) runs the value-set/LR
+    analyses first and uses their facts to devirtualize single-target
+    indirect transfers and sharpen leaf-return detection; passing
+    ``False`` restores the purely syntactic classification, so method
+    comparisons isolate the logging mechanism rather than the front end.
+    """
     flat = FlatProgram(module)
     cfg = build_cfg(flat)
+
+    facts = None
+    if enable_dataflow:
+        from repro.core.dataflow.analyses import analyse_module
+
+        facts = analyse_module(flat, cfg)
 
     loops: List[Loop] = []
     for start in flat.function_starts():
@@ -103,7 +139,7 @@ def classify_module(module: Module, *, enable_loop_opt: bool = True,
         if entry_bid is not None:
             loops.extend(find_natural_loops(cfg, entry_bid))
 
-    result = Classification(flat, cfg, loops)
+    result = Classification(flat, cfg, loops, dataflow=facts)
     result.address_taken = flat.address_taken_labels()
     for start in flat.function_starts():
         for label in flat.labels_at[start]:
@@ -127,19 +163,42 @@ def classify_module(module: Module, *, enable_loop_opt: bool = True,
 
     forward_exits = _single_forward_exits(cfg, loops, flat, latch_class)
 
+    def proven_target(idx: int) -> Optional[str]:
+        return facts.devirt_target(idx) if facts is not None else None
+
     for idx, instr in enumerate(flat.instrs):
         kind = instr.kind
         if kind is InstrKind.INDIRECT_CALL:
-            result.sites[idx] = ClassifiedSite(idx, BranchClass.INDIRECT_CALL)
+            target_label = proven_target(idx)
+            if target_label is not None:
+                result.sites[idx] = ClassifiedSite(
+                    idx, BranchClass.DEVIRT_CALL, devirt_target=target_label)
+            else:
+                result.sites[idx] = ClassifiedSite(
+                    idx, BranchClass.INDIRECT_CALL)
         elif kind is InstrKind.POP and instr.writes_pc():
             result.sites[idx] = ClassifiedSite(idx, BranchClass.RETURN_POP)
         elif kind is InstrKind.LOAD and instr.writes_pc():
-            result.sites[idx] = ClassifiedSite(idx, BranchClass.INDIRECT_LDR)
+            target_label = proven_target(idx)
+            if target_label is not None:
+                result.sites[idx] = ClassifiedSite(
+                    idx, BranchClass.DEVIRT_JUMP, devirt_target=target_label)
+            else:
+                result.sites[idx] = ClassifiedSite(
+                    idx, BranchClass.INDIRECT_LDR)
         elif kind is InstrKind.INDIRECT_BRANCH:
             (target,) = instr.operands
-            if (isinstance(target, Reg) and target.num == LR
-                    and not flat.function_writes_lr(idx)):
+            is_lr = isinstance(target, Reg) and target.num == LR
+            leaf = is_lr and (
+                not flat.function_writes_lr(idx)
+                or (facts is not None and facts.lr_valid_at(idx))
+            )
+            target_label = None if is_lr else proven_target(idx)
+            if leaf:
                 result.sites[idx] = ClassifiedSite(idx, BranchClass.LEAF_RETURN)
+            elif target_label is not None:
+                result.sites[idx] = ClassifiedSite(
+                    idx, BranchClass.DEVIRT_JUMP, devirt_target=target_label)
             else:
                 result.sites[idx] = ClassifiedSite(idx, BranchClass.INDIRECT_BX)
         elif (kind is InstrKind.COMPARE_BRANCH
@@ -152,19 +211,36 @@ def classify_module(module: Module, *, enable_loop_opt: bool = True,
         elif kind in (InstrKind.BRANCH, InstrKind.CALL):
             result.sites[idx] = ClassifiedSite(idx, BranchClass.DETERMINISTIC)
 
-    # losslessness pass: break silent cycles (see repro.core.silent)
+    # losslessness pass: break silent cycles (see repro.core.silent).
+    # Devirtualized jumps add silent edges the CFG does not carry; when
+    # a cycle through one has no other breakable branch the jump is
+    # reverted to its trampolined class (logging every traversal) and
+    # the analysis re-runs on the strictly smaller devirt set.
     from repro.core.silent import find_silent_latches
 
     loop_logged_headers = {
         site.header_index for site in result.sites.values()
         if site.cls is BranchClass.LOOP_OPT_LATCH
     }
-    latches, calls = find_silent_latches(cfg, result.sites,
-                                         loop_logged_headers)
+    while True:
+        latches, calls, reverts = find_silent_latches(
+            cfg, result.sites, loop_logged_headers)
+        if not reverts:
+            break
+        for idx in reverts:
+            fallback = (BranchClass.INDIRECT_LDR
+                        if flat.instrs[idx].kind is InstrKind.LOAD
+                        else BranchClass.INDIRECT_BX)
+            result.sites[idx] = ClassifiedSite(idx, fallback)
     for idx in latches:
         result.sites[idx] = ClassifiedSite(idx, BranchClass.UNCOND_LATCH)
     for idx in calls:
-        result.sites[idx] = ClassifiedSite(idx, BranchClass.LOGGED_CALL)
+        prior = result.sites.get(idx)
+        devirt = (prior.devirt_target
+                  if prior is not None
+                  and prior.cls is BranchClass.DEVIRT_CALL else None)
+        result.sites[idx] = ClassifiedSite(
+            idx, BranchClass.LOGGED_CALL, devirt_target=devirt)
     return result
 
 

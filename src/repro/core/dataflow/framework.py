@@ -1,0 +1,93 @@
+"""Generic worklist fixpoint solver.
+
+The solver is graph-shaped, not CFG-shaped: it takes an adjacency map
+``node -> successors`` plus a monotone transfer function and computes
+the least fixpoint of ``in(n) = join over preds p of transfer(p,
+in(p))``, seeded at the given roots. Both the value-set propagation and
+the lint analyses instantiate it (forward over block successors,
+backward over reversed edges).
+
+Unreached nodes carry no fact (they are absent from the solution) —
+that is the implicit bottom, and it keeps join an honest binary
+operation over real facts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Hashable, Iterable, Mapping, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+F = TypeVar("F")
+
+
+class FixpointDiverged(RuntimeError):
+    """The iteration bound tripped: the transfer is not monotone (or the
+    lattice has unbounded height) — a framework-usage bug, not an input
+    property."""
+
+
+@dataclass
+class Solution(Generic[N, F]):
+    """Facts at node entry for every node reached from the roots."""
+
+    in_facts: Dict[N, F] = field(default_factory=dict)
+    iterations: int = 0
+
+    def fact(self, node: N):
+        return self.in_facts.get(node)
+
+
+def solve(graph: Mapping[N, Iterable[N]],
+          roots: Mapping[N, F],
+          transfer: Callable[[N, F], F],
+          join: Callable[[F, F], F],
+          *,
+          eq: Callable[[F, F], bool] = None,
+          max_passes: int = 256) -> Solution:
+    """Run the worklist iteration to a fixpoint.
+
+    ``roots`` maps each entry node to its boundary fact. ``transfer``
+    produces the fact at a node's *exit* from the fact at its entry;
+    ``join`` merges facts flowing into a shared node. ``max_passes``
+    bounds how many times any single node may be re-processed before
+    the solver declares divergence.
+    """
+    eq = eq or (lambda a, b: a == b)
+    sol: Solution = Solution()
+    sol.in_facts.update(roots)
+    visits: Dict[N, int] = {}
+    work = deque(roots)
+    queued = set(roots)
+    while work:
+        node = work.popleft()
+        queued.discard(node)
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > max_passes:
+            raise FixpointDiverged(
+                f"node {node!r} re-processed more than {max_passes} times"
+            )
+        sol.iterations += 1
+        out = transfer(node, sol.in_facts[node])
+        for succ in graph.get(node, ()):
+            if succ not in sol.in_facts:
+                sol.in_facts[succ] = out
+            else:
+                merged = join(sol.in_facts[succ], out)
+                if eq(merged, sol.in_facts[succ]):
+                    continue
+                sol.in_facts[succ] = merged
+            if succ not in queued:
+                queued.add(succ)
+                work.append(succ)
+    return sol
+
+
+def reverse_graph(graph: Mapping[N, Iterable[N]]) -> Dict[N, list]:
+    """Edge-reversed adjacency (for backward analyses)."""
+    out: Dict[N, list] = {n: [] for n in graph}
+    for node, succs in graph.items():
+        for succ in succs:
+            out.setdefault(succ, []).append(node)
+    return out

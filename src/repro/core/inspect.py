@@ -22,6 +22,9 @@ _CLASS_COLORS = {
     BranchClass.INDIRECT_LDR: "salmon",
     BranchClass.INDIRECT_CALL: "salmon",
     BranchClass.INDIRECT_BX: "salmon",
+    # devirtualized transfers: formerly indirect, now proven direct
+    BranchClass.DEVIRT_CALL: "aquamarine",
+    BranchClass.DEVIRT_JUMP: "aquamarine",
 }
 
 
@@ -36,19 +39,32 @@ def cfg_to_dot(classification: Classification,
     """
     cfg = classification.cfg
     flat = classification.flat
+    facts = classification.dataflow
     lines = [f'digraph "{title}" {{',
              "  node [shape=box, fontname=monospace, style=filled];"]
     for block in cfg.blocks:
         body = []
+        if facts is not None:
+            consts = facts.constant_registers(block.start)
+            if consts:
+                regs = ", ".join(f"r{r}={v}" for r, v in consts.items())
+                body.append(f"; {regs}")
+        has_devirt = False
         for idx in range(block.start, block.end):
             labels = flat.labels_at[idx]
             for label in labels:
                 body.append(f"{label}:")
             body.append(f"  {flat.instrs[idx]}")
+            site = classification.sites.get(idx)
+            if site is not None and site.devirt_target is not None:
+                body.append(f"    ; devirt -> {site.devirt_target}")
+                has_devirt = True
         term_site = classification.sites.get(block.terminator_index)
         color = _CLASS_COLORS.get(
             term_site.cls if term_site else BranchClass.DETERMINISTIC,
             "white")
+        if has_devirt and color == "white":
+            color = "aquamarine"
         text = "\\l".join(body) + "\\l"
         lines.append(f'  b{block.bid} [label="{text}", fillcolor={color}];')
     for block in cfg.blocks:
@@ -59,6 +75,18 @@ def cfg_to_dot(classification: Classification,
         dst = cfg.block_of_index.get(target_idx)
         if dst is not None:
             lines.append(f"  b{src} -> b{dst} [style=dashed, color=gray];")
+    # proven edges of devirtualized jumps (absent from the CFG, which
+    # treats computed jumps as exits)
+    for site in classification.devirtualized_sites():
+        if site.cls is not BranchClass.DEVIRT_JUMP:
+            continue
+        target_idx = flat.label_index.get(site.devirt_target)
+        dst = cfg.block_of_index.get(target_idx) if target_idx is not None \
+            else None
+        if dst is not None:
+            src = cfg.block_of_index[site.index]
+            lines.append(f"  b{src} -> b{dst} "
+                         f"[style=bold, color=aquamarine3];")
     lines.append("}")
     return "\n".join(lines)
 
@@ -100,4 +128,47 @@ def analysis_report(classification: Classification) -> str:
                  f"control transfers")
     lines.append(f"address-taken labels: "
                  f"{sorted(classification.address_taken) or 'none'}")
+
+    facts = classification.dataflow
+    if facts is not None:
+        lines.append("")
+        lines.append("dataflow facts:")
+        lines.append(f"  fixpoint iterations: {facts.iterations}")
+        lines.append(f"  LR-valid instructions: {len(facts.lr_valid)}")
+        devirt = classification.devirtualized_sites()
+        lines.append(f"  devirtualized sites: {len(devirt)}")
+        for site in devirt:
+            lines.append(f"      @{site.index:4d}: "
+                         f"{flat.instrs[site.index]} "
+                         f"-> {site.devirt_target}")
+    return "\n".join(lines)
+
+
+def precision_summary(classification: Classification,
+                      baseline: Classification) -> str:
+    """Classification-precision table: the dataflow-enabled result
+    against the purely syntactic ``baseline`` of the same module."""
+    by_class: Dict[BranchClass, int] = {}
+    base_class: Dict[BranchClass, int] = {}
+    for site in classification.sites.values():
+        by_class[site.cls] = by_class.get(site.cls, 0) + 1
+    for site in baseline.sites.values():
+        base_class[site.cls] = base_class.get(site.cls, 0) + 1
+
+    lines = ["=== classification precision (dataflow vs syntactic) ==="]
+    lines.append(f"{'class':24s} {'syntactic':>10s} {'dataflow':>10s}")
+    for cls in BranchClass:
+        before = base_class.get(cls, 0)
+        after = by_class.get(cls, 0)
+        if not before and not after:
+            continue
+        lines.append(f"{cls.name:24s} {before:10d} {after:10d}")
+    tracked_before = len(baseline.tracked_sites())
+    tracked_after = len(classification.tracked_sites())
+    devirt = len(classification.devirtualized_sites())
+    lines.append("")
+    lines.append(f"devirtualized sites:  {devirt}")
+    lines.append(f"trampolined sites:    {tracked_before} -> "
+                 f"{tracked_after} "
+                 f"({tracked_before - tracked_after} avoided)")
     return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Static hygiene lint + rewrite certification (``python -m repro lint``).
+
+Two layers share one report:
+
+* **Certification** — every workload is transformed under each ablation
+  configuration the benchmarks exercise and run through the translation
+  validator (:mod:`repro.core.validate`). A lint pass is a proof that
+  the offline phase is currently producing faithful rewrites for the
+  whole suite.
+* **Hygiene** — the dataflow analyses are pointed at the *original*
+  programs: unreachable basic blocks, registers read before any
+  definition in the entry function, dead definitions, and code that can
+  fall off the end of the text section. These catch workload-authoring
+  bugs that the simulator may mask (registers reset to zero, unreached
+  garbage never executing).
+
+The report is machine-readable (``--json``) so CI can gate on it; any
+finding makes the command exit non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.program import Module
+from repro.core.cfg import build_cfg
+from repro.core.dataflow.analyses import (
+    ENTRY_DEF,
+    analyse_liveness,
+    analyse_reaching_defs,
+    def_use,
+)
+from repro.core.flat import FlatProgram
+from repro.core.pipeline import RapTrackConfig, transform
+from repro.core.validate import validate_rewrite
+from repro.isa.instructions import InstrKind
+from repro.workloads import WORKLOADS, load_workload
+
+#: configurations the lint certifies every workload under — the same
+#: flag combinations the ablation benchmarks exercise
+LINT_CONFIGS: List[Tuple[str, RapTrackConfig]] = [
+    ("default", RapTrackConfig()),
+    ("no-dataflow", RapTrackConfig(enable_dataflow=False)),
+    ("no-loop-opt", RapTrackConfig(loop_opt=False)),
+    ("no-fixed-loops", RapTrackConfig(fixed_loops=False)),
+    ("no-padding", RapTrackConfig(nop_padding=False)),
+    ("private-pop-stubs", RapTrackConfig(share_pop_stub=False)),
+]
+
+#: callee-saved registers: reading one before writing it in the entry
+#: function means relying on the reset value, a portability hazard
+_CALLEE_SAVED = frozenset(range(4, 12))
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnostic."""
+
+    target: str  # "workload" or "workload@config"
+    check: str  # kebab-case check id
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.target}: [{self.check}] {self.detail}"
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome over the linted workloads."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    workloads: int = 0
+    configs_validated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def flag(self, target: str, check: str, detail: str) -> None:
+        self.findings.append(LintFinding(target, check, detail))
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "workloads": self.workloads,
+            "configs_validated": self.configs_validated,
+            "findings": [
+                {"target": f.target, "check": f.check, "detail": f.detail}
+                for f in self.findings
+            ],
+        }
+
+
+# -- hygiene ------------------------------------------------------------------
+
+def _falls_through(instr) -> bool:
+    """Can execution continue sequentially past this instruction?"""
+    if instr.mnemonic == "bkpt":
+        return False
+    if not instr.writes_pc() or instr.cond is not None:
+        return True
+    # calls fall through (they come back); everything else that writes
+    # the PC unconditionally diverts control for good
+    return instr.kind in (InstrKind.CALL, InstrKind.INDIRECT_CALL)
+
+
+def lint_hygiene(module: Module, target: str,
+                 report: Optional[LintReport] = None) -> LintReport:
+    """Dataflow-driven hygiene checks on an original (unrewritten)
+    module; findings are appended to (and returned in) ``report``."""
+    report = report if report is not None else LintReport()
+    flat = FlatProgram(module)
+    if not len(flat):
+        return report
+    cfg = build_cfg(flat)
+
+    # unreachable blocks: breadth-first over block successors from every
+    # function start (the entry, call targets, address-taken labels)
+    roots = {cfg.block_of_index[i] for i in flat.function_starts()
+             if i in cfg.block_of_index}
+    if 0 in cfg.block_of_index:
+        roots.add(cfg.block_of_index[0])
+    seen = set(roots)
+    frontier = list(roots)
+    while frontier:
+        bid = frontier.pop()
+        for succ in cfg.blocks[bid].succs:
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    for block in cfg.blocks:
+        if block.bid not in seen:
+            labels = flat.labels_at[block.start]
+            where = labels[0] if labels else f"index {block.start}"
+            report.flag(target, "unreachable-block",
+                        f"block at {where} is unreachable from any "
+                        f"function entry")
+
+    # use-before-def of callee-saved registers in the entry function
+    reach = analyse_reaching_defs(flat, cfg)
+    entry_idx = flat.label_index.get(module.entry, 0)
+    lo, hi = flat.function_extent(entry_idx)
+    for idx in range(lo, hi):
+        fact = reach.get(idx)
+        if fact is None:
+            continue  # unreachable, reported above
+        instr = flat.instrs[idx]
+        if instr.kind in (InstrKind.PUSH, InstrKind.CALL,
+                          InstrKind.INDIRECT_CALL):
+            # prologue saves and the conservative "calls read
+            # everything" model are idioms, not data reads
+            continue
+        _, uses = def_use(instr)
+        for reg in sorted(uses & _CALLEE_SAVED):
+            if fact.get(reg, frozenset({ENTRY_DEF})) == {ENTRY_DEF}:
+                report.flag(target, "use-before-def",
+                            f"r{reg} read at index {idx} "
+                            f"({flat.instrs[idx]}) before any write in "
+                            f"the entry function")
+
+    # dead definitions: a MOVE/ALU result no path ever reads
+    live_after = analyse_liveness(flat, cfg)
+    for idx, instr in enumerate(flat.instrs):
+        if instr.kind not in (InstrKind.MOVE, InstrKind.ALU):
+            continue
+        if idx not in live_after:
+            continue  # unreachable
+        defs, _ = def_use(instr)
+        dead = sorted(d for d in defs if d not in live_after[idx])
+        if defs and dead == sorted(defs):
+            report.flag(target, "dead-def",
+                        f"result of index {idx} ({instr}) is never read")
+
+    # control must not run off the end of the section
+    if _falls_through(flat.instrs[-1]):
+        report.flag(target, "fall-through-end",
+                    f"last instruction ({flat.instrs[-1]}) can fall "
+                    f"through past the end of the text section")
+    return report
+
+
+# -- certification ------------------------------------------------------------
+
+def lint_workload(name: str, report: Optional[LintReport] = None,
+                  configs: Optional[List[Tuple[str, RapTrackConfig]]] = None
+                  ) -> LintReport:
+    """Hygiene + rewrite certification for one workload."""
+    report = report if report is not None else LintReport()
+    configs = configs if configs is not None else LINT_CONFIGS
+    workload = load_workload(name)
+    lint_hygiene(workload.module(), name, report)
+    for cfg_name, cfg in configs:
+        result = transform(workload.module(), cfg)
+        validation = validate_rewrite(workload.module(), result, cfg)
+        report.configs_validated += 1
+        for issue in validation.issues:
+            report.flag(f"{name}@{cfg_name}", issue.check, issue.detail)
+    report.workloads += 1
+    return report
+
+
+def lint_all(names: Optional[List[str]] = None,
+             configs: Optional[List[Tuple[str, RapTrackConfig]]] = None
+             ) -> LintReport:
+    """Lint a set of workloads (default: the whole registry)."""
+    report = LintReport()
+    for name in sorted(names or WORKLOADS):
+        lint_workload(name, report, configs)
+    return report

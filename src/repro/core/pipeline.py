@@ -20,6 +20,7 @@ class RapTrackConfig:
     loop_opt: bool = True  # loop-condition logging (section IV-D)
     fixed_loops: bool = True  # statically-deterministic loop elision
     share_pop_stub: bool = True  # one MTBAR_POP_ADDR stub (figure 4)
+    enable_dataflow: bool = True  # value-set devirtualization (section IV-C)
 
     def rewriter(self) -> RewriterConfig:
         return RewriterConfig(
@@ -47,6 +48,7 @@ def transform(module: Module,
         module,
         enable_loop_opt=config.loop_opt,
         enable_fixed_loops=config.fixed_loops,
+        enable_dataflow=config.enable_dataflow,
     )
     rewritten, rmap = rewrite_for_rap_track(
         module, classification, config.rewriter()

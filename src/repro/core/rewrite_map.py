@@ -42,7 +42,7 @@ class CondSite:
 class IndirectSite:
     """A trampolined indirect transfer (call, return, or computed jump)."""
 
-    kind: str  # "call" | "return_pop" | "ldr" | "bx"
+    kind: str  # "call" | "return_pop" | "return_bx" | "ldr" | "bx"
     site_label: str  # replacement instruction in MTBDR
     rec_label: str  # recording instruction in MTBAR
 

@@ -23,8 +23,8 @@ from repro.core.rewrite_map import (
 from repro.core.trampolines import LabelMint, emit_stub
 from repro.cfa.services import SVC_LOG_LOOP
 from repro.isa.instructions import Instr, InstrKind, make_instr
-from repro.isa.operands import Imm, Label, RegList
-from repro.isa.registers import PC
+from repro.isa.operands import Imm, Label, Reg, RegList
+from repro.isa.registers import LR, PC
 
 
 @dataclass
@@ -139,8 +139,12 @@ def rewrite_for_rap_track(module: Module, classification: Classification,
         elif cls is BranchClass.LOGGED_CALL:
             # a direct call that closes a silent (recursion) cycle: the
             # stub re-issues the jump so the MTB records each descent;
-            # LR was already set by the bl into the MTBAR
-            target = instr.direct_target()
+            # LR was already set by the bl into the MTBAR. A
+            # devirtualized call demoted here jumps to its proven target.
+            if site.devirt_target is not None:
+                target = Label(site.devirt_target)
+            else:
+                target = instr.direct_target()
             stub_label = mint.fresh("rcall")
             rec_label = mint.fresh("rcall_rec")
             site_label = mint.fresh("site")
@@ -176,8 +180,22 @@ def rewrite_for_rap_track(module: Module, classification: Classification,
             emit_stub(mtbar, stub_label, rec_label, instr, config.nop_padding)
             emit(make_instr("b", Label(stub_label)),
                  labels + (site_label,))
-            kind = "ldr" if cls is BranchClass.INDIRECT_LDR else "bx"
+            if cls is BranchClass.INDIRECT_LDR:
+                kind = "ldr"
+            elif (isinstance(instr.operands[0], Reg)
+                  and instr.operands[0].num == LR):
+                # a non-leaf bx lr is a *return*: the Verifier must check
+                # it against the shadow stack, not the jump-target policy
+                kind = "return_bx"
+            else:
+                kind = "bx"
             rmap.indirect_sites.append(IndirectSite(kind, site_label, rec_label))
+        elif cls in (BranchClass.DEVIRT_CALL, BranchClass.DEVIRT_JUMP):
+            # value-set analysis proved a single target: replace the
+            # indirect transfer with its direct equivalent — no
+            # trampoline, no CFLog record, deterministic for the Verifier
+            mnemonic = "bl" if cls is BranchClass.DEVIRT_CALL else "b"
+            emit(make_instr(mnemonic, Label(site.devirt_target)), labels)
         elif cls in (BranchClass.COND_NONLOOP, BranchClass.COND_BACKWARD_LATCH,
                      BranchClass.UNCOND_LATCH):
             taken = instr.direct_target()

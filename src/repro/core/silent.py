@@ -42,17 +42,28 @@ _ALWAYS_LOGGED_RETURNS = frozenset({
 
 def find_silent_latches(cfg: CFG, sites: Dict[int, ClassifiedSite],
                         loop_logged_headers: Set[int]
-                        ) -> Tuple[List[int], List[int]]:
+                        ) -> Tuple[List[int], List[int], List[int]]:
     """Branches to additionally log for losslessness.
 
-    Returns ``(uncond_latch_indices, logged_call_indices)``.
-    ``loop_logged_headers`` holds header instruction indices of loop-opt
-    loops: entering such a header (other than via its back edge) passes
-    the inserted svc and is therefore logged.
+    Returns ``(uncond_latch_indices, logged_call_indices,
+    devirt_revert_indices)``. ``loop_logged_headers`` holds header
+    instruction indices of loop-opt loops: entering such a header
+    (other than via its back edge) passes the inserted svc and is
+    therefore logged.
+
+    Devirtualized transfers participate like their direct equivalents:
+    a ``DEVIRT_CALL`` contributes an (unlogged) call edge and may be
+    promoted to ``LOGGED_CALL``; a ``DEVIRT_JUMP`` contributes the
+    silent edge its CFG-exit terminator does not carry. A component
+    whose only cycles run through devirtualized jumps has no breakable
+    branch — those jump indices come back in the third list so the
+    classifier can revert them to their (always-logged) trampolined
+    classes and re-run.
     """
     flat = cfg.flat
     silent: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
     call_edges: Dict[int, Tuple[int, int]] = {}  # call idx -> (from, to)
+    devirt_jump_edges: Dict[int, Tuple[int, int]] = {}  # idx -> (from, to)
 
     callee_all_returns_tracked: Dict[int, bool] = {}
 
@@ -93,14 +104,20 @@ def find_silent_latches(cfg: CFG, sites: Dict[int, ClassifiedSite],
             if inner_cls is not None and inner_cls.cls in (
                     BranchClass.INDIRECT_CALL,):
                 interior_logged = True
+            callee_idx = None
             if inner.kind is InstrKind.CALL:
                 callee_idx = flat.target_index(inner)
-                callee_bid = (cfg.block_of_index.get(callee_idx)
-                              if callee_idx is not None else None)
+            elif (inner_cls is not None
+                  and inner_cls.cls is BranchClass.DEVIRT_CALL):
+                # a devirtualized call is a direct, *unlogged* call: it
+                # behaves exactly like bl for cycle purposes
+                callee_idx = flat.label_index.get(inner_cls.devirt_target)
+            if callee_idx is not None:
+                callee_bid = cfg.block_of_index.get(callee_idx)
                 if callee_bid is not None:
                     silent[block.bid].add(callee_bid)
                     call_edges[idx] = (block.bid, callee_bid)
-                if callee_idx is not None and returns_tracked(callee_idx):
+                if returns_tracked(callee_idx):
                     interior_logged = True
 
         for succ in block.succs:
@@ -127,8 +144,21 @@ def find_silent_latches(cfg: CFG, sites: Dict[int, ClassifiedSite],
                 continue
             silent[block.bid].add(succ)
 
+        # a devirtualized jump becomes a plain (untracked) direct branch
+        # whose edge the CFG records as an exit: restore it here
+        if cls is BranchClass.DEVIRT_JUMP and not interior_logged:
+            target_idx = flat.label_index.get(site.devirt_target)
+            target_bid = (cfg.block_of_index.get(target_idx)
+                          if target_idx is not None else None)
+            if target_bid is not None:
+                target_start = cfg.blocks[target_bid].start
+                if target_start not in loop_logged_headers:
+                    silent[block.bid].add(target_bid)
+                    devirt_jump_edges[term_idx] = (block.bid, target_bid)
+
     latch_breaks: Set[int] = set()
     call_breaks: Set[int] = set()
+    devirt_reverts: Set[int] = set()
     for component in _cyclic_sccs(silent):
         found = False
         for bid in component:
@@ -151,11 +181,18 @@ def find_silent_latches(cfg: CFG, sites: Dict[int, ClassifiedSite],
                     call_breaks.add(idx)
                     found = True
         if not found:
+            # last resort: un-devirtualize the jumps closing this
+            # component, restoring their always-logged trampolines
+            for idx, (src, dst) in devirt_jump_edges.items():
+                if src in component and dst in component:
+                    devirt_reverts.add(idx)
+                    found = True
+        if not found:
             raise ValueError(
                 "silent cycle with no breakable branch "
                 f"(blocks {sorted(component)})"
             )
-    return sorted(latch_breaks), sorted(call_breaks)
+    return sorted(latch_breaks), sorted(call_breaks), sorted(devirt_reverts)
 
 
 def _cyclic_sccs(graph: Dict[int, Set[int]]) -> List[Set[int]]:

@@ -1,0 +1,519 @@
+"""Translation validation for the RAP-Track rewriter.
+
+The rewriter is trusted by every downstream component: the Verifier
+replays against the *rewritten* binary, so a rewriting bug silently
+becomes an attestation bug. This module certifies each rewritten module
+against the original, independently of the rewriter's own bookkeeping:
+
+* **Region disjointness** — after linking, the MTBDR (text) and MTBAR
+  ranges (and every other section) must not overlap.
+* **No residual non-determinism** — the rewritten text may contain no
+  indirect call, pop-to-pc, load-to-pc, or non-LR register branch:
+  everything non-deterministic must have moved into the MTBAR.
+* **Trampoline observational equivalence** — a lockstep walk pairs
+  every original instruction with its rewritten form and checks each
+  trampoline re-issues exactly the original transfer (figure 3-7
+  shapes), with the NOP activation padding the config promises.
+* **Rewrite-map bijectivity** — every trampolined site in the
+  classification has exactly one rewrite-map entry whose site label is
+  bound to the rewritten instruction, and no entry is orphaned.
+* **Devirtualization certificates** — every direct branch the rewriter
+  emitted for a devirtualized site is re-proven from scratch against a
+  fresh value-set analysis of the *original* program.
+
+Issues are collected, not raised: a report with an empty issue list is
+a certificate, and ``repro lint`` turns non-empty reports into CI
+failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.asm import link
+from repro.asm.program import Module, Space
+from repro.cfa.services import SVC_LOG_LOOP
+from repro.core.cfg import build_cfg
+from repro.core.classify import BranchClass, Classification
+from repro.core.flat import FlatProgram
+from repro.core.pipeline import RapTrackConfig, RapTrackResult
+from repro.core.rewrite_map import CondSite, IndirectSite
+from repro.isa.instructions import Instr, InstrKind, make_instr
+from repro.isa.operands import Imm, Label, Reg, RegList
+from repro.isa.registers import LR, PC
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One certification failure."""
+
+    check: str  # kebab-case check id, e.g. "stub-equivalence"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one rewritten module."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+    sites_checked: int = 0
+    stubs_checked: int = 0
+    devirt_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def flag(self, check: str, detail: str) -> None:
+        self.issues.append(ValidationIssue(check, detail))
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "sites_checked": self.sites_checked,
+            "stubs_checked": self.stubs_checked,
+            "devirt_checked": self.devirt_checked,
+            "issues": [
+                {"check": i.check, "detail": i.detail} for i in self.issues
+            ],
+        }
+
+
+def _same_instr(a: Instr, b: Instr) -> bool:
+    return (a.mnemonic == b.mnemonic and a.cond == b.cond
+            and a.operands == b.operands)
+
+
+def _fmt(instr: Instr) -> str:
+    return str(instr)
+
+
+class _ItemCursor:
+    """Sequential reader over a section's (payload, labels) items."""
+
+    def __init__(self, section):
+        self.items = list(section.items)
+        self.pos = 0
+
+    def take(self) -> Optional[Tuple[object, Tuple[str, ...]]]:
+        if self.pos >= len(self.items):
+            return None
+        item = self.items[self.pos]
+        self.pos += 1
+        return item.payload, tuple(item.labels)
+
+    def exhausted_except_space(self) -> bool:
+        return all(isinstance(item.payload, Space)
+                   for item in self.items[self.pos:])
+
+
+def validate_rewrite(original: Module, result: RapTrackResult,
+                     config: Optional[RapTrackConfig] = None
+                     ) -> ValidationReport:
+    """Certify ``result`` as a faithful rewrite of ``original``."""
+    config = config or RapTrackConfig()
+    report = ValidationReport()
+    classification = result.classification
+    flat = classification.flat
+    rewritten = result.module
+    rmap = result.rmap
+
+    try:
+        image = link(rewritten)
+    except Exception as exc:  # unlikable rewrite is its own finding
+        report.flag("link", f"rewritten module fails to link: {exc}")
+        return report
+
+    _check_regions(report, image)
+    _check_residual_indirection(report, image)
+    _check_bindability(report, rmap, image)
+    _lockstep_walk(report, flat, classification, rewritten, rmap,
+                   image, config)
+    _check_devirt_certificates(report, original, classification, config)
+    return report
+
+
+# -- global image checks ------------------------------------------------------
+
+def _check_regions(report: ValidationReport, image) -> None:
+    ranges = sorted(image.section_ranges.items(), key=lambda kv: kv[1][0])
+    for (name_a, (lo_a, hi_a)), (name_b, (lo_b, _)) in zip(
+            ranges, ranges[1:]):
+        if hi_a > lo_b:
+            report.flag("region-overlap",
+                        f"sections {name_a} [{lo_a:#x},{hi_a:#x}) and "
+                        f"{name_b} overlap")
+
+
+def _check_residual_indirection(report: ValidationReport, image) -> None:
+    lo, hi = image.section_ranges.get("text", (0, 0))
+    for addr, instr in image.instr_at.items():
+        if not (lo <= addr < hi):
+            continue
+        if instr.kind is InstrKind.INDIRECT_CALL:
+            report.flag("residual-indirect",
+                        f"indirect call left in text at {addr:#x}: "
+                        f"{_fmt(instr)}")
+        elif instr.kind is InstrKind.POP and instr.writes_pc():
+            report.flag("residual-indirect",
+                        f"pop-to-pc left in text at {addr:#x}")
+        elif instr.kind is InstrKind.LOAD and instr.writes_pc():
+            report.flag("residual-indirect",
+                        f"load-to-pc left in text at {addr:#x}")
+        elif instr.kind is InstrKind.INDIRECT_BRANCH:
+            (target,) = instr.operands
+            if not (isinstance(target, Reg) and target.num == LR):
+                report.flag("residual-indirect",
+                            f"register branch left in text at {addr:#x}: "
+                            f"{_fmt(instr)}")
+
+
+def _check_bindability(report: ValidationReport, rmap, image) -> None:
+    text = image.section_ranges.get("text", (0, 0))
+    mtbar = image.section_ranges.get("mtbar", (0, 0))
+
+    def where(label: str) -> Optional[int]:
+        try:
+            return image.addr_of(label)
+        except KeyError:
+            report.flag("rmap-orphan", f"label {label!r} does not resolve")
+            return None
+
+    seen_sites = set()
+    for site in rmap.indirect_sites:
+        addr = where(site.site_label)
+        if addr is not None and not text[0] <= addr < text[1]:
+            report.flag("rmap-orphan",
+                        f"site {site.site_label} outside text")
+        if site.site_label in seen_sites:
+            report.flag("rmap-bijectivity",
+                        f"duplicate site label {site.site_label}")
+        seen_sites.add(site.site_label)
+        rec = where(site.rec_label)
+        if rec is not None and not mtbar[0] <= rec < mtbar[1]:
+            report.flag("rmap-orphan",
+                        f"recording label {site.rec_label} outside mtbar")
+    for cond in rmap.cond_sites:
+        if cond.site_label in seen_sites:
+            report.flag("rmap-bijectivity",
+                        f"duplicate site label {cond.site_label}")
+        seen_sites.add(cond.site_label)
+        where(cond.site_label)
+        where(cond.rec_label)
+        where(cond.taken_label)
+        if cond.cont_label:
+            where(cond.cont_label)
+    for loop in rmap.loop_sites:
+        where(loop.site_label)
+        where(loop.latch_label)
+    for fixed in rmap.fixed_loops:
+        where(fixed.latch_label)
+
+
+# -- lockstep equivalence walk ------------------------------------------------
+
+def _lockstep_walk(report: ValidationReport, flat: FlatProgram,
+                   classification: Classification, rewritten: Module,
+                   rmap, image, config: RapTrackConfig) -> None:
+    cursor = _ItemCursor(rewritten.section("text"))
+    indirects: Iterator[IndirectSite] = iter(rmap.indirect_sites)
+    conds: Iterator[CondSite] = iter(rmap.cond_sites)
+    loops = iter(rmap.loop_sites)
+
+    svc_before = {}
+    for site in classification.sites.values():
+        if site.cls is BranchClass.LOOP_OPT_LATCH:
+            svc_before.setdefault(site.header_index, []).append(site)
+
+    def take(expect: str) -> Optional[Tuple[Instr, Tuple[str, ...]]]:
+        item = cursor.take()
+        if item is None:
+            report.flag("text-truncated",
+                        f"rewritten text ends early (expected {expect})")
+            return None
+        payload, labels = item
+        if not isinstance(payload, Instr):
+            report.flag("site-shape",
+                        f"expected {expect}, found non-instruction item")
+            return None
+        return payload, labels
+
+    def next_indirect(kind: str) -> Optional[IndirectSite]:
+        entry = next(indirects, None)
+        if entry is None:
+            report.flag("rmap-bijectivity",
+                        f"missing indirect-site entry (kind {kind})")
+        elif entry.kind != kind:
+            report.flag("rmap-bijectivity",
+                        f"indirect-site kind {entry.kind!r}, "
+                        f"classification says {kind!r}")
+        return entry
+
+    def check_stub(entry, branch: Instr, rec_expect: Instr,
+                   exact: bool = True) -> None:
+        """The text-side branch must enter an MTBAR stub whose recording
+        instruction re-issues ``rec_expect``."""
+        report.stubs_checked += 1
+        target = branch.operands[-1]
+        if not isinstance(target, Label):
+            report.flag("stub-entry", f"{_fmt(branch)} is not a stub call")
+            return
+        try:
+            stub_addr = image.addr_of(target.name)
+            rec_addr = image.addr_of(entry.rec_label)
+        except KeyError as exc:
+            report.flag("stub-entry", str(exc))
+            return
+        lo, hi = image.section_ranges.get("mtbar", (0, 0))
+        if not lo <= stub_addr < hi:
+            report.flag("stub-entry",
+                        f"stub {target.name} not in mtbar")
+            return
+        cur = stub_addr
+        pad = 0
+        while image.instr_at.get(cur) is not None and \
+                image.instr_at[cur].mnemonic == "nop":
+            pad += 1
+            cur += image.instr_at[cur].size
+        if config.nop_padding and pad < 1:
+            report.flag("nop-padding",
+                        f"stub {target.name} lacks activation padding")
+        if not config.nop_padding and pad > 0:
+            report.flag("nop-padding",
+                        f"stub {target.name} padded with padding disabled")
+        if cur != rec_addr:
+            report.flag("stub-shape",
+                        f"recording instruction of {target.name} is not "
+                        f"the first non-nop instruction")
+        rec = image.instr_at.get(rec_addr)
+        if rec is None:
+            report.flag("stub-shape",
+                        f"no instruction at recording label "
+                        f"{entry.rec_label}")
+            return
+        if exact and not _same_instr(rec, rec_expect):
+            report.flag("stub-equivalence",
+                        f"stub {target.name} re-issues {_fmt(rec)}, "
+                        f"original transfer is {_fmt(rec_expect)}")
+
+    for idx, instr in enumerate(flat.instrs):
+        for loop_site in svc_before.get(idx, ()):
+            got = take("loop-opt svc")
+            if got is None:
+                return
+            payload, labels = got
+            entry = next(loops, None)
+            if not (payload.mnemonic == "svc"
+                    and payload.operands == (Imm(SVC_LOG_LOOP),)):
+                report.flag("site-shape",
+                            f"loop-opt site emitted {_fmt(payload)}, "
+                            f"expected svc #{SVC_LOG_LOOP}")
+            elif entry is not None and entry.site_label not in labels:
+                report.flag("rmap-bijectivity",
+                            f"loop site label {entry.site_label} not "
+                            f"bound to its svc")
+
+        site = classification.sites.get(idx)
+        cls = site.cls if site is not None else None
+        report.sites_checked += site is not None
+
+        if cls in (BranchClass.INDIRECT_CALL, BranchClass.LOGGED_CALL):
+            got = take("stub call")
+            if got is None:
+                return
+            payload, labels = got
+            entry = next_indirect("call")
+            if payload.mnemonic != "bl":
+                report.flag("site-shape",
+                            f"call site {idx} emitted {_fmt(payload)}")
+                continue
+            if entry is None:
+                continue
+            if entry.site_label not in labels:
+                report.flag("rmap-bijectivity",
+                            f"site label {entry.site_label} not on the "
+                            f"rewritten call at index {idx}")
+            if cls is BranchClass.INDIRECT_CALL:
+                rec_expect = make_instr("bx", *instr.operands)
+            elif site.devirt_target is not None:
+                rec_expect = make_instr("b", Label(site.devirt_target))
+            else:
+                rec_expect = make_instr("b", instr.direct_target())
+            check_stub(entry, payload, rec_expect)
+        elif cls is BranchClass.RETURN_POP:
+            (reglist,) = instr.operands
+            remaining = reglist.without(PC)
+            if len(remaining):
+                got = take("partial pop")
+                if got is None:
+                    return
+                payload, _ = got
+                if not (payload.kind is InstrKind.POP
+                        and payload.operands == (remaining,)):
+                    report.flag("site-shape",
+                                f"return site {idx}: expected "
+                                f"pop {remaining}, got {_fmt(payload)}")
+            got = take("return stub branch")
+            if got is None:
+                return
+            payload, labels = got
+            entry = next_indirect("return_pop")
+            if payload.mnemonic != "b":
+                report.flag("site-shape",
+                            f"return site {idx} emitted {_fmt(payload)}")
+                continue
+            if entry is None:
+                continue
+            if entry.site_label not in labels:
+                report.flag("rmap-bijectivity",
+                            f"site label {entry.site_label} not on the "
+                            f"return branch at index {idx}")
+            check_stub(entry, payload, make_instr("pop", RegList((PC,))))
+        elif cls in (BranchClass.INDIRECT_LDR, BranchClass.INDIRECT_BX):
+            got = take("indirect stub branch")
+            if got is None:
+                return
+            payload, labels = got
+            if cls is BranchClass.INDIRECT_LDR:
+                kind = "ldr"
+            elif (isinstance(instr.operands[0], Reg)
+                  and instr.operands[0].num == LR):
+                kind = "return_bx"
+            else:
+                kind = "bx"
+            entry = next_indirect(kind)
+            if payload.mnemonic != "b":
+                report.flag("site-shape",
+                            f"indirect site {idx} emitted {_fmt(payload)}")
+                continue
+            if entry is None:
+                continue
+            if entry.site_label not in labels:
+                report.flag("rmap-bijectivity",
+                            f"site label {entry.site_label} not on the "
+                            f"jump at index {idx}")
+            check_stub(entry, payload, instr)
+        elif cls in (BranchClass.DEVIRT_CALL, BranchClass.DEVIRT_JUMP):
+            got = take("devirtualized transfer")
+            if got is None:
+                return
+            payload, _ = got
+            want = "bl" if cls is BranchClass.DEVIRT_CALL else "b"
+            expect = make_instr(want, Label(site.devirt_target))
+            if not _same_instr(payload, expect):
+                report.flag("devirt-emission",
+                            f"devirtualized site {idx} emitted "
+                            f"{_fmt(payload)}, expected {_fmt(expect)}")
+        elif cls in (BranchClass.COND_NONLOOP,
+                     BranchClass.COND_BACKWARD_LATCH,
+                     BranchClass.UNCOND_LATCH):
+            got = take("trampolined conditional")
+            if got is None:
+                return
+            payload, labels = got
+            entry = next(conds, None)
+            if entry is None:
+                report.flag("rmap-bijectivity",
+                            f"missing cond-site entry at index {idx}")
+                continue
+            if entry.site_label not in labels:
+                report.flag("rmap-bijectivity",
+                            f"cond site label {entry.site_label} not on "
+                            f"the branch at index {idx}")
+            if payload.cond != instr.cond or \
+                    payload.kind is not instr.kind:
+                report.flag("site-shape",
+                            f"conditional at {idx} changed shape: "
+                            f"{_fmt(instr)} -> {_fmt(payload)}")
+            taken = instr.direct_target()
+            if entry.taken_label != taken.name:
+                report.flag("stub-equivalence",
+                            f"cond site at {idx} records taken target "
+                            f"{entry.taken_label}, original {taken.name}")
+            check_stub(entry, payload, make_instr("b", taken))
+        elif cls is BranchClass.COND_FORWARD_EXIT:
+            got = take("forward-exit conditional")
+            if got is None:
+                return
+            payload, labels = got
+            entry = next(conds, None)
+            if not _same_instr(payload, instr):
+                report.flag("site-shape",
+                            f"forward exit at {idx} altered: "
+                            f"{_fmt(instr)} -> {_fmt(payload)}")
+            got = take("fall-through stub branch")
+            if got is None:
+                return
+            branch, _ = got
+            if entry is None:
+                report.flag("rmap-bijectivity",
+                            f"missing cond-site entry at index {idx}")
+                continue
+            if entry.site_label not in labels:
+                report.flag("rmap-bijectivity",
+                            f"cond site label {entry.site_label} not on "
+                            f"the branch at index {idx}")
+            if entry.cont_label is None:
+                report.flag("rmap-bijectivity",
+                            f"forward exit at {idx} lacks a continuation")
+                continue
+            check_stub(entry, branch,
+                       make_instr("b", Label(entry.cont_label)))
+        else:
+            got = take("verbatim instruction")
+            if got is None:
+                return
+            payload, _ = got
+            if not _same_instr(payload, instr):
+                report.flag("verbatim-drift",
+                            f"untracked instruction at {idx} altered: "
+                            f"{_fmt(instr)} -> {_fmt(payload)}")
+
+    if next(indirects, None) is not None:
+        report.flag("rmap-bijectivity",
+                    "indirect-site entries outnumber trampolined sites")
+    if next(conds, None) is not None:
+        report.flag("rmap-bijectivity",
+                    "cond-site entries outnumber trampolined conditionals")
+    if not cursor.exhausted_except_space():
+        report.flag("text-surplus",
+                    "rewritten text holds instructions past the last "
+                    "original instruction")
+
+
+# -- devirtualization certificates -------------------------------------------
+
+def _check_devirt_certificates(report: ValidationReport, original: Module,
+                               classification: Classification,
+                               config: RapTrackConfig) -> None:
+    devirt = classification.devirtualized_sites()
+    demoted = [s for s in classification.sites.values()
+               if s.cls is BranchClass.LOGGED_CALL
+               and s.devirt_target is not None]
+    if not devirt and not demoted:
+        return
+    if not config.enable_dataflow:
+        report.flag("devirt-disabled",
+                    "devirtualized sites present with dataflow disabled")
+        return
+    # independent re-derivation from the original module
+    from repro.core.dataflow.analyses import analyse_module
+
+    flat = FlatProgram(original)
+    facts = analyse_module(flat, build_cfg(flat))
+    for site in list(devirt) + demoted:
+        report.devirt_checked += 1
+        proven = facts.devirt_target(site.index)
+        if proven != site.devirt_target:
+            report.flag("devirt-certificate",
+                        f"site {site.index} rewritten to "
+                        f"{site.devirt_target!r} but re-analysis proves "
+                        f"{proven!r}")
+        elif site.devirt_target not in flat.label_index:
+            report.flag("devirt-certificate",
+                        f"devirtualized target {site.devirt_target!r} "
+                        f"is not a code label")

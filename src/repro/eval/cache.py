@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from repro.core.pipeline import RapTrackConfig
 
 #: bump when the artifact layout (or anything feeding it) changes shape
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: methods whose offline phase is just ``link(module)`` share one entry
 _PLAIN_METHODS = ("baseline", "naive-mtb")

@@ -78,9 +78,8 @@ field_end:
     b char_loop
 
 sentence_end:
-    ldr r1, [r7, #12]
-    add r1, r1, #1
-    str r1, [r7, #12]         ; GPIO3 = sentences parsed
+    ldr r0, =publish_fix      ; single-target indirect call: the
+    blx r0                    ; value-set analysis devirtualizes it
     b char_loop
 
 parse_done:
@@ -99,6 +98,12 @@ skip_field:
     mov r5, #0
     add r6, r6, #1
     pop {{pc}}
+
+publish_fix:                  ; bump the parsed-sentence counter
+    ldr r1, [r7, #12]
+    add r1, r1, #1
+    str r1, [r7, #12]         ; GPIO3 = sentences parsed
+    bx lr
 
 field_talker:                 ; field 0: "GPGGA" (no digits)
     bx lr

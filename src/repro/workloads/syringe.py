@@ -89,7 +89,8 @@ cmd_prime:
     mov r2, #0
     str r2, [r5, #4]
     mov r1, #{PRIME_STEPS}
-    bl do_steps
+    ldr r3, =do_steps         ; register-materialized callee: provably
+    blx r3                    ; single-target, devirtualized
     b cmd_done
 
 cmd_done:

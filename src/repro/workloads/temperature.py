@@ -77,8 +77,12 @@ class_next:
     str r3, [r7, #12]         ; GPIO3 = hot
 
     ; ---- data-dependent settle delay (loop-opt candidate) ----
+    ; the callee address is materialized into a register (compiler
+    ; idiom): an indirect call with exactly one provable target, which
+    ; the value-set analysis devirtualizes
     mov r0, r6
-    bl settle
+    ldr r1, =settle
+    blx r1
     str r0, [r7, #16]         ; GPIO4 = settle ticks
     bkpt
 

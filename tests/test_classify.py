@@ -20,14 +20,17 @@ def classes_of(classification):
 
 class TestIndirectTransfers:
     def test_indirect_call(self):
-        c = classify("""
+        src = """
 main:
     adr r3, f
     blx r3
     bkpt
 f:  bx lr
-""")
+"""
+        c = classify(src, enable_dataflow=False)
         assert classes_of(c)["blx r3"] is BranchClass.INDIRECT_CALL
+        d = classify(src)
+        assert classes_of(d)["blx r3"] is BranchClass.DEVIRT_CALL
 
     def test_return_pop(self):
         c = classify("""
@@ -40,15 +43,19 @@ f:  push {r4, lr}
         assert classes_of(c)["pop {r4, pc}"] is BranchClass.RETURN_POP
 
     def test_ldr_pc(self):
-        c = classify("""
+        src = """
 main:
     ldr r2, =t
     ldr pc, [r2]
 a:  bkpt
 .rodata
 t:  .word a
-""")
+"""
+        c = classify(src, enable_dataflow=False)
         assert classes_of(c)["ldr pc, [r2]"] is BranchClass.INDIRECT_LDR
+        # dataflow folds the rodata load: single provable target
+        d = classify(src)
+        assert classes_of(d)["ldr pc, [r2]"] is BranchClass.DEVIRT_JUMP
 
     def test_leaf_return_untracked(self):
         c = classify("""
@@ -78,13 +85,16 @@ g:  bx lr
         assert c.sites[g_bx].cls is BranchClass.LEAF_RETURN
 
     def test_bx_non_lr_register_tracked(self):
-        c = classify("""
+        src = """
 main:
     adr r3, x
     bx r3
 x:  bkpt
-""")
+"""
+        c = classify(src, enable_dataflow=False)
         assert classes_of(c)["bx r3"] is BranchClass.INDIRECT_BX
+        d = classify(src)
+        assert classes_of(d)["bx r3"] is BranchClass.DEVIRT_JUMP
 
 
 class TestLoops:
@@ -390,16 +400,23 @@ f:  bx lr
 
 class TestClassificationSets:
     def test_tracked_sites_listing(self):
-        c = classify("""
+        src = """
 main:
     adr r3, f
     blx r3
     bkpt
 f:  bx lr
-""")
+"""
+        c = classify(src, enable_dataflow=False)
         tracked = c.tracked_sites()
         assert len(tracked) == 1
         assert tracked[0].cls is BranchClass.INDIRECT_CALL
+        # with dataflow, the provably single-target call is untracked
+        d = classify(src)
+        assert d.tracked_sites() == []
+        (site,) = d.devirtualized_sites()
+        assert site.cls is BranchClass.DEVIRT_CALL
+        assert site.devirt_target == "f"
 
     def test_function_entries_include_entry_and_targets(self):
         c = classify("""

@@ -1,0 +1,325 @@
+"""Unit + property tests: the worklist dataflow engine.
+
+Covers the lattice algebra (hypothesis-checked join laws and the width
+cap), fixpoint termination of the generic solver over random graphs,
+divergence detection for non-monotone transfers, and the concrete
+analyses (constant-memory folding, devirtualization certificates,
+LR validity, reaching defs, liveness).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.core.cfg import build_cfg
+from repro.core.dataflow import (
+    Addr,
+    Const,
+    ConstMemory,
+    FixpointDiverged,
+    MAX_WIDTH,
+    TOP,
+    ValueSet,
+    analyse_liveness,
+    analyse_module,
+    analyse_reaching_defs,
+    def_use,
+    lift_binary,
+    reverse_graph,
+    solve,
+    state_join,
+    vs,
+    vs_addr,
+    vs_const,
+)
+from repro.core.dataflow.analyses import ENTRY_DEF
+from repro.core.flat import FlatProgram
+
+# -- strategies -------------------------------------------------------------
+
+values = st.one_of(
+    st.integers(min_value=0, max_value=2**32 - 1).map(Const),
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=-8, max_value=8))
+      .map(lambda t: Addr(t[0], t[1])),
+)
+
+value_sets = st.one_of(
+    st.just(TOP),
+    st.frozensets(values, max_size=MAX_WIDTH + 2).map(
+        lambda s: vs(*s)),
+)
+
+
+def analyse(source):
+    flat = FlatProgram(assemble(".entry main\n" + source))
+    return flat, analyse_module(flat, build_cfg(flat))
+
+
+# -- lattice laws -----------------------------------------------------------
+
+class TestValueSetLattice:
+    @given(value_sets, value_sets)
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(value_sets, value_sets)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(value_sets, value_sets, value_sets)
+    def test_join_associative(self, a, b, c):
+        # the width cap preserves associativity because collapse depends
+        # only on the union's size, which is monotone in its inputs
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(value_sets)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(value_sets)
+    def test_top_absorbs(self, a):
+        assert a.join(TOP).is_top and TOP.join(a).is_top
+
+    @given(value_sets, value_sets)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    def test_width_cap_collapses(self):
+        wide = vs(*(Const(i) for i in range(MAX_WIDTH + 1)))
+        assert wide.is_top
+        half = vs(*(Const(i) for i in range(MAX_WIDTH // 2 + 1)))
+        other = vs(*(Const(100 + i) for i in range(MAX_WIDTH // 2 + 1)))
+        assert half.join(other).is_top
+
+    def test_singleton_label(self):
+        assert vs_addr("f").singleton_label() == "f"
+        assert vs_addr("f", 4).singleton_label() is None
+        assert vs_const(8).singleton_label() is None
+        assert vs_addr("f").join(vs_addr("g")).singleton_label() is None
+
+    @given(value_sets, value_sets)
+    def test_lift_binary_top_poisons(self, a, b):
+        add = lambda x, y: (Const(x.value + y.value)
+                            if isinstance(x, Const) and isinstance(y, Const)
+                            else None)
+        out = lift_binary(add, a, b)
+        if a.is_top or b.is_top:
+            assert out.is_top
+
+    def test_state_join_drops_disagreements_to_top(self):
+        a = {0: vs_const(1), 1: vs_const(2)}
+        b = {0: vs_const(1)}
+        joined = state_join(a, b)
+        assert joined == {0: vs_const(1)}  # r1 TOP on the b path
+
+
+# -- generic solver ---------------------------------------------------------
+
+graphs = st.integers(min_value=1, max_value=10).flatmap(
+    lambda n: st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=3 * n,
+    ).map(lambda edges: (n, edges))
+)
+
+
+class TestWorklistSolver:
+    @settings(max_examples=60)
+    @given(graphs)
+    def test_fixpoint_terminates_and_holds(self, graph_spec):
+        n, edges = graph_spec
+        graph = {i: [] for i in range(n)}
+        for u, v in edges:
+            graph[u].append(v)
+        transfer = lambda node, fact: fact | {node}
+        join = lambda a, b: a | b
+        sol = solve(graph, {0: frozenset()}, transfer, join)
+        # the solution is a post-fixpoint of every reached edge
+        for u in sol.in_facts:
+            for v in graph.get(u, ()):
+                assert transfer(u, sol.in_facts[u]) <= sol.in_facts[v]
+        # facts exist exactly at nodes reachable from the root
+        assert 0 in sol.in_facts
+
+    def test_unreached_nodes_carry_no_fact(self):
+        sol = solve({0: [1], 2: [0]}, {0: 0},
+                    lambda n, f: f, max)
+        assert 2 not in sol.in_facts
+
+    def test_non_monotone_transfer_diverges(self):
+        graph = {0: [1], 1: [0]}
+        with pytest.raises(FixpointDiverged):
+            solve(graph, {0: 0}, lambda n, f: f + 1, max,
+                  max_passes=16)
+
+    def test_reverse_graph(self):
+        assert reverse_graph({0: [1, 2], 1: [2]}) == {
+            0: [], 1: [0], 2: [0, 1]}
+
+
+# -- concrete analyses ------------------------------------------------------
+
+class TestConstMemory:
+    def test_rodata_word_folding(self):
+        module = assemble("""
+.entry main
+main:
+    bkpt
+.rodata
+table:
+    .word handler
+    .word 42
+""")
+        memory = ConstMemory(module)
+        assert memory.load_word("table", 0) == Addr("handler")
+        assert memory.load_word("table", 4) == Const(42)
+        assert memory.load_word("table", 8) is None
+        assert memory.load_word("nowhere", 0) is None
+
+    def test_mutable_data_not_folded(self):
+        module = assemble("""
+.entry main
+main:
+    bkpt
+.data
+cell:
+    .word 7
+""")
+        assert ConstMemory(module).load_word("cell", 0) is None
+
+
+class TestModuleFacts:
+    def test_adr_blx_devirt_certificate(self):
+        flat, facts = analyse("""
+main:
+    adr r3, f
+    blx r3
+    bkpt
+f:  bx lr
+""")
+        blx = flat.index_of("f") - 2  # blx sits right before bkpt
+        assert facts.devirt_target(blx) == "f"
+        assert facts.target_set(blx) == vs_addr("f")
+
+    def test_rodata_dispatch_devirt(self):
+        flat, facts = analyse("""
+main:
+    ldr r2, =t
+    ldr pc, [r2]
+a:  bkpt
+.rodata
+t:  .word a
+""")
+        ldr_pc = flat.index_of("a") - 1
+        assert facts.devirt_target(ldr_pc) == "a"
+
+    def test_two_targets_no_certificate(self):
+        flat, facts = analyse("""
+main:
+    cmp r0, #0
+    beq alt
+    adr r3, f
+    b go
+alt:
+    adr r3, g
+go:
+    bx r3
+f:  bkpt
+g:  bkpt
+""")
+        bx = flat.index_of("f") - 1
+        assert facts.devirt_target(bx) is None
+        assert facts.target_set(bx) == vs(Addr("f"), Addr("g"))
+
+    def test_call_clobbers_registers(self):
+        # no ABI contract is assumed: a call invalidates every tracked
+        # register, so a post-call bx is never devirtualized from a
+        # pre-call materialization
+        flat, facts = analyse("""
+main:
+    mov r0, #5
+    mov r4, #9
+    bl f
+    bx r0
+f:  bx lr
+""")
+        bx = flat.index_of("f") - 1
+        assert facts.target_set(bx).is_top
+        assert facts.state_at(bx) == {}
+
+    def test_alu_folding_matches_cpu(self):
+        flat, facts = analyse("""
+main:
+    mov r1, #6
+    add r1, r1, #4
+    lsl r1, r1, #2
+    bkpt
+""")
+        bkpt = len(flat) - 1
+        assert facts.state_at(bkpt)[1] == vs_const(40)
+
+    def test_lr_validity(self):
+        flat, facts = analyse("""
+main:
+    bl f
+    bkpt
+f:  add r0, r0, #1
+    bx lr
+g:  push {lr}
+    bl f
+    pop {lr}
+    bx lr
+""")
+        leaf_bx = flat.index_of("g") - 1
+        assert facts.lr_valid_at(leaf_bx)
+
+    def test_iterations_recorded(self):
+        _flat, facts = analyse("main:\n    bkpt\n")
+        assert facts.iterations >= 1
+
+
+class TestLintAnalyses:
+    def test_reaching_defs_entry_sentinel(self):
+        flat = FlatProgram(assemble("""
+.entry main
+main:
+    add r0, r4, #1
+    mov r4, #2
+    add r1, r4, #1
+    bkpt
+"""))
+        reach = analyse_reaching_defs(flat, build_cfg(flat))
+        # a missing key means "untouched since entry"
+        assert reach[0].get(4, frozenset({ENTRY_DEF})) == \
+            frozenset({ENTRY_DEF})
+        assert reach[2][4] == frozenset({1})  # def at index 1 reaches
+
+    def test_liveness_redefinition_kills(self):
+        flat = FlatProgram(assemble("""
+.entry main
+main:
+    mov r4, #5
+    mov r4, #6
+    bkpt
+"""))
+        live_after = analyse_liveness(flat, build_cfg(flat))
+        assert 4 not in live_after[0]  # first def dead: overwritten
+        assert 4 in live_after[1]  # exit keeps every register live
+
+    def test_def_use_shapes(self):
+        flat = FlatProgram(assemble("""
+.entry main
+main:
+    add r0, r1, r2
+    ldr r3, [r4, #8]
+    push {r5, lr}
+    bkpt
+"""))
+        defs, uses = def_use(flat.instrs[0])
+        assert defs == frozenset({0}) and uses == frozenset({1, 2})
+        defs, uses = def_use(flat.instrs[1])
+        assert 3 in defs and 4 in uses

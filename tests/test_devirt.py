@@ -1,0 +1,122 @@
+"""End-to-end tests: value-set branch devirtualization.
+
+The differential property the optimisation must preserve: with
+``enable_dataflow`` on and off, the same workload attests losslessly,
+the verifier reaches the same verdict against ground truth, and the
+dataflow build trampolines strictly fewer sites on the workloads that
+carry compiler-idiom indirect calls.
+"""
+
+import pytest
+
+from conftest import assert_lossless, rap_setup, traces_setup
+from repro.asm import assemble
+from repro.core.classify import BranchClass, classify_module
+from repro.core.pipeline import RapTrackConfig
+from repro.workloads import WORKLOADS, load_workload
+
+#: workloads whose register-materialized calls the value analysis
+#: provably devirtualizes (strict trampoline reduction required)
+DEVIRT_WORKLOADS = ["temperature", "gps", "syringe"]
+
+
+def trampoline_count(bound):
+    return len(bound.indirect_at) + len(bound.cond_at)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", DEVIRT_WORKLOADS)
+    def test_verdicts_identical_and_sites_reduced(self, name, keystore):
+        outcomes = {}
+        counts = {}
+        for enabled in (True, False):
+            setup = rap_setup(load_workload(name),
+                              RapTrackConfig(enable_dataflow=enabled),
+                              keystore=keystore)
+            image, bound, _mcu, engine, verifier, tracer = setup
+            _result, outcome = assert_lossless(
+                image, engine, verifier, tracer)
+            outcomes[enabled] = outcome
+            counts[enabled] = trampoline_count(bound)
+        # both builds verify clean against their own ground truth and
+        # the verdicts agree byte for byte
+        assert outcomes[True].ok and outcomes[False].ok
+        assert outcomes[True].violations == outcomes[False].violations
+        # ... while the dataflow build trampolines strictly fewer sites
+        assert counts[True] < counts[False], counts
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_devirt_never_adds_trampolines(self, name):
+        module = load_workload(name).module()
+        with_df = classify_module(module)
+        without = classify_module(load_workload(name).module(),
+                                  enable_dataflow=False)
+        assert len(with_df.tracked_sites()) <= len(without.tracked_sites())
+        # every devirtualized site carries a provable target
+        for site in with_df.devirtualized_sites():
+            assert site.devirt_target in with_df.flat.label_index
+
+
+class TestSilentCycleInteraction:
+    REVERT_SRC = """
+.entry main
+main:
+    mov r4, #3
+loop:
+    sub r4, r4, #1
+    adr r2, loop
+    cmp r4, #0
+    beq out
+    bx r2
+out:
+    bkpt
+"""
+
+    def test_devirt_jump_closing_silent_cycle_reverts(self):
+        # the proven bx target would close a cycle with no logged edge;
+        # the classifier must give the devirtualization back
+        c = classify_module(assemble(self.REVERT_SRC))
+        (bx_idx,) = [idx for idx, s in c.sites.items()
+                     if c.flat.instrs[idx].mnemonic == "bx"]
+        assert c.sites[bx_idx].cls is BranchClass.INDIRECT_BX
+        assert c.devirtualized_sites() == []
+
+    def test_reverted_program_attests_losslessly(self, keystore):
+        image, _bound, _mcu, engine, verifier, tracer = rap_setup(
+            self.REVERT_SRC, keystore=keystore)
+        assert_lossless(image, engine, verifier, tracer)
+
+
+class TestReturnBxRegression:
+    # regression: a bx-lr return inside a non-leaf extent is trampolined
+    # as a *return* (shadow-stack checked), not as a computed jump —
+    # the jump policy would reject the legal return into main's body
+    SRC = """
+.entry main
+func0:
+    add r0, r0, #0
+    bx lr
+func1:
+    push {r4, lr}
+    adr r3, func0
+    blx r3
+    pop {r4, pc}
+main:
+    push {r4, r5, r6, r7, lr}
+    adr r3, func0
+    blx r3
+    bkpt
+"""
+
+    def test_rap_track_accepts_non_leaf_bx_return(self, keystore):
+        image, bound, _mcu, engine, verifier, tracer = rap_setup(
+            self.SRC, RapTrackConfig(enable_dataflow=False),
+            keystore=keystore)
+        kinds = {site.kind for site in bound.indirect_at.values()}
+        assert "return_bx" in kinds
+        assert_lossless(image, engine, verifier, tracer)
+
+    def test_traces_accepts_non_leaf_bx_return(self, keystore):
+        image, _bound, _mcu, engine, verifier, tracer = traces_setup(
+            self.SRC, keystore=keystore)
+        assert_lossless(image, engine, verifier, tracer)

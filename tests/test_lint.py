@@ -1,0 +1,149 @@
+"""Tests: ``repro lint`` hygiene checks, report plumbing, and the CLI
+gate (exit status + machine-readable JSON)."""
+
+import json
+
+import pytest
+
+from repro.asm import assemble
+from repro.cli import main
+from repro.core.lint import (
+    LINT_CONFIGS,
+    LintReport,
+    lint_all,
+    lint_hygiene,
+    lint_workload,
+)
+
+
+def hygiene(source):
+    report = lint_hygiene(assemble(".entry main\n" + source), "t")
+    return {f.check for f in report.findings}, report
+
+
+class TestHygieneChecks:
+    def test_clean_program(self):
+        checks, report = hygiene("""
+main:
+    mov r0, #1
+    add r0, r0, #1
+    bkpt
+""")
+        assert checks == set() and report.ok
+
+    def test_unreachable_block(self):
+        checks, report = hygiene("""
+main:
+    b skip
+orphan:
+    mov r1, #1
+skip:
+    bkpt
+""")
+        assert checks == {"unreachable-block"}
+        assert any("orphan" in f.detail for f in report.findings)
+
+    def test_use_before_def(self):
+        checks, _ = hygiene("""
+main:
+    add r0, r4, #1
+    bkpt
+""")
+        assert "use-before-def" in checks
+
+    def test_prologue_push_not_flagged(self):
+        # saving callee-saved registers is an idiom, not a data read
+        checks, _ = hygiene("""
+main:
+    push {r4, r5, lr}
+    mov r4, #1
+    pop {r4, r5, lr}
+    bkpt
+""")
+        assert "use-before-def" not in checks
+
+    def test_dead_def(self):
+        checks, _ = hygiene("""
+main:
+    mov r4, #5
+    mov r4, #6
+    bkpt
+""")
+        assert "dead-def" in checks
+
+    def test_live_def_not_flagged(self):
+        checks, _ = hygiene("""
+main:
+    mov r4, #5
+    add r0, r4, #1
+    bkpt
+""")
+        assert "dead-def" not in checks
+
+    def test_fall_through_end(self):
+        checks, _ = hygiene("""
+main:
+    mov r0, #1
+""")
+        assert "fall-through-end" in checks
+
+    def test_trailing_unconditional_branch_ok(self):
+        checks, _ = hygiene("""
+main:
+    mov r0, #1
+    b main
+""")
+        assert "fall-through-end" not in checks
+
+
+class TestLintSuite:
+    def test_all_workloads_clean(self):
+        report = lint_all()
+        assert report.ok, [str(f) for f in report.findings]
+        assert report.workloads == 15
+        assert report.configs_validated == 15 * len(LINT_CONFIGS)
+
+    def test_single_workload(self):
+        report = lint_workload("gps")
+        assert report.ok
+        assert report.workloads == 1
+        assert report.configs_validated == len(LINT_CONFIGS)
+
+    def test_json_round_trip(self):
+        report = LintReport()
+        report.flag("w@default", "stub-equivalence", "boom")
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["ok"] is False
+        assert payload["findings"] == [{
+            "target": "w@default",
+            "check": "stub-equivalence",
+            "detail": "boom",
+        }]
+
+
+class TestLintCli:
+    def test_single_workload_exit_zero(self, capsys):
+        assert main(["lint", "temperature"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "temperature", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["workloads"] == 1
+        assert payload["findings"] == []
+
+    def test_findings_exit_nonzero(self, capsys, monkeypatch):
+        import repro.core.lint as lint_mod
+
+        def broken(names=None, configs=None):
+            report = LintReport()
+            report.workloads = 1
+            report.flag("x@default", "verbatim-drift", "seeded")
+            return report
+
+        monkeypatch.setattr(lint_mod, "lint_all", broken)
+        assert main(["lint", "--all"]) == 1
+        out = capsys.readouterr().out
+        assert "verbatim-drift" in out

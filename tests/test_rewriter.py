@@ -121,9 +121,17 @@ class TestRapRewriteStructure:
         assert self.image.code_size() > original.code_size()
 
     def test_site_counts_reported(self):
-        assert self.result.site_counts["indirect_call"] == 1
+        # adr+blx has a provable single target: devirtualized by default
+        assert self.result.site_counts["devirt_call"] == 1
+        assert "indirect_call" not in self.result.site_counts
         assert self.result.site_counts["return_pop"] == 2
         assert self.result.site_counts["fixed_loop_latch"] == 1
+
+    def test_dataflow_off_keeps_indirect_call(self):
+        result = transform(self.module,
+                           RapTrackConfig(enable_dataflow=False))
+        assert result.site_counts["indirect_call"] == 1
+        assert "devirt_call" not in result.site_counts
 
 
 def _final_state(mcu):
@@ -187,7 +195,8 @@ class TestSemanticPreservation:
 class TestTracesRewriteStructure:
     def setup_method(self):
         module = assemble(SAMPLE)
-        self.classification = classify_module(module)
+        # syntactic mode: keep the blx an indirect (instrumented) call
+        self.classification = classify_module(module, enable_dataflow=False)
         self.rewritten, self.rmap = rewrite_for_traces(
             assemble(SAMPLE), self.classification)
         self.image = link(self.rewritten)

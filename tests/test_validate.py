@@ -1,0 +1,195 @@
+"""Tests: the rewriter translation validator (repro.core.validate).
+
+Positive direction: every workload × every ablation configuration the
+benchmarks exercise certifies cleanly. Negative direction: a seeded
+break of each invariant — verbatim drift, stub redirection, rewrite-map
+corruption, forged devirtualization, stripped activation padding,
+truncated/padded text, overlapping regions — is rejected with the
+matching check id.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.lint import LINT_CONFIGS
+from repro.core.pipeline import RapTrackConfig, transform
+from repro.core.validate import (
+    ValidationReport,
+    _check_regions,
+    validate_rewrite,
+)
+from repro.isa.instructions import Instr, InstrKind, make_instr
+from repro.isa.operands import Label
+from repro.workloads import WORKLOADS, load_workload
+
+SAMPLE = """
+.entry main
+main:
+    mov r4, #0
+    adr r3, f
+    blx r3
+top:
+    add r4, r4, #1
+    cmp r4, #3
+    blt top
+    bl g
+    bkpt
+f:  bx lr
+g:  push {r4, lr}
+    pop {r4, pc}
+"""
+
+
+def build(source=SAMPLE, config=None):
+    module = assemble(source)
+    result = transform(module, config)
+    return assemble(source), result, config or RapTrackConfig()
+
+
+def checks_of(report):
+    return {issue.check for issue in report.issues}
+
+
+# -- certification ----------------------------------------------------------
+
+@pytest.mark.parametrize("cfg_name,config", LINT_CONFIGS,
+                         ids=[name for name, _ in LINT_CONFIGS])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_every_workload_certifies(name, cfg_name, config):
+    workload = load_workload(name)
+    result = transform(workload.module(), config)
+    report = validate_rewrite(workload.module(), result, config)
+    assert report.ok, [str(i) for i in report.issues]
+    assert report.sites_checked > 0
+
+
+def test_report_json_shape():
+    original, result, config = build()
+    report = validate_rewrite(original, result, config)
+    payload = report.to_json()
+    assert payload["ok"] is True
+    assert payload["issues"] == []
+    assert payload["devirt_checked"] >= 1  # the adr/blx pair
+
+
+# -- seeded-broken rewrites --------------------------------------------------
+
+class TestTamperRejection:
+    def test_verbatim_drift(self):
+        original, result, config = build()
+        for item in result.module.section("text").items:
+            payload = item.payload
+            if getattr(payload, "mnemonic", None) == "add":
+                item.payload = dataclasses.replace(payload, mnemonic="sub")
+                break
+        report = validate_rewrite(original, result, config)
+        assert "verbatim-drift" in checks_of(report)
+
+    def test_stub_redirected(self):
+        original, result, config = build()
+        # repoint the first recording instruction somewhere legal-looking
+        rec_labels = {site.rec_label
+                      for site in result.rmap.indirect_sites}
+        for item in result.module.section("mtbar").items:
+            if rec_labels & set(item.labels):
+                item.payload = make_instr("b", Label("main"))
+                break
+        report = validate_rewrite(original, result, config)
+        assert "stub-equivalence" in checks_of(report)
+
+    def test_dropped_rmap_entry(self):
+        original, result, config = build()
+        result.rmap.indirect_sites.pop()
+        report = validate_rewrite(original, result, config)
+        assert "rmap-bijectivity" in checks_of(report)
+
+    def test_duplicated_rmap_entry(self):
+        original, result, config = build()
+        result.rmap.indirect_sites.append(result.rmap.indirect_sites[0])
+        report = validate_rewrite(original, result, config)
+        assert "rmap-bijectivity" in checks_of(report)
+
+    def test_forged_devirt_target(self):
+        original, result, config = build()
+        sites = result.classification.sites
+        for idx, site in sites.items():
+            if site.devirt_target is not None:
+                sites[idx] = dataclasses.replace(site, devirt_target="top")
+                break
+        report = validate_rewrite(original, result, config)
+        assert {"devirt-emission",
+                "devirt-certificate"} <= checks_of(report)
+
+    def test_devirt_without_dataflow_flagged(self):
+        original, result, _config = build()
+        off = RapTrackConfig(enable_dataflow=False)
+        report = validate_rewrite(original, result, off)
+        assert "devirt-disabled" in checks_of(report)
+
+    def test_stripped_nop_padding(self):
+        # drop the activation nops but keep the stub entry labels bound
+        # (they sit on the nop items) so the module still links
+        original, result, config = build()
+        mtbar = result.module.section("mtbar")
+        kept, pending = [], ()
+        for item in mtbar.items:
+            if getattr(item.payload, "mnemonic", None) == "nop":
+                pending += tuple(item.labels)
+                continue
+            if pending:
+                item.labels = pending + tuple(item.labels)
+                pending = ()
+            kept.append(item)
+        mtbar.items = kept
+        report = validate_rewrite(original, result, config)
+        assert "nop-padding" in checks_of(report)
+
+    def test_truncated_text(self):
+        original, result, config = build()
+        text = result.module.section("text")
+        while text.items:
+            dropped = text.items.pop()
+            if isinstance(dropped.payload, Instr):
+                break
+        report = validate_rewrite(original, result, config)
+        assert "text-truncated" in checks_of(report)
+
+    def test_surplus_text(self):
+        original, result, config = build()
+        result.module.section("text").add(make_instr("nop"))
+        report = validate_rewrite(original, result, config)
+        assert "text-surplus" in checks_of(report)
+
+    def test_residual_indirect_call(self):
+        # a rewriter that forgets a site entirely leaves the raw blx in
+        # text: flagged both as residue and as a shape mismatch
+        original, result, config = build()
+        blx = next(i for i in original.section("text").instructions()
+                   if i.kind is InstrKind.INDIRECT_CALL)
+        text = result.module.section("text")
+        for item in text.items:
+            payload = item.payload
+            if getattr(payload, "mnemonic", None) == "b" and \
+                    isinstance(payload.operands[0], Label) and \
+                    payload.operands[0].name.startswith("__rt_"):
+                item.payload = blx
+                break
+        report = validate_rewrite(original, result, config)
+        assert "residual-indirect" in checks_of(report)
+
+    def test_region_overlap_detected(self):
+        class _FakeImage:
+            section_ranges = {"text": (0, 0x100), "mtbar": (0x80, 0x180)}
+
+        report = ValidationReport()
+        _check_regions(report, _FakeImage())
+        assert checks_of(report) == {"region-overlap"}
+
+    def test_unbindable_label_is_link_or_orphan(self):
+        original, result, config = build()
+        result.rmap.indirect_sites[0] = dataclasses.replace(
+            result.rmap.indirect_sites[0], rec_label="__rt_nowhere")
+        report = validate_rewrite(original, result, config)
+        assert checks_of(report) & {"link", "rmap-orphan", "stub-entry"}

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cfa.cflog import AddressRecord, BranchRecord, CFLog, LoopRecord
 from repro.cfa.report import AttestationResult
+from repro.core.pipeline import RapTrackConfig
 from conftest import (
     assert_lossless,
     naive_setup,
@@ -193,8 +194,11 @@ class TestNaiveReplayDesync:
 
 class TestViolationEvidence:
     def test_forged_indirect_target_flagged(self, keystore):
+        # dataflow off: keep the blx an *indirect* (logged) call so a
+        # forged destination record exists to tamper with
         image, bound, _, engine, verifier, _ = rap_setup(
-            BRANCHY, keystore=keystore)
+            BRANCHY, RapTrackConfig(enable_dataflow=False),
+            keystore=keystore)
         result = engine.attest(b"t")
         records = list(result.cflog.records)
         # redirect the logged blx destination to mid-function code
