@@ -7,6 +7,8 @@ Commands:
 * ``figures [--workloads ...] [--jobs N]`` — regenerate the paper's
   tables, optionally fanning the (workload × method) grid out across
   worker processes;
+* ``profile WORKLOAD`` — cProfile one attested execution and print the
+  simulator's hot spots (``--no-jit`` to profile the interpreter tier);
 * ``offline WORKLOAD`` — show the rewriter's output (MTBDR/MTBAR);
 * ``attack`` — the ROP detection demonstration;
 * ``fleet [--devices N] [--workers W]`` — simulate a mixed fleet
@@ -65,7 +67,8 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    run = run_method(args.workload, args.method, cache=_make_cache(args))
+    run = run_method(args.workload, args.method, cache=_make_cache(args),
+                     enable_jit=False if args.no_jit else None)
     print(f"workload:        {run.workload}")
     print(f"method:          {run.method}")
     print(f"cycles:          {run.cycles}")
@@ -171,6 +174,24 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run = run_method(args.workload, args.method, cache=_make_cache(args),
+                     enable_jit=False if args.no_jit else None)
+    profiler.disable()
+    tier = "interpreter" if args.no_jit else "jit"
+    print(f"profile: {args.workload} / {args.method} ({tier}) — "
+          f"{run.cycles} cycles, {run.instructions} instructions",
+          file=sys.stderr)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _cmd_attack(_args) -> int:
     from repro.cfa.engine import RapTrackEngine
     from repro.cfa.verifier import Verifier
@@ -242,8 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="attest and verify one workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
     run.add_argument("--method", choices=METHODS, default="rap-track")
+    run.add_argument("--no-jit", action="store_true",
+                     help="force the pure-interpreter tier "
+                          "(results are identical, only slower)")
     _add_cache_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one attested execution (simulator hot spots)")
+    profile.add_argument("workload", choices=sorted(WORKLOADS))
+    profile.add_argument("--method", choices=METHODS, default="rap-track")
+    profile.add_argument("--no-jit", action="store_true",
+                         help="profile the pure-interpreter tier")
+    profile.add_argument("--top", type=int, default=25, metavar="N",
+                         help="rows of the stats table (default: 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=["cumulative", "tottime", "ncalls"],
+                         help="stat ordering (default: cumulative)")
+    _add_cache_flags(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     figures = sub.add_parser("figures",
                              help="regenerate the paper's tables")

@@ -96,11 +96,17 @@ def run_method(name: str, method: str,
                rap_config: Optional[RapTrackConfig] = None,
                verify: bool = True,
                check: bool = True,
-               cache: Optional[ArtifactCache] = None) -> MethodRun:
-    """Run one workload under one method; verify and sanity-check."""
+               cache: Optional[ArtifactCache] = None,
+               enable_jit: Optional[bool] = None) -> MethodRun:
+    """Run one workload under one method; verify and sanity-check.
+
+    ``enable_jit`` selects the superblock JIT tier for the simulated
+    device (``None`` = process default); metrics are identical either
+    way, only wall-clock time changes.
+    """
     workload = load_workload(name)
     image, bound = prepare(workload, method, rap_config, cache)
-    mcu = make_mcu(image, workload)
+    mcu = make_mcu(image, workload, enable_jit=enable_jit)
     keystore = KeyStore.provision()
     config = config or EngineConfig()
 

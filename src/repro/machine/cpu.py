@@ -26,10 +26,18 @@ from repro.machine.faults import UndefinedInstruction
 from repro.machine.memmap import STACK_TOP, World
 from repro.machine.memory import Memory
 
+# Per-mnemonic tables hoisted to module level: these used to be dict
+# literals rebuilt on every load/store/shift.
+_LOAD_SIZES = {"ldrb": 1, "ldrh": 2}
+_STORE_SIZES = {"strb": 1, "strh": 2}
+_SHIFTERS = {"lsl": alu.lsl, "lsr": alu.lsr, "asr": alu.asr, "ror": alu.ror}
+
 
 @dataclass(frozen=True)
 class RetireEvent:
     """One retired instruction and the control transfer it produced."""
+
+    __slots__ = ("src", "dst", "sequential", "instr")
 
     src: int
     dst: int
@@ -57,6 +65,11 @@ class CPU:
         self.pre_hooks: List[Callable[[int], None]] = []
         self.retire_hooks: List[Callable[[RetireEvent], None]] = []
         self.svc_handler: Optional[Callable[[int, "CPU"], None]] = None
+        # single-entry fetch-region cache: [lo, hi) of the last region a
+        # fetch succeeded from (region grants are static, so a hit can
+        # skip the MPU walk; starts empty so the first fetch checks)
+        self._fetch_lo = 1
+        self._fetch_hi = 0
         self.reset()
 
     def reset(self) -> None:
@@ -93,14 +106,22 @@ class CPU:
 
     # -- execution ------------------------------------------------------------
 
+    def _check_fetch(self, pc: int) -> None:
+        """MPU fetch check with a single-entry region cache."""
+        if self._fetch_lo <= pc < self._fetch_hi:
+            return
+        region = self.memory.memmap.check_access(
+            pc, world=self.world, is_write=False, is_fetch=True
+        )
+        self._fetch_lo = region.base
+        self._fetch_hi = region.base + region.size
+
     def step(self) -> RetireEvent:
         """Execute one instruction; returns its retire event."""
         pc = self.regs[PC]
         for hook in self.pre_hooks:
             hook(pc)
-        self.memory.memmap.check_access(
-            pc, world=self.world, is_write=False, is_fetch=True
-        )
+        self._check_fetch(pc)
         instr = self.image.instr_at.get(pc)
         if instr is None:
             raise UndefinedInstruction("fetch from non-instruction address", pc)
@@ -117,6 +138,35 @@ class CPU:
         for hook in self.retire_hooks:
             hook(event)
         return event
+
+    def step_fast(self) -> None:
+        """``step`` without constructing a RetireEvent when nobody listens.
+
+        Semantically identical to :meth:`step`; the run loop uses this
+        variant so runs without retire hooks skip the per-instruction
+        event allocation entirely.
+        """
+        pc = self.regs[PC]
+        for hook in self.pre_hooks:
+            hook(pc)
+        self._check_fetch(pc)
+        instr = self.image.instr_at.get(pc)
+        if instr is None:
+            raise UndefinedInstruction("fetch from non-instruction address", pc)
+
+        next_pc, extra_cycles = self._execute(instr, pc)
+        taken = next_pc != pc + instr.size
+        self.cycles += instr.spec.cycles + extra_cycles
+        if taken:
+            self.cycles += TAKEN_BRANCH_PENALTY
+        self.retired += 1
+        next_pc &= alu.MASK32
+        self.regs[PC] = next_pc
+
+        if self.retire_hooks:
+            event = RetireEvent(pc, next_pc, not taken, instr)
+            for hook in self.retire_hooks:
+                hook(event)
 
     # -- per-kind semantics -----------------------------------------------
 
@@ -180,8 +230,7 @@ class CPU:
                 raw = lhs ^ rhs
             result, flags.n, flags.z, _ = alu.logical_flags(raw, flags.c)
         elif mnemonic in ("lsl", "lsr", "asr", "ror"):
-            shifter = {"lsl": alu.lsl, "lsr": alu.lsr, "asr": alu.asr,
-                       "ror": alu.ror}[mnemonic]
+            shifter = _SHIFTERS[mnemonic]
             raw, carry = shifter(lhs, rhs & 0xFF, flags.c)
             result, flags.n, flags.z, flags.c = alu.logical_flags(raw, carry)
         else:
@@ -209,7 +258,7 @@ class CPU:
         if not isinstance(mem, Mem):
             raise UndefinedInstruction("ldr needs a memory operand", pc)
         address = self._mem_address(mem, pc)
-        size = {"ldrb": 1, "ldrh": 2}.get(instr.mnemonic, 4)
+        size = _LOAD_SIZES.get(instr.mnemonic, 4)
         value = self.memory.read(address, size, self.world)
         if dest.num == PC:
             # indirect jump (switch dispatch / hijacked pointer)
@@ -222,7 +271,7 @@ class CPU:
         if not isinstance(mem, Mem):
             raise UndefinedInstruction("str needs a memory operand", pc)
         address = self._mem_address(mem, pc)
-        size = {"strb": 1, "strh": 2}.get(instr.mnemonic, 4)
+        size = _STORE_SIZES.get(instr.mnemonic, 4)
         self.memory.write(address, self._reg_read(src.num, pc), size, self.world)
         return pc + instr.size, 0
 

@@ -1,0 +1,187 @@
+"""JIT runtime: per-image code caches, hook hoisting, invalidation.
+
+Blocks are compiled lazily with a hotness threshold (an entry PC must be
+dispatched twice before it is compiled) and cached in two layers:
+
+* a **shared** per-:class:`Image` cache (compilation depends only on the
+  image, so MCUs running the same binary — the fleet, the eval grid —
+  share compiled code);
+* a **local** per-runtime cache of blocks validated against this MCU's
+  memory map (every PC in the block must be fetch-legal for this
+  world/memmap, because the generated code hoists the per-instruction
+  MPU fetch check to registration time).
+
+Hook hoisting: the run loop may execute a compiled block only if every
+registered CPU hook opts into batch observation.  An observer opts in by
+declaring which of its bound methods is its per-instruction hook
+(``JIT_PRE_HOOK`` / ``JIT_RETIRE_HOOK`` class attributes naming the
+method) and providing the batch counterpart (``jit_block_pre(pcs)`` /
+``jit_block_retire(pcs)``).  Any unrecognized hook — a test lambda, an
+experiment's closure — disables block dispatch entirely until the hook
+lists change, and execution falls back to per-instruction stepping.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Union
+
+from repro.asm.program import Image
+from repro.machine.faults import MemFault
+from repro.machine.jit.compiler import CompiledBlock, compile_superblock
+from repro.machine.jit.superblock import discover_superblock
+from repro.machine.memmap import MemoryMap, World
+
+#: dispatches of an entry PC before it is compiled
+HOT_THRESHOLD = 2
+
+
+class _NoJit:
+    """Sentinel: this address must be interpreted."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NOJIT"
+
+
+NOJIT = _NoJit()
+
+
+def hoisted_handlers(hooks, attr: str, batch_name: str) -> Optional[list]:
+    """Map per-instruction hooks to their batch counterparts.
+
+    Returns a list (possibly empty) of batch callables in hook order, or
+    None if any hook does not implement the block-observation protocol.
+    """
+    out = []
+    for hook in hooks:
+        obj = getattr(hook, "__self__", None)
+        if obj is None:
+            return None
+        if getattr(hook, "__name__", None) != getattr(type(obj), attr, None):
+            return None
+        batch = getattr(obj, batch_name, None)
+        if batch is None:
+            return None
+        out.append(batch)
+    return out
+
+
+class _SharedCache:
+    """Compilation results shared by every runtime of one image."""
+
+    def __init__(self):
+        self.blocks: Dict[int, Union[CompiledBlock, _NoJit]] = {}
+        self.hot: Dict[int, int] = {}
+        self.runtimes: "weakref.WeakSet[JITRuntime]" = weakref.WeakSet()
+
+
+_IMAGE_CACHES: "weakref.WeakKeyDictionary[Image, _SharedCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_cache_for(image: Image) -> _SharedCache:
+    cache = _IMAGE_CACHES.get(image)
+    if cache is None:
+        cache = _SharedCache()
+        _IMAGE_CACHES[image] = cache
+    return cache
+
+
+class JITRuntime:
+    """One MCU's view of the JIT: validated blocks plus statistics."""
+
+    def __init__(self, image: Image, memmap: MemoryMap, world: World):
+        self.image = image
+        self.memmap = memmap
+        self.world = world
+        self._shared = shared_cache_for(image)
+        self._shared.runtimes.add(self)
+        #: entry pc -> CompiledBlock | NOJIT; read directly by MCU.run
+        self.blocks: Dict[int, Union[CompiledBlock, _NoJit]] = {}
+        self.compiles = 0
+        self.invalidations = 0
+
+    # -- dispatch side -----------------------------------------------------
+
+    def consider(self, pc: int) -> Union[CompiledBlock, _NoJit]:
+        """Called by the run loop on a local-cache miss.
+
+        Counts warmth, compiles when hot, validates fetch legality for
+        this runtime, and caches the decision locally.  Returns NOJIT
+        (without caching) while the address is still warming up.
+        """
+        shared = self._shared
+        blk = shared.blocks.get(pc)
+        if blk is None:
+            count = shared.hot.get(pc, 0) + 1
+            if count < HOT_THRESHOLD:
+                shared.hot[pc] = count
+                return NOJIT
+            shared.hot.pop(pc, None)
+            blk = self._compile(pc)
+            shared.blocks[pc] = blk
+        if blk is not NOJIT and not self._fetch_ok(blk):
+            blk = NOJIT
+        self.blocks[pc] = blk
+        return blk
+
+    def _compile(self, pc: int) -> Union[CompiledBlock, _NoJit]:
+        block = discover_superblock(self.image, pc)
+        if block is None:
+            return NOJIT
+        try:
+            compiled = compile_superblock(self.image, block)
+        except Exception:
+            # anything the compiler declines is interpreted forever;
+            # genuine faults (bad labels, undefined ops) then surface at
+            # the architecturally correct instruction via step()
+            return NOJIT
+        self.compiles += 1
+        return compiled
+
+    def _fetch_ok(self, blk: CompiledBlock) -> bool:
+        """All of the block's PCs must be fetchable under this memmap."""
+        try:
+            for pc in blk.pcs:
+                self.memmap.check_access(
+                    pc, world=self.world, is_write=False, is_fetch=True)
+        except MemFault:
+            return False
+        return True
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, address: Optional[int] = None) -> int:
+        """Drop cached blocks after the code at ``address`` changed.
+
+        With an address, drops every compiled block whose range covers
+        it; NOJIT decisions and warmth counters are always dropped (a
+        rewrite can make a previously unprofitable address compilable).
+        With no address, drops everything.  Local caches of *all*
+        runtimes sharing the image are cleared in place (the run loop
+        aliases the dict).  Returns the number of compiled blocks
+        dropped.
+        """
+        shared = self._shared
+        if address is None:
+            dropped = sum(1 for b in shared.blocks.values() if b is not NOJIT)
+            shared.blocks.clear()
+        else:
+            stale = [entry for entry, b in shared.blocks.items()
+                     if b is NOJIT or b.entry <= address < b.end]
+            dropped = sum(1 for entry in stale
+                          if shared.blocks[entry] is not NOJIT)
+            for entry in stale:
+                del shared.blocks[entry]
+        shared.hot.clear()
+        for runtime in shared.runtimes:
+            runtime.blocks.clear()
+        self.invalidations += 1
+        return dropped
+
+    def on_code_write(self, address: int) -> None:
+        """Memory observer: a checked write landed in executable code."""
+        self.invalidate(address)

@@ -1,0 +1,141 @@
+"""Superblock discovery over a linked image.
+
+A *superblock* here is a maximal straight-line run of JIT-safe
+instructions starting at some entry PC, optionally ended by a single
+*inlinable terminator* (a direct/indirect branch, call, compare-branch,
+or a PC-destined pop/load).  Discovery is purely static: it walks
+``image.instr_at`` forward from the entry until it hits a terminator or
+an instruction the compiler refuses to specialize.
+
+JIT-safe body instructions are exactly the ones whose interpreter
+semantics are (a) sequential (``next_pc == pc + size``) and (b) free of
+side channels the compiler cannot reproduce exactly:
+
+* ``SYSTEM`` ops other than ``nop`` end the block (``svc`` enters the
+  SecureGateway, ``bkpt`` halts — both must run in the interpreter);
+* ``MOVE``/``ALU`` with a PC destination end the block (the interpreter
+  raises :class:`UndefinedInstruction` for these, and the fallback
+  ``step()`` must be the one to raise it);
+* malformed operands (non-``Mem`` memory operand, non-``Reg``
+  destination) end the block for the same reason.
+
+Loads and stores — including MMIO-visible ones — stay *inside* the
+block: the compiled code issues them through ``memory.read``/``write``
+in original program order, so device side effects are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.asm.program import Image
+from repro.isa.instructions import Instr, InstrKind
+from repro.isa.operands import Mem, Reg
+from repro.isa.registers import PC
+
+#: Kinds the compiler can inline as a block terminator.
+TERMINATOR_KINDS = frozenset({
+    InstrKind.BRANCH,
+    InstrKind.CALL,
+    InstrKind.INDIRECT_CALL,
+    InstrKind.INDIRECT_BRANCH,
+    InstrKind.COMPARE_BRANCH,
+})
+
+#: Smallest body worth compiling when there is no inlinable terminator.
+MIN_BODY = 2
+
+#: Hard cap on block length (keeps generated functions small).
+MAX_BLOCK = 128
+
+
+@dataclass
+class Superblock:
+    """One discovered straight-line region."""
+
+    entry: int
+    #: (pc, instr) pairs executed sequentially
+    body: List[Tuple[int, Instr]] = field(default_factory=list)
+    #: inlinable terminating transfer, or None if the block ends because
+    #: the next instruction must run in the interpreter
+    terminator: Optional[Tuple[int, Instr]] = None
+
+    @property
+    def end(self) -> int:
+        """First address past the block."""
+        if self.terminator is not None:
+            pc, instr = self.terminator
+            return pc + instr.size
+        pc, instr = self.body[-1]
+        return pc + instr.size
+
+    @property
+    def pcs(self) -> Tuple[int, ...]:
+        out = [pc for pc, _ in self.body]
+        if self.terminator is not None:
+            out.append(self.terminator[0])
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self.body) + (1 if self.terminator is not None else 0)
+
+
+def _body_safe(instr: Instr) -> bool:
+    """True if the compiler can execute ``instr`` inside a block body."""
+    kind = instr.kind
+    ops = instr.operands
+    if kind is InstrKind.MOVE or kind is InstrKind.ALU:
+        dest = ops[0]
+        return isinstance(dest, Reg) and dest.num != PC
+    if kind is InstrKind.COMPARE:
+        return True
+    if kind is InstrKind.LOAD:
+        dest = ops[0]
+        return (isinstance(dest, Reg) and dest.num != PC
+                and isinstance(ops[1], Mem))
+    if kind is InstrKind.STORE:
+        return isinstance(ops[0], Reg) and isinstance(ops[1], Mem)
+    if kind is InstrKind.PUSH:
+        return True
+    if kind is InstrKind.POP:
+        return PC not in ops[0]
+    if kind is InstrKind.SYSTEM:
+        return instr.mnemonic == "nop"
+    return False
+
+
+def _terminator_safe(instr: Instr) -> bool:
+    """True if ``instr`` can be compiled as the block's final transfer."""
+    kind = instr.kind
+    if kind in TERMINATOR_KINDS:
+        return True
+    if kind is InstrKind.POP:
+        return PC in instr.operands[0]
+    if kind is InstrKind.LOAD:
+        dest = instr.operands[0]
+        return (isinstance(dest, Reg) and dest.num == PC
+                and isinstance(instr.operands[1], Mem))
+    return False
+
+
+def discover_superblock(image: Image, entry: int) -> Optional[Superblock]:
+    """Walk forward from ``entry``; None if nothing worth compiling."""
+    block = Superblock(entry)
+    pc = entry
+    while len(block.body) < MAX_BLOCK:
+        instr = image.instr_at.get(pc)
+        if instr is None:
+            break
+        if _body_safe(instr):
+            block.body.append((pc, instr))
+            pc += instr.size
+            continue
+        if _terminator_safe(instr):
+            block.terminator = (pc, instr)
+        break
+    if block.terminator is None and len(block.body) < MIN_BODY:
+        return None
+    if not block.body and block.terminator is None:
+        return None
+    return block

@@ -2,23 +2,30 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.asm.program import Image
 from repro.machine.cpu import CPU
 from repro.machine.faults import ExecutionLimitExceeded
+from repro.machine.jit.runtime import NOJIT, JITRuntime, hoisted_handlers
 from repro.machine.memmap import MemoryMap
 from repro.machine.memory import Memory
 from repro.machine.mmio import MMIOBus, MMIODevice
 from repro.machine.nvic import EXC_RETURN_MASKED, NVIC
-from repro.isa.registers import PC
 
 #: Returning to the reset value of LR ends the program (bare-metal exit).
 EXIT_PC = 0xFFFF_FFFE
 
 #: Default runaway guard.
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+def _jit_default() -> bool:
+    """Default for ``enable_jit``: on, unless REPRO_JIT disables it."""
+    return os.environ.get("REPRO_JIT", "1").lower() not in (
+        "0", "off", "no", "false")
 
 
 @dataclass
@@ -35,10 +42,19 @@ class RunResult:
 
 
 class MCU:
-    """The simulated device: one core, one bus, the loaded image."""
+    """The simulated device: one core, one bus, the loaded image.
+
+    ``enable_jit`` selects the superblock JIT tier
+    (:mod:`repro.machine.jit`): hot straight-line regions are compiled
+    into specialized Python functions with observation hoisted to block
+    boundaries, falling back to ``CPU.step`` everywhere else.  Defaults
+    to on (override per-process with ``REPRO_JIT=0``); execution is
+    bit-identical either way, which the differential test battery pins.
+    """
 
     def __init__(self, image: Image, memmap: Optional[MemoryMap] = None,
-                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS):
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 enable_jit: Optional[bool] = None):
         self.image = image
         self.memmap = memmap or MemoryMap()
         self.mmio = MMIOBus()
@@ -48,11 +64,29 @@ class MCU:
         self.nvic = NVIC()
         self.max_instructions = max_instructions
         self._last_cycles = 0
+        if enable_jit is None:
+            enable_jit = _jit_default()
+        self.jit: Optional[JITRuntime] = None
+        if enable_jit:
+            self.jit = JITRuntime(image, self.memmap, self.cpu.world)
+            self.memory.add_code_write_hook(self.jit.on_code_write)
 
     def attach_device(self, base: int, device: MMIODevice,
                       name: Optional[str] = None) -> MMIODevice:
         """Register a peripheral in the MMIO aperture."""
         return self.mmio.register(base, device, name)
+
+    def invalidate_jit(self, address: Optional[int] = None) -> int:
+        """Drop compiled blocks (all, or those covering ``address``).
+
+        Call after patching the loaded image in place (trampoline
+        installation, devirtualization).  Checked writes to executable
+        regions invalidate automatically through the memory observer.
+        Returns the number of blocks dropped (0 when the JIT is off).
+        """
+        if self.jit is None:
+            return 0
+        return self.jit.invalidate(address)
 
     def reset(self) -> None:
         """Reset CPU state and peripherals; memory image is preserved."""
@@ -61,32 +95,92 @@ class MCU:
         self._last_cycles = 0
 
     def run(self, max_instructions: Optional[int] = None) -> RunResult:
-        """Run from the current PC until halt, exit-return, or the guard."""
+        """Run from the current PC until halt, exit-return, or the guard.
+
+        One loop serves both tiers.  Per iteration it either dispatches
+        one compiled superblock (when the JIT is enabled, the entry is
+        compiled, every hook is batch-capable, and the whole block fits
+        under the instruction limit) or interprets one instruction.  The
+        NVIC poll, MMIO tick, and the EXC_RETURN/EXIT_PC checks then run
+        once per iteration — per *block* under the JIT, which is what
+        makes the guard loop overhead amortized.
+        """
         limit = max_instructions or self.max_instructions
         cpu = self.cpu
+        nvic = self.nvic
+        regs = cpu.regs
+        step = cpu.step_fast
+        pending = nvic.pending  # list identity is stable for an NVIC
+        tick = self.mmio.tick if self.mmio.has_devices else None
         start_cycles = cpu.cycles
-        start_retired = cpu.retired
+        base = cpu.retired
         exit_reason = "halted"
+
+        jit = self.jit
+        blocks = jit.blocks if jit is not None else None
+        consider = jit.consider if jit is not None else None
+        # hook-hoisting state, revalidated whenever the hook lists change
+        hp = hr = None
+        hp_len = hr_len = -1
+        pre_batch = ret_batch = None
+        jit_ok = False
+
         while True:
-            if cpu.retired - start_retired >= limit:
+            done = cpu.retired - base
+            if done >= limit:
                 raise ExecutionLimitExceeded(
                     f"exceeded {limit} instructions (runaway program?)"
                 )
-            self.nvic.service_if_pending(cpu)
-            cpu.step()
-            elapsed = cpu.cycles - self._last_cycles
-            self._last_cycles = cpu.cycles
-            self.mmio.tick(elapsed)
-            if cpu.regs[PC] == EXC_RETURN_MASKED:
-                self.nvic.exception_return(cpu)
+            if pending:
+                nvic.service_if_pending(cpu)
+            stepped = True
+            if blocks is not None:
+                if (cpu.pre_hooks is not hp or len(hp) != hp_len
+                        or cpu.retire_hooks is not hr or len(hr) != hr_len):
+                    hp = cpu.pre_hooks
+                    hp_len = len(hp)
+                    hr = cpu.retire_hooks
+                    hr_len = len(hr)
+                    pre_batch = hoisted_handlers(
+                        hp, "JIT_PRE_HOOK", "jit_block_pre")
+                    ret_batch = hoisted_handlers(
+                        hr, "JIT_RETIRE_HOOK", "jit_block_retire")
+                    jit_ok = pre_batch is not None and ret_batch is not None
+                if jit_ok:
+                    pc = regs[15]
+                    blk = blocks.get(pc)
+                    if blk is None:
+                        blk = consider(pc)
+                    if blk is not NOJIT and done + blk.max_extra < limit:
+                        ok = True
+                        body_pcs = blk.body_pcs
+                        if body_pcs:
+                            for handler in pre_batch:
+                                if not handler(body_pcs):
+                                    ok = False  # non-uniform: interpret
+                                    break
+                        if ok:
+                            blk.fn(cpu, ret_batch)
+                            stepped = False
+            if stepped:
+                step()
+            if tick is not None:
+                cycles = cpu.cycles
+                tick(cycles - self._last_cycles)
+                self._last_cycles = cycles
+            pc = regs[15]
+            if pc == EXC_RETURN_MASKED:
+                nvic.exception_return(cpu)
             if cpu.halted:
                 exit_reason = "bkpt"
                 break
-            if cpu.regs[PC] == EXIT_PC:
+            if regs[15] == EXIT_PC:
                 exit_reason = "return"
                 break
+        if tick is None:
+            self._last_cycles = cpu.cycles
         return RunResult(
             cycles=cpu.cycles - start_cycles,
-            instructions=cpu.retired - start_retired,
+            instructions=cpu.retired - base,
             exit_reason=exit_reason,
         )

@@ -8,6 +8,7 @@ Secure flash/SRAM for the CFA engine, and a peripheral aperture.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
@@ -84,10 +85,27 @@ class MemoryMap:
     def __init__(self, regions: Optional[List[Region]] = None):
         self.regions = regions if regions is not None else default_regions()
         self._write_locks: Dict[str, bool] = {}
+        #: bumped on every lock/unlock so cached write grants revalidate
+        self.lock_epoch = 0
+        # Binary-search index over the (static, disjoint) region list.
+        # Overlapping custom maps keep first-match semantics via the
+        # linear fallback.
+        ordered = sorted(self.regions, key=lambda r: r.base)
+        self._overlapping = any(
+            a.base + a.size > b.base for a, b in zip(ordered, ordered[1:]))
+        self._sorted_regions = ordered
+        self._bases = [r.base for r in ordered]
 
     def region_at(self, address: int) -> Optional[Region]:
-        for region in self.regions:
-            if region.contains(address):
+        if self._overlapping:
+            for region in self.regions:
+                if region.contains(address):
+                    return region
+            return None
+        i = bisect_right(self._bases, address) - 1
+        if i >= 0:
+            region = self._sorted_regions[i]
+            if address < region.base + region.size:
                 return region
         return None
 
@@ -101,9 +119,11 @@ class MemoryMap:
 
     def lock_region_writes(self, name: str) -> None:
         self._write_locks[name] = True
+        self.lock_epoch += 1
 
     def unlock_region_writes(self, name: str) -> None:
         self._write_locks.pop(name, None)
+        self.lock_epoch += 1
 
     def is_write_locked(self, name: str) -> bool:
         return self._write_locks.get(name, False)

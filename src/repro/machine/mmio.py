@@ -54,6 +54,12 @@ class MMIOBus:
     def device(self, name: str) -> MMIODevice:
         return self._by_name[name]
 
+    @property
+    def has_devices(self) -> bool:
+        """True if any peripheral is registered (the run loop skips
+        per-iteration ticking entirely when the bus is empty)."""
+        return bool(self._devices)
+
     def _find(self, address: int) -> Tuple[int, MMIODevice]:
         for base, window, device in self._devices:
             if base <= address < base + window:

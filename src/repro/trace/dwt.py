@@ -40,6 +40,10 @@ class RangeComparator:
 class DWT:
     """PC-range comparators that gate the MTB."""
 
+    #: block-observation protocol (repro.machine.jit.runtime): the CPU
+    #: pre-hook this unit registers, hoistable via jit_block_pre
+    JIT_PRE_HOOK = "evaluate"
+
     def __init__(self, mtb: MTB):
         self.mtb = mtb
         self.ranges: List[RangeComparator] = []
@@ -66,3 +70,24 @@ class DWT:
                     self.mtb.start()
                 else:
                     self.mtb.stop()
+
+    def jit_block_pre(self, pcs) -> bool:
+        """Hoisted pre-hook for a straight-line block of ``pcs``.
+
+        Sound only when every comparator sees the block *uniformly*
+        (matches all of its PCs or none): start/stop are idempotent, so
+        N identical evaluations collapse to one.  ``pcs`` is contiguous
+        and ascending, so uniformity reduces to checking the endpoints.
+        Returns False — with no side effects — when some comparator
+        splits the block; the caller then falls back to per-instruction
+        stepping.
+        """
+        first = pcs[0]
+        last = pcs[-1]
+        for comparator in self.ranges:
+            covers = comparator.lo <= first and last < comparator.hi
+            disjoint = comparator.hi <= first or comparator.lo > last
+            if not (covers or disjoint):
+                return False
+        self.evaluate(first)
+        return True

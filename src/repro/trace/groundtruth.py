@@ -15,6 +15,9 @@ from repro.machine.cpu import RetireEvent
 class GroundTruthTracer:
     """Subscribes to CPU retires and keeps the full path."""
 
+    #: block-observation protocol (repro.machine.jit.runtime)
+    JIT_RETIRE_HOOK = "on_retire"
+
     def __init__(self, record_all: bool = False):
         self.record_all = record_all
         self.transfers: List[Tuple[int, int]] = []  # non-sequential (src, dst)
@@ -25,6 +28,11 @@ class GroundTruthTracer:
             self.pcs.append(event.src)
         if event.non_sequential:
             self.transfers.append((event.src, event.dst))
+
+    def jit_block_retire(self, pcs) -> None:
+        """Hoisted retire hook: all of ``pcs`` retired sequentially."""
+        if self.record_all:
+            self.pcs.extend(pcs)
 
     def executed_addresses(self) -> List[int]:
         if not self.record_all:

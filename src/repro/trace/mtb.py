@@ -41,6 +41,10 @@ class MTBPacket:
 class MTB:
     """The trace buffer peripheral."""
 
+    #: block-observation protocol (repro.machine.jit.runtime): the CPU
+    #: retire hook this unit registers, hoistable via jit_block_retire
+    JIT_RETIRE_HOOK = "on_retire"
+
     def __init__(self, memory: Memory, *, base: int = MTB_SRAM_BASE,
                  buffer_size: int = 4096, activation_latency: int = 1):
         if buffer_size % PACKET_BYTES:
@@ -105,6 +109,17 @@ class MTB:
         if event.sequential:
             return
         self._record(event.src, event.dst)
+
+    def jit_block_retire(self, pcs) -> None:
+        """Hoisted retire hook for a straight-line block of ``pcs``.
+
+        Every retire in the block is sequential, so nothing is recorded;
+        the only architectural effect of N sequential retires is that an
+        enabled MTB burns down its activation warmup — exactly what the
+        per-instruction path does N times.
+        """
+        if self.enabled and self._warmup > 0:
+            self._warmup = max(0, self._warmup - len(pcs))
 
     def _record(self, src: int, dst: int) -> None:
         offset = self.position

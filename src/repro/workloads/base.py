@@ -41,9 +41,16 @@ def build_image(workload: Workload) -> Image:
     return link(workload.module())
 
 
-def make_mcu(image: Image, workload: Workload) -> MCU:
-    """Instantiate an MCU with the workload's peripherals attached."""
-    mcu = MCU(image, max_instructions=workload.max_instructions)
+def make_mcu(image: Image, workload: Workload,
+             enable_jit: Optional[bool] = None) -> MCU:
+    """Instantiate an MCU with the workload's peripherals attached.
+
+    ``enable_jit`` is forwarded to :class:`~repro.machine.mcu.MCU`;
+    ``None`` keeps the process-wide default (on, unless ``REPRO_JIT``
+    disables it).
+    """
+    mcu = MCU(image, max_instructions=workload.max_instructions,
+              enable_jit=enable_jit)
     for base, device, name in workload.devices():
         mcu.attach_device(base, device, name)
     return mcu

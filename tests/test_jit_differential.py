@@ -1,0 +1,136 @@
+"""Differential battery: superblock JIT ≡ interpreter, end to end.
+
+The JIT's whole claim is that it is an *invisible* performance tier:
+for every workload, method, and honest/attacked execution, attesting
+with the JIT enabled must produce byte-identical report chains (the
+KeyStore provisioning is deterministic, so even the MACs must match),
+identical cycle/instruction counts, identical ground-truth retire
+streams, and identical verifier verdicts — violations included.
+
+Tier selection goes through the ``REPRO_JIT`` process default so the
+conftest pipelines are exercised unmodified, exactly as a user flipping
+the environment variable would run them.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.cfa.engine import EngineConfig
+from repro.cfa.wire import encode_report
+from repro.eval.runner import run_method
+from repro.workloads import load_workload, vulnerable
+from conftest import naive_setup, rap_setup, traces_setup
+
+CHALLENGE = b"jit-diff-chal"
+SETUPS = {"rap-track": rap_setup, "traces": traces_setup,
+          "naive-mtb": naive_setup}
+WORKLOADS = ["fibcall", "prime", "crc32", "gps", "temperature"]
+
+
+@contextmanager
+def jit_env(enabled: bool):
+    """Select the execution tier via the process-wide default."""
+    old = os.environ.get("REPRO_JIT")
+    os.environ["REPRO_JIT"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_JIT", None)
+        else:
+            os.environ["REPRO_JIT"] = old
+
+
+def attest_once(workload_name, method, enabled, attacked=False,
+                watermark=512):
+    """One full pipeline run under the chosen tier.
+
+    Returns (mcu, tracer, result, outcome) — everything the
+    equivalence assertions need.
+    """
+    with jit_env(enabled):
+        workload = (vulnerable.make() if workload_name == "vulnerable"
+                    else load_workload(workload_name))
+        image, _, mcu, engine, verifier, tracer = SETUPS[method](
+            workload, engine_config=EngineConfig(watermark=watermark))
+        if attacked:
+            mcu.mmio.device("uart").set_feed(vulnerable.attack_feed(image))
+        result = engine.attest(CHALLENGE)
+    outcome = verifier.verify(result, CHALLENGE)
+    return mcu, tracer, result, outcome
+
+
+def assert_identical_attestations(workload, method, attacked=False):
+    m0, t0, r0, o0 = attest_once(workload, method, False, attacked)
+    m1, t1, r1, o1 = attest_once(workload, method, True, attacked)
+
+    assert m0.jit is None and m1.jit is not None
+
+    # device-side: execution and evidence
+    assert r0.cycles == r1.cycles
+    assert r0.instructions == r1.instructions
+    assert r0.cflog_bytes == r1.cflog_bytes
+    assert list(r0.cflog) == list(r1.cflog)
+    assert len(r0.reports) == len(r1.reports)
+    for a, b in zip(r0.reports, r1.reports):
+        assert encode_report(a) == encode_report(b)  # MACs included
+
+    # oracle-side: the complete retire stream
+    assert t0.pcs == t1.pcs
+    assert t0.transfers == t1.transfers
+
+    # verifier-side: verdict, violations, reconstructed path
+    assert o0.authenticated == o1.authenticated
+    assert o0.lossless == o1.lossless
+    assert o0.error == o1.error
+    assert ([(v.kind, v.address, v.detail) for v in o0.violations]
+            == [(v.kind, v.address, v.detail) for v in o1.violations])
+    assert o0.path == o1.path
+    return m1, o1
+
+
+class TestHonestEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("method", sorted(SETUPS))
+    def test_grid(self, workload, method):
+        mcu, outcome = assert_identical_attestations(workload, method)
+        assert outcome.authenticated
+        assert not outcome.violations
+
+
+class TestAttackEquivalence:
+    @pytest.mark.parametrize("method", ["rap-track", "traces"])
+    def test_rop_attack_detected_identically(self, method):
+        mcu, outcome = assert_identical_attestations(
+            "vulnerable", method, attacked=True)
+        assert outcome.authenticated  # genuine device, genuine MACs
+        assert outcome.violations or not outcome.lossless
+
+
+class TestTierEngagement:
+    def test_jit_actually_compiles_on_the_grid(self):
+        """Guards the battery against vacuity: the JIT tier must have
+        compiled and dispatched blocks on a representative run."""
+        mcu, _, result, _ = attest_once("prime", "rap-track", True)
+        assert mcu.jit is not None
+        assert mcu.jit.compiles > 0 or mcu.jit.blocks
+        assert result.instructions > 0
+
+    def test_interpreter_tier_has_no_runtime(self):
+        mcu, _, _, _ = attest_once("prime", "rap-track", False)
+        assert mcu.jit is None
+
+
+class TestEvalRunnerEquivalence:
+    @pytest.mark.parametrize("method",
+                             ["baseline", "naive-mtb", "rap-track", "traces"])
+    def test_method_runs_match(self, method):
+        """The eval runner's metrics — the paper's figures — must be
+        tier-independent (explicit kwarg path, no env var)."""
+        off = run_method("prime", method, enable_jit=False)
+        on = run_method("prime", method, enable_jit=True)
+        assert off == on
