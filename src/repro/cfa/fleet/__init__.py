@@ -9,12 +9,27 @@ The package splits along the cost structure of fleet CFA:
 * :mod:`~repro.cfa.fleet.service` — the multiplexing front end with a
   worker-pool fan-out, bounded-queue backpressure, and metrics;
 * :mod:`~repro.cfa.fleet.simulator` — the load generator / adversary
-  model used by the tests, the ``fleet`` CLI, and the benchmarks.
+  model used by the tests, the ``fleet`` CLI, and the benchmarks;
+* :mod:`~repro.cfa.fleet.store` — the durable hash-chained evidence
+  log (fsync-before-release) and the content-addressed persistent
+  replay cache;
+* :mod:`~repro.cfa.fleet.shard` — the consistent-hash router that
+  partitions the fleet across per-shard services, with crash-restart
+  recovery from the evidence logs.
 """
 
-from repro.cfa.fleet.metrics import FleetMetrics
+from repro.cfa.fleet.metrics import FleetMetrics, aggregate_metrics
 from repro.cfa.fleet.service import FleetService
 from repro.cfa.fleet.session import FleetOverloadError, Session, SessionManager
+from repro.cfa.fleet.shard import HashRing, ShardedFleetService, audit_key
+from repro.cfa.fleet.store import (
+    DurableReplayCache,
+    EvidenceError,
+    EvidenceRecord,
+    EvidenceStore,
+    chain_digest,
+    verify_evidence_trail,
+)
 from repro.cfa.fleet.simulator import (
     BEHAVIORS,
     ChainFactory,
@@ -28,6 +43,7 @@ from repro.cfa.fleet.simulator import (
 )
 from repro.cfa.fleet.verify import (
     DeviceProfile,
+    ReplayCache,
     SessionVerdict,
     verify_session_chain,
 )
@@ -37,17 +53,28 @@ __all__ = [
     "ChainFactory",
     "DeviceProfile",
     "DeviceSpec",
+    "DurableReplayCache",
+    "EvidenceError",
+    "EvidenceRecord",
+    "EvidenceStore",
     "FleetMetrics",
     "FleetOverloadError",
     "FleetService",
     "FleetSimulator",
     "HONEST_BEHAVIORS",
     "HOSTILE_BEHAVIORS",
+    "HashRing",
+    "ReplayCache",
     "Session",
     "SessionManager",
     "SessionVerdict",
+    "ShardedFleetService",
     "SimulationReport",
+    "aggregate_metrics",
+    "audit_key",
     "build_fleet_specs",
+    "chain_digest",
     "device_key",
+    "verify_evidence_trail",
     "verify_session_chain",
 ]

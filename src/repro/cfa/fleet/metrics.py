@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 
 def percentile(values: List[float], fraction: float) -> float:
@@ -47,6 +47,13 @@ class FleetMetrics:
     replay_cache_hits: int = 0
     replay_cache_misses: int = 0
     wall_s: float = 0.0
+    # durability / sharding
+    evidence_records: int = 0
+    evidence_bytes: int = 0
+    evidence_fsyncs: int = 0
+    sessions_recovered: int = 0  # verdicts restored from the evidence log
+    shards: int = 0              # 0 = unsharded single service
+    recovery_s: float = 0.0      # wall time replaying evidence at restart
 
     @property
     def sessions_settled(self) -> int:
@@ -84,5 +91,52 @@ class FleetMetrics:
             f"queue depth max {self.queue_depth_max}, "
             f"replay cache {self.replay_cache_hits}/"
             f"{self.replay_cache_hits + self.replay_cache_misses} hits, "
-            f"wall {self.wall_s:.2f}s"
+            + (f"shards={self.shards}, " if self.shards else "")
+            + (f"evidence {self.evidence_records} rec "
+               f"({self.evidence_bytes} B, {self.evidence_fsyncs} fsync), "
+               if self.evidence_records else "")
+            + (f"recovered {self.sessions_recovered} verdicts in "
+               f"{self.recovery_s * 1e3:.1f} ms, "
+               if self.sessions_recovered else "")
+            + f"wall {self.wall_s:.2f}s"
         )
+
+
+def aggregate_metrics(per_shard: Sequence[FleetMetrics],
+                      wall_s: float = 0.0,
+                      recovery_s: float = 0.0) -> FleetMetrics:
+    """Fold per-shard metrics into one fleet-wide view.
+
+    Counters sum; latency samples concatenate (so the percentiles are
+    fleet-wide, not a mean of per-shard percentiles); queue depth takes
+    the worst shard. ``wall_s`` is the *router's* wall clock — shards
+    run concurrently, so summing their walls would double count.
+    """
+    total = FleetMetrics(shards=len(per_shard))
+    for m in per_shard:
+        total.sessions_opened += m.sessions_opened
+        total.sessions_verified += m.sessions_verified
+        total.sessions_rejected += m.sessions_rejected
+        total.sessions_expired += m.sessions_expired
+        total.sessions_retried += m.sessions_retried
+        total.sessions_refused += m.sessions_refused
+        total.sessions_recovered += m.sessions_recovered
+        total.reports_ingested += m.reports_ingested
+        total.reports_ignored += m.reports_ignored
+        total.duplicates_dropped += m.duplicates_dropped
+        total.bytes_ingested += m.bytes_ingested
+        total.verify_latencies_s.extend(m.verify_latencies_s)
+        total.queue_depth_max = max(total.queue_depth_max,
+                                    m.queue_depth_max)
+        total.workers += m.workers
+        total.replay_cache_hits += m.replay_cache_hits
+        total.replay_cache_misses += m.replay_cache_misses
+        total.evidence_records += m.evidence_records
+        total.evidence_bytes += m.evidence_bytes
+        total.evidence_fsyncs += m.evidence_fsyncs
+    executors = {m.executor for m in per_shard}
+    total.executor = executors.pop() if len(executors) == 1 else "mixed"
+    total.wall_s = wall_s or max(
+        (m.wall_s for m in per_shard), default=0.0)
+    total.recovery_s = recovery_s
+    return total

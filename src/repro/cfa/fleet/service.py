@@ -45,9 +45,10 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.cfa.fleet.metrics import FleetMetrics
+from repro.cfa.fleet.store import EvidenceStore, chain_digest
 from repro.cfa.fleet.session import (
     EXPIRED,
     QUEUED,
@@ -77,15 +78,26 @@ class FleetService:
                  max_attempts: int = 2,
                  max_sessions: Optional[int] = None,
                  max_pending: Optional[int] = None,
-                 replay_cache: bool = True,
-                 executor: str = "auto"):
+                 replay_cache: Union[bool, ReplayCache] = True,
+                 executor: str = "auto",
+                 store: Optional[EvidenceStore] = None,
+                 nonce_scope: str = "counter"):
         self.manager = SessionManager(
             seed=seed, idle_timeout=idle_timeout,
             reorder_window=reorder_window, max_attempts=max_attempts,
-            max_sessions=max_sessions)
+            max_sessions=max_sessions, nonce_scope=nonce_scope)
         self.workers = max(0, workers)
-        self.use_replay_cache = replay_cache
-        self._cache = ReplayCache() if replay_cache else None
+        # replay_cache may be a ready-made cache instance (e.g. a
+        # DurableReplayCache over a shared CAS directory) or a bool
+        if isinstance(replay_cache, ReplayCache):
+            self.use_replay_cache = True
+            self._cache: Optional[ReplayCache] = replay_cache
+        else:
+            self.use_replay_cache = bool(replay_cache)
+            self._cache = ReplayCache() if replay_cache else None
+        #: durable evidence log; when set, every verdict is fsync'd
+        #: into the hash chain *before* it is released
+        self.store = store
         if executor == "auto":
             executor = "thread" if (os.cpu_count() or 1) <= 1 else "process"
         if executor not in ("thread", "process"):
@@ -170,6 +182,30 @@ class FleetService:
                     reports=len(session.chunks)))
             return [(s.device_id, s.challenge) for s in rechallenged]
 
+    # -- crash recovery -----------------------------------------------------
+
+    def restore(self, records) -> int:
+        """Rebuild released state from recovered evidence records.
+
+        Each record is one settled session: its verdict re-enters the
+        verdict map (latest round wins) and the device's round counter
+        advances, so device-scoped nonce derivation resumes exactly
+        where the crashed process stopped — settled devices get fresh
+        challenges, interrupted ones re-derive their pre-crash nonce.
+        Returns the number of verdicts restored. The replay cache is
+        not rebuilt here: a :class:`DurableReplayCache` re-warms
+        lazily from its own content-addressed files.
+        """
+        rounds: Dict[str, int] = {}
+        with self._lock:
+            for record in records:
+                self.verdicts[record.device_id] = record.to_verdict()
+                rounds[record.device_id] = rounds.get(
+                    record.device_id, 0) + 1
+            self.manager.restore_rounds(rounds)
+            self.metrics.sessions_recovered += len(records)
+        return len(records)
+
     # -- verification fan-out -----------------------------------------------
 
     def _dispatch(self, session: Session) -> None:
@@ -179,9 +215,11 @@ class FleetService:
         reports = tuple(session.reports)
         if self._pool is None:
             t0 = time.perf_counter()
+            info: Dict[str, bool] = {}
             verdict = verify_session_chain(
-                *args, cache=self._cache, reports=reports)
-            self._record(session, verdict, time.perf_counter() - t0)
+                *args, cache=self._cache, reports=reports, info=info)
+            self._record(session, verdict, time.perf_counter() - t0,
+                         cache_hit=info.get("cache_hit", False))
             return
         self._slots.acquire()  # backpressure: block until a slot frees
         with self._lock:
@@ -190,17 +228,19 @@ class FleetService:
             self.metrics.queue_depth_max = max(
                 self.metrics.queue_depth_max, self.metrics.queue_depth)
         t0 = time.perf_counter()
+        info = {}
         if self.executor == "process":
             # bytes cross the process boundary; the worker decodes
             future = self._pool.submit(
                 pool_verify, *args, self.use_replay_cache)
         else:
             future = self._pool.submit(
-                local_verify, args, self._cache, reports)
+                local_verify, args, self._cache, reports, info)
         future.add_done_callback(
-            lambda fut: self._harvest(session, t0, fut))
+            lambda fut: self._harvest(session, t0, info, fut))
 
-    def _harvest(self, session: Session, t0: float, future: Future) -> None:
+    def _harvest(self, session: Session, t0: float, info: dict,
+                 future: Future) -> None:
         self._slots.release()
         hits = misses = 0
         try:
@@ -211,6 +251,9 @@ class FleetService:
                 accepted=False,
                 reason=f"verifier worker failed: "
                        f"{type(exc).__name__}: {exc}")
+        # process workers report the hit as a counter delta; thread
+        # workers filled the shared info dict before the future resolved
+        cache_hit = bool(info.get("cache_hit", False) or hits > 0)
         with self._lock:
             self.metrics.queue_depth -= 1
             self._inflight -= 1
@@ -218,18 +261,33 @@ class FleetService:
             self._worker_misses += misses
             self.metrics.verify_latencies_s.append(
                 time.perf_counter() - t0)
-            self._record_locked(session, verdict)
+            self._record_locked(session, verdict, cache_hit=cache_hit)
             if self._inflight == 0:
                 self._idle.notify_all()
 
     def _record(self, session: Session, verdict: SessionVerdict,
-                latency_s: float) -> None:
+                latency_s: float, cache_hit: bool = False) -> None:
         with self._lock:
             self.metrics.verify_latencies_s.append(latency_s)
-            self._record_locked(session, verdict)
+            self._record_locked(session, verdict, cache_hit=cache_hit)
 
-    def _record_locked(self, session: Session,
-                       verdict: SessionVerdict) -> None:
+    def _record_locked(self, session: Session, verdict: SessionVerdict,
+                       cache_hit: bool = False) -> None:
+        # durability first: the evidence record (cache hits included —
+        # a replayed verdict is still a verdict) must be fsync'd into
+        # the hash chain before anything observes the verdict. If the
+        # append fails the verdict is withheld, never half-released.
+        if self.store is not None:
+            self.store.append(
+                verdict,
+                chain=chain_digest(session.chunks),
+                challenge=session.challenge.nonce,
+                cache_hit=cache_hit,
+                expired=session.state == EXPIRED,
+            )
+            self.metrics.evidence_records = self.store.records_appended
+            self.metrics.evidence_bytes = self.store.bytes_appended
+            self.metrics.evidence_fsyncs = self.store.fsyncs
         session.verdict = verdict
         if session.state == EXPIRED:
             self.metrics.sessions_expired += 1
@@ -261,6 +319,8 @@ class FleetService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.store is not None:
+            self.store.close()
         return metrics
 
     def __enter__(self) -> "FleetService":

@@ -32,6 +32,7 @@ MACs, challenge, and sequencing from scratch.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -68,6 +69,9 @@ class Session:
     last_activity: float
     state: str = PENDING
     attempt: int = 1
+    #: how many sessions this device opened before this one (feeds
+    #: device-scoped nonce derivation; 0 under the counter scope)
+    round_index: int = 0
     chunks: List[bytes] = field(default_factory=list)  # accepted, in order
     #: the decoded twins of ``chunks`` — ingest already paid for the
     #: decode, so in-process verification need not decode again
@@ -92,28 +96,64 @@ class SessionManager:
                  idle_timeout: float = 30.0,
                  reorder_window: int = 8,
                  max_attempts: int = 2,
-                 max_sessions: Optional[int] = None):
+                 max_sessions: Optional[int] = None,
+                 nonce_scope: str = "counter"):
+        if nonce_scope not in ("counter", "device"):
+            raise ValueError(f"unknown nonce scope {nonce_scope!r}")
         self.seed = seed
         self.idle_timeout = idle_timeout
         self.reorder_window = reorder_window
         self.max_attempts = max_attempts
         self.max_sessions = max_sessions
+        self.nonce_scope = nonce_scope
         self.sessions: Dict[str, Session] = {}
         self._counter = 0
         self._seen_nonces = set()
+        #: device id -> sessions opened so far (device nonce scope)
+        self._device_rounds: Dict[str, int] = {}
         # aggregate ingest accounting (the service folds these into metrics)
         self.duplicates_dropped = 0
         self.reports_ignored = 0
 
     # -- challenge issuance -------------------------------------------------
 
-    def _fresh_challenge(self) -> Challenge:
-        challenge = Challenge.derive(self.seed, self._counter)
-        self._counter += 1
+    def _fresh_challenge(self, device_id: str = "", round_index: int = 0,
+                         attempt: int = 1) -> Challenge:
+        """One fresh nonce.
+
+        Under the default ``counter`` scope nonces come off a global
+        counter (the ``VerifierEndpoint`` scheme): their values depend
+        on issuance *order*. The ``device`` scope derives the nonce
+        from ``(seed, device id, round, attempt)`` instead, so a
+        device's challenge is independent of how sessions interleave,
+        how the fleet is sharded, and whether the Vrf restarted — the
+        property the sharding and crash-recovery differentials pin.
+        Uniqueness still holds per (device, round, attempt) and the
+        seen-nonce set guards both scopes.
+        """
+        if self.nonce_scope == "device":
+            scoped = hashlib.sha256(b"|".join([
+                b"device-nonce", self.seed, device_id.encode(),
+                round_index.to_bytes(8, "little")])).digest()
+            challenge = Challenge.derive(scoped, attempt)
+        else:
+            challenge = Challenge.derive(self.seed, self._counter)
+            self._counter += 1
         if challenge.nonce in self._seen_nonces:
             raise RuntimeError("nonce reuse")  # unreachable with a counter
         self._seen_nonces.add(challenge.nonce)
         return challenge
+
+    def restore_rounds(self, rounds: Dict[str, int]) -> None:
+        """Resume device-scoped nonce derivation after a restart.
+
+        ``rounds`` maps device id -> completed sessions (one evidence
+        record each). A settled device's next session derives a nonce
+        no pre-crash chain can answer, while a device that was mid-
+        session re-derives its exact pre-crash challenge, so the
+        device's retransmitted chain verifies unchanged.
+        """
+        self._device_rounds.update(rounds)
 
     @property
     def active_count(self) -> int:
@@ -131,10 +171,12 @@ class SessionManager:
             raise FleetOverloadError(
                 f"at the {self.max_sessions}-session limit; "
                 f"refusing {device_id!r}")
+        round_index = self._device_rounds.get(device_id, 0)
+        self._device_rounds[device_id] = round_index + 1
         session = Session(
             device_id=device_id, profile=profile, key=key,
-            challenge=self._fresh_challenge(),
-            opened_at=now, last_activity=now,
+            challenge=self._fresh_challenge(device_id, round_index, 1),
+            opened_at=now, last_activity=now, round_index=round_index,
         )
         self.sessions[device_id] = session
         return session
@@ -242,7 +284,8 @@ class SessionManager:
                 continue
             if session.attempt < self.max_attempts:
                 session.attempt += 1
-                session.challenge = self._fresh_challenge()
+                session.challenge = self._fresh_challenge(
+                    session.device_id, session.round_index, session.attempt)
                 session.chunks = []
                 session.reports = []
                 session.buffered = {}

@@ -155,10 +155,14 @@ class FleetSimulator:
     """Interleave N device sessions against one fleet service."""
 
     def __init__(self, specs: Sequence[DeviceSpec], seed: int = 0,
-                 watermark: Optional[int] = 1024, cache=None):
+                 watermark: Optional[int] = 1024, cache=None,
+                 factory: Optional[ChainFactory] = None):
         self.specs = list(specs)
         self.rng = random.Random(seed)
-        self.factory = ChainFactory(watermark=watermark, cache=cache)
+        # a caller-supplied factory shares its attested templates
+        # across simulators (e.g. the halves of a crash-restart run)
+        self.factory = factory or ChainFactory(
+            watermark=watermark, cache=cache)
 
     # -- adversarial deliveries --------------------------------------------
 

@@ -1,0 +1,498 @@
+"""Durable, hash-chained evidence for every fleet verdict.
+
+Two pieces of persistence live here, unifying the content-addressed
+idiom of :mod:`repro.eval.cache` with the fleet tier:
+
+* :class:`EvidenceStore` — an append-only log in which every settled
+  session becomes one :class:`EvidenceRecord`. Records for a device
+  form a hash chain: record *i* carries the digest of record *i-1*
+  (32 zero bytes for the genesis record), a MAC under the Vrf's audit
+  key, and commits to the verdict *and* to a digest of the exact wire
+  bytes the device transmitted, so the full verdict history is
+  externally auditable and any single-byte mutation of the persisted
+  bytes is detectable. The record is flushed and ``fsync``'d before
+  the verdict is released to anyone — a verdict that exists outside
+  the service is, by construction, already on disk.
+
+* :class:`DurableReplayCache` — the fleet replay cache backed by the
+  same two-level content-addressed store the offline artifacts use
+  (:class:`~repro.eval.cache.ArtifactCache`): replay summaries are
+  pickled one-file-per-key with an atomic rename, so a restarted
+  service re-warms from disk instead of re-replaying the fleet's
+  firmware chains.
+
+**Byte layout** (all little-endian; ``lp x`` = ``u32 len(x) || x``)::
+
+    file   := b"EVD1" u8 version (frame)*
+    frame  := u32 frame_len prev_digest[32] mac[32] body
+    body   := lp device_id lp workload lp method lp challenge
+              chain_digest[32] u8 flags lp reason
+              u32 reports u32 records u32 path_len lp path_digest
+              u16 n_violations (lp kind u32 address lp detail)*
+              u32 seq
+
+``flags`` bits: 0 accepted, 1 authenticated, 2 lossless, 3 cache_hit,
+4 expired. **Hash schedule**::
+
+    mac_i    = HMAC-SHA256(K_audit, prev_digest_i || body_i)
+    digest_i = SHA256(prev_digest_i || body_i || mac_i)
+
+so the head digest of a device's chain commits every verdict, every
+chain digest, and every MAC before it. Verification
+(:func:`verify_evidence_trail`) is strict: torn or trailing bytes are
+a failure. Recovery (:meth:`EvidenceStore` opening an existing file)
+is crash-tolerant: a torn *tail* — the one partial frame an
+interrupted write or fsync can leave — is truncated away; any damage
+before the tail is tamper and raises :class:`EvidenceError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.cfa.fleet.verify import (
+    DeviceProfile,
+    ReplayCache,
+    SessionVerdict,
+    _ReplaySummary,
+)
+from repro.eval.cache import ArtifactCache
+
+EVIDENCE_MAGIC = b"EVD1"
+EVIDENCE_VERSION = 1
+#: genesis link: the "previous digest" of a device's first record
+GENESIS = b"\x00" * 32
+_HEADER_LEN = 5
+_DIGEST_LEN = 32
+#: a frame is at least prev_digest + mac + the fixed body fields
+_MIN_FRAME = 2 * _DIGEST_LEN
+
+_FLAG_ACCEPTED = 1 << 0
+_FLAG_AUTHENTICATED = 1 << 1
+_FLAG_LOSSLESS = 1 << 2
+_FLAG_CACHE_HIT = 1 << 3
+_FLAG_EXPIRED = 1 << 4
+
+
+class EvidenceError(Exception):
+    """The evidence trail failed verification (tamper or corruption)."""
+
+
+def chain_digest(chunks: Sequence[bytes]) -> bytes:
+    """Digest of a session's exact wire bytes, length-prefixed so
+    report boundaries cannot be shifted without changing the digest."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(struct.pack("<I", len(chunk)))
+        h.update(chunk)
+    return h.digest()
+
+
+def _lp(data: bytes) -> bytes:
+    return struct.pack("<I", len(data)) + data
+
+
+class _Reader:
+    """Bounded little-endian reader (the wire-codec idiom)."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise EvidenceError("truncated evidence body")
+        out = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def lp_bytes(self) -> bytes:
+        return self.take(self.u32())
+
+    def lp_str(self) -> str:
+        try:
+            return self.lp_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise EvidenceError(f"non-UTF-8 evidence field: {exc}") from None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos == len(self.data)
+
+
+@dataclass(frozen=True)
+class EvidenceRecord:
+    """One settled session, as persisted in the evidence log."""
+
+    device_id: str
+    workload: str
+    method: str
+    challenge: bytes      # the nonce this session's chain answered
+    chain_digest: bytes   # digest of the exact wire bytes received
+    accepted: bool
+    authenticated: bool
+    lossless: bool
+    cache_hit: bool       # verdict's replay half came from the cache
+    expired: bool
+    reason: str
+    reports: int
+    records: int
+    path_len: int
+    path_digest: str
+    violations: Tuple[Tuple[str, int, str], ...]
+    seq: int              # per-device index in the chain, from 0
+    prev_digest: bytes
+    mac: bytes
+    digest: bytes
+
+    @property
+    def profile(self) -> DeviceProfile:
+        return DeviceProfile(self.workload, self.method)
+
+    def to_verdict(self) -> SessionVerdict:
+        """Reconstruct the exact :class:`SessionVerdict` this record
+        persisted (cache_hit/expired are evidence annotations, not
+        verdict fields, so recovery is caching-agnostic)."""
+        return SessionVerdict(
+            device_id=self.device_id,
+            profile=self.profile,
+            accepted=self.accepted,
+            authenticated=self.authenticated,
+            lossless=self.lossless,
+            violations=self.violations,
+            reason=self.reason,
+            reports=self.reports,
+            records=self.records,
+            path_len=self.path_len,
+            path_digest=self.path_digest,
+        )
+
+
+def _encode_body(verdict: SessionVerdict, challenge: bytes,
+                 chain: bytes, cache_hit: bool, expired: bool,
+                 seq: int) -> bytes:
+    flags = ((_FLAG_ACCEPTED if verdict.accepted else 0)
+             | (_FLAG_AUTHENTICATED if verdict.authenticated else 0)
+             | (_FLAG_LOSSLESS if verdict.lossless else 0)
+             | (_FLAG_CACHE_HIT if cache_hit else 0)
+             | (_FLAG_EXPIRED if expired else 0))
+    if len(chain) != _DIGEST_LEN:
+        raise ValueError("chain digest must be 32 bytes")
+    parts = [
+        _lp(verdict.device_id.encode()),
+        _lp(verdict.profile.workload.encode()),
+        _lp(verdict.profile.method.encode()),
+        _lp(challenge),
+        chain,
+        struct.pack("<B", flags),
+        _lp(verdict.reason.encode()),
+        struct.pack("<III", verdict.reports, verdict.records,
+                    verdict.path_len),
+        _lp(verdict.path_digest.encode()),
+        struct.pack("<H", len(verdict.violations)),
+    ]
+    for kind, address, detail in verdict.violations:
+        parts.append(_lp(kind.encode()))
+        parts.append(struct.pack("<I", address & 0xFFFFFFFF))
+        parts.append(_lp(detail.encode()))
+    parts.append(struct.pack("<I", seq))
+    return b"".join(parts)
+
+
+def _decode_body(body: bytes, prev_digest: bytes,
+                 mac: bytes) -> EvidenceRecord:
+    reader = _Reader(body)
+    device_id = reader.lp_str()
+    workload = reader.lp_str()
+    method = reader.lp_str()
+    challenge = reader.lp_bytes()
+    chain = reader.take(_DIGEST_LEN)
+    flags = reader.u8()
+    reason = reader.lp_str()
+    reports, records, path_len = struct.unpack("<III", reader.take(12))
+    path_digest = reader.lp_str()
+    n_violations = reader.u16()
+    violations = []
+    for _ in range(n_violations):
+        kind = reader.lp_str()
+        address = reader.u32()
+        detail = reader.lp_str()
+        violations.append((kind, address, detail))
+    seq = reader.u32()
+    if not reader.exhausted:
+        raise EvidenceError("trailing bytes inside evidence body")
+    return EvidenceRecord(
+        device_id=device_id, workload=workload, method=method,
+        challenge=challenge, chain_digest=chain,
+        accepted=bool(flags & _FLAG_ACCEPTED),
+        authenticated=bool(flags & _FLAG_AUTHENTICATED),
+        lossless=bool(flags & _FLAG_LOSSLESS),
+        cache_hit=bool(flags & _FLAG_CACHE_HIT),
+        expired=bool(flags & _FLAG_EXPIRED),
+        reason=reason, reports=reports, records=records,
+        path_len=path_len, path_digest=path_digest,
+        violations=tuple(violations), seq=seq,
+        prev_digest=prev_digest, mac=mac,
+        digest=hashlib.sha256(prev_digest + body + mac).digest(),
+    )
+
+
+def _record_mac(key: bytes, prev_digest: bytes, body: bytes) -> bytes:
+    return hmac.new(key, prev_digest + body, hashlib.sha256).digest()
+
+
+def _parse(data: bytes, key: bytes
+           ) -> Tuple[List[EvidenceRecord], int, Optional[str]]:
+    """Parse and verify an evidence file image.
+
+    Returns ``(records, valid_length, torn_reason)``: every verified
+    record, the byte offset up to which the file is intact, and — when
+    the file ends in one incomplete frame — why the tail is torn
+    (``None`` for a clean end). Anything *other* than a torn tail
+    (bad header, MAC mismatch, chain break, oversized frame) raises
+    :class:`EvidenceError`: crash damage is confined to the tail, so
+    damage anywhere else is tamper.
+    """
+    if len(data) < _HEADER_LEN:
+        if not data:
+            return [], 0, None
+        return [], 0, "torn file header"
+    if data[:4] != EVIDENCE_MAGIC:
+        raise EvidenceError("bad evidence magic")
+    if data[4] != EVIDENCE_VERSION:
+        raise EvidenceError(f"unsupported evidence version {data[4]}")
+    pos = _HEADER_LEN
+    heads: Dict[str, Tuple[int, bytes]] = {}
+    records: List[EvidenceRecord] = []
+    while pos < len(data):
+        if pos + 4 > len(data):
+            return records, pos, "torn frame length"
+        (frame_len,) = struct.unpack("<I", data[pos:pos + 4])
+        if frame_len < _MIN_FRAME:
+            raise EvidenceError(f"frame at {pos} too short ({frame_len} B)")
+        if pos + 4 + frame_len > len(data):
+            return records, pos, (
+                f"torn frame at {pos} ({len(data) - pos - 4}/"
+                f"{frame_len} B present)")
+        frame = data[pos + 4:pos + 4 + frame_len]
+        prev_digest = frame[:_DIGEST_LEN]
+        mac = frame[_DIGEST_LEN:2 * _DIGEST_LEN]
+        body = frame[2 * _DIGEST_LEN:]
+        if not hmac.compare_digest(mac, _record_mac(key, prev_digest, body)):
+            raise EvidenceError(f"MAC mismatch on frame at {pos}")
+        record = _decode_body(body, prev_digest, mac)
+        seq, expected_prev = heads.get(record.device_id, (0, GENESIS))
+        if record.seq != seq:
+            raise EvidenceError(
+                f"device {record.device_id!r}: evidence seq {record.seq}, "
+                f"expected {seq}")
+        if record.prev_digest != expected_prev:
+            raise EvidenceError(
+                f"device {record.device_id!r}: chain break at record "
+                f"#{record.seq}")
+        heads[record.device_id] = (seq + 1, record.digest)
+        records.append(record)
+        pos += 4 + frame_len
+    return records, pos, None
+
+
+def verify_evidence_trail(path: Union[str, os.PathLike],
+                          key: bytes) -> List[EvidenceRecord]:
+    """Strictly verify an evidence log from disk.
+
+    Every frame must parse, MAC under ``key``, and extend its device's
+    hash chain in order; any torn or trailing byte is a failure. This
+    is the external-auditor entry point: it shares no state with the
+    store that wrote the file.
+    """
+    data = Path(path).read_bytes()
+    records, consumed, torn = _parse(data, key)
+    if torn is not None:
+        raise EvidenceError(torn)
+    if consumed != len(data):
+        raise EvidenceError("trailing bytes after last frame")
+    return records
+
+
+class EvidenceStore:
+    """Append-only, fsync-before-release evidence log (one file).
+
+    Opening an existing file *recovers* it: all intact records are
+    verified and loaded (exposed as :attr:`recovered`), a torn tail is
+    truncated away, and per-device chain heads resume exactly where
+    the previous process stopped — so chains continue across restarts
+    with no seam. ``fsync_fn`` is injectable for fault testing.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], key: bytes,
+                 fsync: bool = True, fsync_fn=None):
+        self.path = Path(path)
+        self.key = key
+        self.fsync_enabled = fsync
+        self._fsync = fsync_fn or os.fsync
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+        self.truncated_tail = ""  # recovery note: torn bytes dropped
+        self._heads: Dict[str, Tuple[int, bytes]] = {}
+        self.recovered: List[EvidenceRecord] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing = self.path.read_bytes() if self.path.exists() else b""
+        if existing:
+            self.recovered, good, torn = _parse(existing, key)
+            for record in self.recovered:
+                self._heads[record.device_id] = (
+                    record.seq + 1, record.digest)
+            if torn is not None:
+                self.truncated_tail = torn
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(good)
+        self._fh = open(self.path, "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(
+                EVIDENCE_MAGIC + struct.pack("<B", EVIDENCE_VERSION))
+            self._fh.flush()
+            if self.fsync_enabled:
+                self._fsync(self._fh.fileno())
+        self._good_offset = self._fh.tell()
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, verdict: SessionVerdict, chain: bytes,
+               challenge: bytes = b"", cache_hit: bool = False,
+               expired: bool = False) -> EvidenceRecord:
+        """Persist one verdict; durable before this method returns.
+
+        The in-memory chain head only advances after the bytes are on
+        disk, so a failed append leaves the store consistent with the
+        file (modulo a torn tail, which the next open truncates — the
+        same discipline a crash relies on). Callers must not release
+        the verdict if this raises.
+        """
+        device_id = verdict.device_id
+        seq, prev_digest = self._heads.get(device_id, (0, GENESIS))
+        body = _encode_body(verdict, challenge, chain, cache_hit,
+                            expired, seq)
+        mac = _record_mac(self.key, prev_digest, body)
+        frame = prev_digest + mac + body
+        try:
+            self._fh.write(struct.pack("<I", len(frame)) + frame)
+            self._fh.flush()
+            if self.fsync_enabled:
+                self._fsync(self._fh.fileno())
+                self.fsyncs += 1
+        except BaseException:
+            # best-effort rewind so a *surviving* process can continue;
+            # a dead one leaves the torn tail for recovery to truncate
+            try:
+                self._fh.truncate(self._good_offset)
+                self._fh.seek(self._good_offset)
+            except OSError:
+                pass
+            raise
+        self._good_offset = self._fh.tell()
+        digest = hashlib.sha256(prev_digest + body + mac).digest()
+        self._heads[device_id] = (seq + 1, digest)
+        self.records_appended += 1
+        self.bytes_appended += 4 + len(frame)
+        return _decode_body(body, prev_digest, mac)
+
+    # -- reading ------------------------------------------------------------
+
+    def head(self, device_id: str) -> Optional[bytes]:
+        """Current chain-head digest for a device (None if no records)."""
+        entry = self._heads.get(device_id)
+        return entry[1] if entry else None
+
+    def heads(self) -> Dict[str, bytes]:
+        """device id -> chain-head digest, for every recorded device."""
+        return {device: digest for device, (_, digest)
+                in self._heads.items()}
+
+    @property
+    def device_count(self) -> int:
+        return len(self._heads)
+
+    def records(self) -> Iterator[EvidenceRecord]:
+        """Re-read and strictly verify every record from disk."""
+        self._fh.flush()
+        return iter(verify_evidence_trail(self.path, self.key))
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.fsync_enabled:
+                self._fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "EvidenceStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class DurableReplayCache(ReplayCache):
+    """The fleet replay cache, persisted content-addressed on disk.
+
+    Entries live in an :class:`~repro.eval.cache.ArtifactCache`
+    (memory + one pickle file per key, atomic rename), keyed by a
+    digest of ``(profile, record-stream digest)`` — the same CAS
+    discipline the offline-artifact cache uses, so concurrent shards
+    can share one directory and a restarted service re-warms from
+    disk. A corrupt or unreadable entry is a miss and gets rebuilt,
+    exactly like an offline artifact; and as with the in-memory cache,
+    only the pure replay half of a verdict is ever stored, so the
+    disk image cannot launder authentication.
+    """
+
+    def __init__(self, root: Optional[Union[str, os.PathLike]] = None):
+        super().__init__()
+        self._cas = ArtifactCache(root)
+        self.disk_hits = 0
+
+    @staticmethod
+    def cas_key(profile: DeviceProfile, key: bytes) -> str:
+        payload = b"|".join([
+            b"fleet-replay-v1",
+            profile.workload.encode(),
+            profile.method.encode(),
+            key,
+        ])
+        return hashlib.sha256(payload).hexdigest()
+
+    def lookup(self, profile: DeviceProfile,
+               key: bytes) -> Optional[_ReplaySummary]:
+        with self._lock:
+            entry = self._entries.get((profile, key))
+            if entry is None:
+                entry = self._cas.get(self.cas_key(profile, key))
+                if entry is not None:
+                    self._entries[(profile, key)] = entry
+                    self.disk_hits += 1
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(self, profile: DeviceProfile, key: bytes,
+              entry: _ReplaySummary) -> None:
+        with self._lock:
+            self._entries[(profile, key)] = entry
+            self._cas.put(self.cas_key(profile, key), entry)

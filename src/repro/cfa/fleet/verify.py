@@ -158,8 +158,8 @@ def build_verifier(profile: DeviceProfile, key: bytes):
 def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
                          challenge: bytes, chunks: Sequence[bytes],
                          cache: Optional[ReplayCache] = None,
-                         reports: Optional[Sequence] = None
-                         ) -> SessionVerdict:
+                         reports: Optional[Sequence] = None,
+                         info: Optional[dict] = None) -> SessionVerdict:
     """Verify one complete session chain exactly as the serial Vrf would.
 
     ``chunks`` are the session's wire-encoded reports in sequence
@@ -173,6 +173,11 @@ def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
     ``==`` verdicts. Never raises: wire damage and protocol violations
     come back as a rejected verdict so a poisoned session cannot take a
     worker (or the service thread) down with it.
+
+    ``info``, when supplied, receives side-band facts that must *not*
+    influence verdict equality — currently ``info["cache_hit"]``, True
+    iff the replay half came from the cache. The evidence store uses
+    it to annotate (never skip) the record for a cache-served verdict.
     """
     try:
         verifier = build_verifier(profile, key)
@@ -193,6 +198,8 @@ def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
         if cache is not None:
             key_digest = ReplayCache.key(stream.records)
             summary = cache.lookup(profile, key_digest)
+            if info is not None:
+                info["cache_hit"] = summary is not None
             if summary is None:
                 summary = _summarize(stream.finish())
                 cache.store(profile, key_digest, summary)
@@ -239,8 +246,11 @@ def pool_verify(device_id: str, profile: DeviceProfile, key: bytes,
 
 
 def local_verify(args: tuple, cache: Optional[ReplayCache],
-                 reports: Optional[Sequence] = None
+                 reports: Optional[Sequence] = None,
+                 info: Optional[dict] = None
                  ) -> Tuple[SessionVerdict, int, int]:
     """Thread-pool entry point: shares the service's cache in-process
-    (cache deltas ride the shared object, so none are reported here)."""
-    return verify_session_chain(*args, cache=cache, reports=reports), 0, 0
+    (cache deltas ride the shared object, so none are reported here;
+    the caller's ``info`` dict rides along for the cache-hit flag)."""
+    return verify_session_chain(
+        *args, cache=cache, reports=reports, info=info), 0, 0

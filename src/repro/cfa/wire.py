@@ -139,6 +139,63 @@ def decode_report(data: bytes) -> Tuple[Report, int]:
     return report, reader.pos
 
 
+# -- shard handoff framing --------------------------------------------------
+#
+# The sharded fleet router hands device traffic to the shard that owns
+# the device over its own envelope, so a shard can run in another
+# process (or on another host) and still receive exactly the bytes the
+# device transmitted, attributed to the right session.
+
+SHARD_MAGIC = b"RSHD"
+SHARD_VERSION = 1
+
+#: frame kinds: a device report inbound to a shard, or a challenge
+#: outbound from a shard (re-challenge fan-in at the router)
+SHARD_KIND_REPORT = 1
+SHARD_KIND_CHALLENGE = 2
+_SHARD_KINDS = (SHARD_KIND_REPORT, SHARD_KIND_CHALLENGE)
+
+
+def encode_shard_frame(shard_id: int, device_id: str, payload: bytes,
+                       kind: int = SHARD_KIND_REPORT) -> bytes:
+    """Envelope one device payload for handoff to ``shard_id``."""
+    if kind not in _SHARD_KINDS:
+        raise WireError(f"unknown shard frame kind {kind}")
+    if not 0 <= shard_id <= 0xFFFFFFFF:
+        raise WireError(f"shard id {shard_id} out of range")
+    return (SHARD_MAGIC
+            + struct.pack("<BBI", SHARD_VERSION, kind, shard_id)
+            + _pack_bytes(device_id.encode())
+            + _pack_bytes(payload))
+
+
+def decode_shard_frame(data: bytes) -> Tuple[int, str, int, bytes]:
+    """Parse a shard handoff frame.
+
+    Returns ``(shard_id, device_id, kind, payload)``; raises
+    :class:`WireError` on damage (bad magic/version/kind, non-UTF-8
+    device id, trailing bytes) — the shard boundary is as hostile a
+    surface as the device link and gets the same strictness.
+    """
+    reader = _Reader(data)
+    if reader.take(4) != SHARD_MAGIC:
+        raise WireError("bad shard frame magic")
+    version, kind, shard_id = struct.unpack("<BBI", reader.take(6))
+    if version != SHARD_VERSION:
+        raise WireError(f"unsupported shard frame version {version}")
+    if kind not in _SHARD_KINDS:
+        raise WireError(f"unknown shard frame kind {kind}")
+    try:
+        device_id = reader.lp_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(
+            f"device id is not valid UTF-8: {exc}") from None
+    payload = reader.lp_bytes()
+    if not reader.exhausted:
+        raise WireError("trailing bytes after shard frame")
+    return shard_id, device_id, kind, payload
+
+
 def encode_result(result: AttestationResult) -> bytes:
     """Serialize a whole report chain."""
     return b"".join(encode_report(r) for r in result.reports)

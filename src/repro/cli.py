@@ -224,28 +224,128 @@ def _cmd_attack(_args) -> int:
 
 def _cmd_fleet(args) -> int:
     from repro.cfa.fleet import (
+        ChainFactory,
         FleetService,
         FleetSimulator,
+        ShardedFleetService,
         build_fleet_specs,
     )
+
+    if args.smoke_restart and not (args.shards and args.store):
+        print("fleet: --smoke-restart requires --shards and --store",
+              file=sys.stderr)
+        return 2
+
+    def make_service(resume: bool = False):
+        if args.shards:
+            return ShardedFleetService(
+                shards=args.shards, store_dir=args.store,
+                workers=args.workers, executor=args.executor,
+                idle_timeout=5.0,
+                replay_cache=not args.no_replay_cache, resume=resume)
+        return FleetService(workers=args.workers, executor=args.executor,
+                            idle_timeout=5.0,
+                            replay_cache=not args.no_replay_cache)
 
     specs = build_fleet_specs(
         args.devices, attack_fraction=args.attack_fraction,
         method=args.method, seed=args.seed)
-    sim = FleetSimulator(specs, seed=args.seed, cache=_make_cache(args))
-    with FleetService(workers=args.workers, executor=args.executor,
-                      idle_timeout=5.0,
-                      replay_cache=not args.no_replay_cache) as service:
-        report = sim.run(service)
-        metrics = service.metrics
+    factory = ChainFactory(watermark=1024, cache=_make_cache(args))
+    mismatches = []
+    verdicts = {}
+    if args.smoke_restart:
+        # run half the fleet, hard-stop (no clean close), restart over
+        # the same store, recover, then run the rest: the durability
+        # smoke the CI gate greps
+        half = len(specs) // 2
+        service = make_service()
+        report = FleetSimulator(specs[:half], seed=args.seed,
+                                factory=factory).run(service)
+        mismatches += report.mismatches
+        verdicts.update(service.verdicts)
+        for shard in service.shards:  # flush OS buffers, skip close()
+            shard.store.close()
+        service = make_service(resume=True)
+        lost = {d: v for d, v in verdicts.items()
+                if service.verdicts.get(d) != v}
+        if lost:
+            mismatches += [f"{d}: verdict lost across restart"
+                           for d in sorted(lost)]
+        print(f"fleet: restart recovered {service.recovered_verdicts} "
+              f"verdicts", file=sys.stderr)
+        report = FleetSimulator(specs[half:], seed=args.seed + 1,
+                                factory=factory).run(service)
+        mismatches += report.mismatches
+        verdicts.update(service.verdicts)
+        metrics = service.close()
+    else:
+        with make_service() as service:
+            report = FleetSimulator(specs, seed=args.seed,
+                                    factory=factory).run(service)
+            mismatches += report.mismatches
+            verdicts.update(service.verdicts)
+            metrics = service.metrics
     print(f"fleet: {metrics.summary()}", file=sys.stderr)
-    for line in report.mismatches:
+    if args.store and args.shards:
+        audited = _audit_store(args.store)
+        if audited < 0:
+            return 1
+        print(f"fleet: evidence trail verified from disk "
+              f"({audited} records)", file=sys.stderr)
+    for line in mismatches:
         print(f"MISMATCH {line}")
-    if not report.ok:
-        print(f"fleet: {len(report.mismatches)}/{len(specs)} sessions "
+    if mismatches:
+        print(f"fleet: {len(mismatches)}/{len(specs)} sessions "
               f"settled against expectation")
         return 1
     print(f"fleet: all {len(specs)} sessions settled as expected")
+    return 0
+
+
+def _audit_store(store_dir, seed: bytes = b"fleet-vrf") -> int:
+    """Strictly verify every evidence log under ``store_dir``; returns
+    the record count, or -1 after printing what failed."""
+    import pathlib
+
+    from repro.cfa.fleet import EvidenceError, audit_key, \
+        verify_evidence_trail
+
+    key = audit_key(seed)
+    total = 0
+    logs = sorted(pathlib.Path(store_dir).glob("evidence-*.log"))
+    if not logs:
+        print(f"audit: no evidence logs under {store_dir}")
+        return -1
+    for path in logs:
+        try:
+            total += len(verify_evidence_trail(path, key))
+        except EvidenceError as exc:
+            print(f"audit: {path.name}: FAILED: {exc}")
+            return -1
+    return total
+
+
+def _cmd_audit(args) -> int:
+    from collections import Counter
+
+    from repro.cfa.fleet import audit_key, verify_evidence_trail
+
+    total = _audit_store(args.store)
+    if total < 0:
+        return 1
+    key = audit_key(b"fleet-vrf")
+    devices = set()
+    outcomes = Counter()
+    import pathlib
+    for path in sorted(pathlib.Path(args.store).glob("evidence-*.log")):
+        for record in verify_evidence_trail(path, key):
+            devices.add(record.device_id)
+            outcomes["accepted" if record.accepted else "rejected"] += 1
+            if record.cache_hit:
+                outcomes["cache-hit"] += 1
+    print(f"audit: {total} records across {len(devices)} devices OK "
+          f"({outcomes['accepted']} accepted, {outcomes['rejected']} "
+          f"rejected, {outcomes['cache-hit']} cache-hit)")
     return 0
 
 
@@ -346,8 +446,26 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--no-replay-cache", action="store_true",
                        help="disable replay memoization across "
                             "identical chains")
+    fleet.add_argument("--shards", type=int, default=0, metavar="S",
+                       help="shard the fleet across S services behind "
+                            "a consistent-hash router "
+                            "(default: 0 = single service)")
+    fleet.add_argument("--store", metavar="DIR",
+                       help="durable evidence-store directory "
+                            "(requires --shards >= 1)")
+    fleet.add_argument("--smoke-restart", action="store_true",
+                       help="hard-stop the service halfway, recover "
+                            "from the evidence logs, finish the run "
+                            "(the CI durability smoke)")
     _add_cache_flags(fleet)
     fleet.set_defaults(func=_cmd_fleet)
+
+    audit = sub.add_parser(
+        "audit",
+        help="verify a fleet evidence store's hash chains from disk")
+    audit.add_argument("store", metavar="DIR",
+                       help="evidence-store directory (evidence-*.log)")
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 
