@@ -15,10 +15,27 @@ The package splits along the cost structure of fleet CFA:
   replay cache;
 * :mod:`~repro.cfa.fleet.shard` — the consistent-hash router that
   partitions the fleet across per-shard services, with crash-restart
-  recovery from the evidence logs.
+  recovery from the evidence logs;
+* :mod:`~repro.cfa.fleet.dictver` — versioned speculation
+  dictionaries and the cryptographic epoch handshake (DICT/DACK);
+* :mod:`~repro.cfa.fleet.mining` — the live-traffic sampler and the
+  profit-scored sub-path miner behind the adaptive speculation loop.
 """
 
+from repro.cfa.fleet.dictver import (
+    DictEpoch,
+    DictionaryRegistry,
+    dack_mac,
+    spec_challenge,
+    verify_dack,
+)
 from repro.cfa.fleet.metrics import FleetMetrics, aggregate_metrics
+from repro.cfa.fleet.mining import (
+    TrafficSampler,
+    learn_dictionaries,
+    mine_fleet_dictionary,
+    mining_gain,
+)
 from repro.cfa.fleet.service import FleetService
 from repro.cfa.fleet.session import FleetOverloadError, Session, SessionManager
 from repro.cfa.fleet.shard import HashRing, ShardedFleetService, audit_key
@@ -53,6 +70,8 @@ __all__ = [
     "ChainFactory",
     "DeviceProfile",
     "DeviceSpec",
+    "DictEpoch",
+    "DictionaryRegistry",
     "DurableReplayCache",
     "EvidenceError",
     "EvidenceRecord",
@@ -70,11 +89,18 @@ __all__ = [
     "SessionVerdict",
     "ShardedFleetService",
     "SimulationReport",
+    "TrafficSampler",
     "aggregate_metrics",
     "audit_key",
     "build_fleet_specs",
     "chain_digest",
+    "dack_mac",
     "device_key",
+    "learn_dictionaries",
+    "mine_fleet_dictionary",
+    "mining_gain",
+    "spec_challenge",
+    "verify_dack",
     "verify_evidence_trail",
     "verify_session_chain",
 ]

@@ -54,6 +54,10 @@ class FleetMetrics:
     sessions_recovered: int = 0  # verdicts restored from the evidence log
     shards: int = 0              # 0 = unsharded single service
     recovery_s: float = 0.0      # wall time replaying evidence at restart
+    # adaptive speculation (dictionary epoch handshake)
+    dict_pushes: int = 0         # DICT frames offered to lagging devices
+    dict_acks: int = 0           # valid DACKs that advanced a device's pin
+    dict_acks_rejected: int = 0  # malformed / forged / mismatched DACKs
 
     @property
     def sessions_settled(self) -> int:
@@ -98,6 +102,10 @@ class FleetMetrics:
             + (f"recovered {self.sessions_recovered} verdicts in "
                f"{self.recovery_s * 1e3:.1f} ms, "
                if self.sessions_recovered else "")
+            + (f"dict pushes/acks {self.dict_pushes}/{self.dict_acks} "
+               f"({self.dict_acks_rejected} rejected), "
+               if self.dict_pushes or self.dict_acks
+               or self.dict_acks_rejected else "")
             + f"wall {self.wall_s:.2f}s"
         )
 
@@ -134,6 +142,9 @@ def aggregate_metrics(per_shard: Sequence[FleetMetrics],
         total.evidence_records += m.evidence_records
         total.evidence_bytes += m.evidence_bytes
         total.evidence_fsyncs += m.evidence_fsyncs
+        total.dict_pushes += m.dict_pushes
+        total.dict_acks += m.dict_acks
+        total.dict_acks_rejected += m.dict_acks_rejected
     executors = {m.executor for m in per_shard}
     total.executor = executors.pop() if len(executors) == 1 else "mixed"
     total.wall_s = wall_s or max(

@@ -47,7 +47,13 @@ from concurrent.futures import (
 )
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.cfa.fleet.dictver import (
+    DictEpoch,
+    DictionaryRegistry,
+    verify_dack,
+)
 from repro.cfa.fleet.metrics import FleetMetrics
+from repro.cfa.fleet.mining import TrafficSampler
 from repro.cfa.fleet.store import EvidenceStore, chain_digest
 from repro.cfa.fleet.session import (
     EXPIRED,
@@ -66,6 +72,8 @@ from repro.cfa.fleet.verify import (
     verify_session_chain,
 )
 from repro.cfa.protocol import Challenge
+from repro.cfa.speccfa import expand
+from repro.cfa.wire import WireError, decode_dack_frame, encode_dict_frame
 
 
 class FleetService:
@@ -81,11 +89,25 @@ class FleetService:
                  replay_cache: Union[bool, ReplayCache] = True,
                  executor: str = "auto",
                  store: Optional[EvidenceStore] = None,
-                 nonce_scope: str = "counter"):
+                 nonce_scope: str = "counter",
+                 registry: Optional[DictionaryRegistry] = None,
+                 sampler: Union[bool, TrafficSampler, None] = None):
+        #: speculation-dictionary versions this Vrf knows (shared with
+        #: sibling shards when the router injects one registry)
+        self.registry = registry or DictionaryRegistry()
+        #: live-traffic tap feeding the sub-path miner; None = no
+        #: sampling (the default: sampling costs one digest per
+        #: accepted session)
+        if sampler is True:
+            sampler = TrafficSampler()
+        self.sampler: Optional[TrafficSampler] = sampler or None
+        #: device id -> last ACKed dictionary epoch for its profile
+        self._acks: Dict[Tuple[str, DeviceProfile], int] = {}
         self.manager = SessionManager(
             seed=seed, idle_timeout=idle_timeout,
             reorder_window=reorder_window, max_attempts=max_attempts,
-            max_sessions=max_sessions, nonce_scope=nonce_scope)
+            max_sessions=max_sessions, nonce_scope=nonce_scope,
+            epoch_bindings=self.registry.bindings)
         self.workers = max(0, workers)
         # replay_cache may be a ready-made cache instance (e.g. a
         # DurableReplayCache over a shared CAS directory) or a bool
@@ -130,10 +152,19 @@ class FleetService:
     def open_session(self, device_id: str, profile: DeviceProfile,
                      key: bytes, now: float = 0.0) -> Challenge:
         """Admit a device, issue its challenge (raises FleetOverloadError
-        at the ``max_sessions`` admission limit)."""
+        at the ``max_sessions`` admission limit).
+
+        The session is pinned, for its whole lifetime, to the
+        dictionary epoch the device last acknowledged (epoch 0 until a
+        first ACK arrives): a push landing mid-session changes nothing
+        until the device's next session.
+        """
         with self._lock:
+            epoch = self._acks.get((device_id, profile), 0)
+            dict_epoch = self.registry.get(profile, epoch)
             try:
-                session = self.manager.open(device_id, profile, key, now)
+                session = self.manager.open(device_id, profile, key, now,
+                                            dict_epoch=dict_epoch)
             except Exception:
                 self.metrics.sessions_refused += 1
                 raise
@@ -206,18 +237,127 @@ class FleetService:
             self.metrics.sessions_recovered += len(records)
         return len(records)
 
+    # -- adaptive speculation: mining taps + epoch handshake ----------------
+
+    def traffic_samples(self) -> Dict[DeviceProfile, list]:
+        """``profile -> weighted exemplar streams`` — the miner's input
+        (empty when sampling is off)."""
+        if self.sampler is None:
+            return {}
+        return {profile: self.sampler.sample(profile)
+                for profile in self.sampler.profiles()}
+
+    def publish_dictionary(self, profile: DeviceProfile,
+                           dictionary) -> DictEpoch:
+        """Version a mined dictionary under the next epoch number in
+        the (possibly shard-shared) registry."""
+        return self.registry.publish(profile, dictionary)
+
+    def dictionary_pushes(
+            self, profile: Optional[DeviceProfile] = None
+    ) -> List[Tuple[str, bytes]]:
+        """``(device_id, DICT frame)`` for every known device lagging
+        the latest published epoch of its profile.
+
+        "Known" means the device has opened a session with this Vrf at
+        some point; the transport delivers the frames and feeds signed
+        ``DACK`` replies back through :meth:`ingest_dack`. A device
+        that never ACKs simply keeps receiving the offer — and keeps
+        attesting under its pinned (possibly 0) epoch.
+        """
+        pushes: List[Tuple[str, bytes]] = []
+        with self._lock:
+            devices = [(d, s.profile)
+                       for d, s in self.manager.sessions.items()]
+        for device_id, dev_profile in sorted(devices):
+            if profile is not None and dev_profile != profile:
+                continue
+            latest = self.registry.latest(dev_profile)
+            if latest.is_empty:
+                continue
+            acked = self._acks.get((device_id, dev_profile), 0)
+            if acked >= latest.epoch:
+                continue
+            frame = encode_dict_frame(
+                dev_profile.workload, dev_profile.method,
+                latest.epoch, latest.digest, latest.payload)
+            pushes.append((device_id, frame))
+        with self._lock:
+            self.metrics.dict_pushes += len(pushes)
+        return pushes
+
+    def ingest_dack(self, device_id: str, data: bytes,
+                    now: float = 0.0) -> bool:
+        """Absorb one wire-encoded ``DACK`` frame from a device.
+
+        The acknowledged epoch must name a published dictionary of the
+        device's own profile and the MAC must verify under the device's
+        attestation key; anything else is counted and dropped (a
+        network adversary cannot re-pin a device). A valid ACK moves
+        the device's pin — its *next* session opens under the new
+        epoch; the current one stays on the epoch it was opened with.
+        """
+        with self._lock:
+            try:
+                acked_id, epoch, digest, mac = decode_dack_frame(data)
+            except WireError:
+                self.metrics.dict_acks_rejected += 1
+                return False
+            if acked_id != device_id:
+                self.metrics.dict_acks_rejected += 1
+                return False
+            session = self.manager.sessions.get(device_id)
+            if session is None:  # never opened a session: no key on file
+                self.metrics.dict_acks_rejected += 1
+                return False
+            entry = verify_dack(self.registry, session.profile,
+                                session.key, device_id, epoch, digest,
+                                mac)
+            if entry is None:
+                self.metrics.dict_acks_rejected += 1
+                return False
+            pin = (device_id, session.profile)
+            # monotone: a replayed older ACK can never roll a device back
+            if entry.epoch <= self._acks.get(pin, 0):
+                return True
+            self._acks[pin] = entry.epoch
+            self.metrics.dict_acks += 1
+            return True
+
+    def acked_epoch(self, device_id: str, profile: DeviceProfile) -> int:
+        """The dictionary epoch this device last acknowledged."""
+        with self._lock:
+            return self._acks.get((device_id, profile), 0)
+
+    def _sample_locked(self, session: Session,
+                       verdict: SessionVerdict) -> None:
+        """Feed one accepted session's expanded stream to the sampler."""
+        records = []
+        for report in session.reports:
+            records.extend(report.cflog.records)
+        if session.dictionary:
+            try:
+                records = expand(records, session.dictionary)
+            except ValueError:  # unreachable: accepted implies expanded
+                return
+        digest = (bytes.fromhex(verdict.records_digest)
+                  if verdict.records_digest else None)
+        self.sampler.observe(session.profile, records, digest=digest)
+
     # -- verification fan-out -----------------------------------------------
 
     def _dispatch(self, session: Session) -> None:
         chunks = tuple(session.chunks)
         args = (session.device_id, session.profile, session.key,
-                session.challenge.nonce, chunks)
+                session.bound_challenge, chunks)
         reports = tuple(session.reports)
+        dictionary = session.dictionary
         if self._pool is None:
             t0 = time.perf_counter()
             info: Dict[str, bool] = {}
             verdict = verify_session_chain(
-                *args, cache=self._cache, reports=reports, info=info)
+                *args, cache=self._cache, reports=reports, info=info,
+                dictionary=dictionary)
             self._record(session, verdict, time.perf_counter() - t0,
                          cache_hit=info.get("cache_hit", False))
             return
@@ -232,10 +372,11 @@ class FleetService:
         if self.executor == "process":
             # bytes cross the process boundary; the worker decodes
             future = self._pool.submit(
-                pool_verify, *args, self.use_replay_cache)
+                pool_verify, *args, self.use_replay_cache, dictionary)
         else:
             future = self._pool.submit(
-                local_verify, args, self._cache, reports, info)
+                local_verify, args, self._cache, reports, info,
+                dictionary)
         future.add_done_callback(
             lambda fut: self._harvest(session, t0, info, fut))
 
@@ -284,10 +425,13 @@ class FleetService:
                 challenge=session.challenge.nonce,
                 cache_hit=cache_hit,
                 expired=session.state == EXPIRED,
+                epoch=session.epoch,
             )
             self.metrics.evidence_records = self.store.records_appended
             self.metrics.evidence_bytes = self.store.bytes_appended
             self.metrics.evidence_fsyncs = self.store.fsyncs
+        if self.sampler is not None and verdict.accepted:
+            self._sample_locked(session, verdict)
         session.verdict = verdict
         if session.state == EXPIRED:
             self.metrics.sessions_expired += 1

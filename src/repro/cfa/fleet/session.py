@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cfa.protocol import Challenge
+from repro.cfa.fleet.dictver import DictEpoch, spec_challenge
 from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
 from repro.cfa.report import Report
+from repro.cfa.speccfa import SubPathDict
 from repro.cfa.wire import WireError, decode_report
 
 # session lifecycle states
@@ -72,6 +74,14 @@ class Session:
     #: how many sessions this device opened before this one (feeds
     #: device-scoped nonce derivation; 0 under the counter scope)
     round_index: int = 0
+    #: the dictionary epoch this session is pinned to. Pinned at
+    #: ``open`` (from the device's last acknowledged epoch) and never
+    #: changed afterwards: a dictionary push landing mid-session takes
+    #: effect at the device's *next* session, so Prv and Vrf always
+    #: compress/expand under the same version.
+    epoch: int = 0
+    dict_digest: bytes = b""
+    dictionary: Optional[SubPathDict] = None
     chunks: List[bytes] = field(default_factory=list)  # accepted, in order
     #: the decoded twins of ``chunks`` — ingest already paid for the
     #: decode, so in-process verification need not decode again
@@ -88,6 +98,14 @@ class Session:
     def active(self) -> bool:
         return self.state in ACTIVE_STATES
 
+    @property
+    def bound_challenge(self) -> bytes:
+        """What the reports' challenge field must equal: the bare nonce
+        under epoch 0, the epoch-bound nonce otherwise (so the report
+        MACs pin the session to exactly one dictionary version)."""
+        return spec_challenge(self.challenge.nonce, self.epoch,
+                              self.dict_digest)
+
 
 class SessionManager:
     """Protocol state for every device session at the fleet Vrf."""
@@ -97,9 +115,15 @@ class SessionManager:
                  reorder_window: int = 8,
                  max_attempts: int = 2,
                  max_sessions: Optional[int] = None,
-                 nonce_scope: str = "counter"):
+                 nonce_scope: str = "counter",
+                 epoch_bindings: Optional[Callable[
+                     [DeviceProfile], Sequence[Tuple[int, bytes]]]] = None):
         if nonce_scope not in ("counter", "device"):
             raise ValueError(f"unknown nonce scope {nonce_scope!r}")
+        #: optional ``profile -> [(epoch, digest)]`` lookup used only to
+        #: *diagnose* a challenge mismatch as a stale-epoch attestation
+        #: (the rejection itself never depends on it)
+        self.epoch_bindings = epoch_bindings
         self.seed = seed
         self.idle_timeout = idle_timeout
         self.reorder_window = reorder_window
@@ -160,8 +184,14 @@ class SessionManager:
         return sum(1 for s in self.sessions.values() if s.active)
 
     def open(self, device_id: str, profile: DeviceProfile, key: bytes,
-             now: float = 0.0) -> Session:
-        """Admit a device and issue its challenge."""
+             now: float = 0.0,
+             dict_epoch: Optional[DictEpoch] = None) -> Session:
+        """Admit a device and issue its challenge.
+
+        ``dict_epoch`` pins the session to one dictionary version (the
+        device's last acknowledged epoch); omitted means epoch 0
+        (plain, uncompressed logs).
+        """
         existing = self.sessions.get(device_id)
         if existing is not None and existing.active:
             raise ValueError(f"device {device_id!r} already has an "
@@ -178,6 +208,10 @@ class SessionManager:
             challenge=self._fresh_challenge(device_id, round_index, 1),
             opened_at=now, last_activity=now, round_index=round_index,
         )
+        if dict_epoch is not None and not dict_epoch.is_empty:
+            session.epoch = dict_epoch.epoch
+            session.dict_digest = dict_epoch.digest
+            session.dictionary = dict_epoch.dictionary
         self.sessions[device_id] = session
         return session
 
@@ -187,6 +221,31 @@ class SessionManager:
         session.state = REJECTED
         session.reject_reason = reason
         return session
+
+    def _diagnose_challenge(self, session: Session, report) -> str:
+        """Name a challenge mismatch precisely.
+
+        A chain compressed under any epoch other than the session's
+        pinned one fails the bound-challenge equality above — that is
+        the security property (no expansion under a mismatched
+        dictionary is ever attempted). For the reject *reason*, probe
+        the known epoch bindings so a stale-epoch attestation is
+        reported as such instead of as a generic replay.
+        """
+        nonce = session.challenge.nonce
+        bindings = [(0, b"")]
+        if self.epoch_bindings is not None:
+            bindings += list(self.epoch_bindings(session.profile))
+        for epoch, digest in bindings:
+            if epoch == session.epoch:
+                continue
+            if report.challenge == spec_challenge(nonce, epoch, digest):
+                return (f"report #{report.seq} compressed under "
+                        f"dictionary epoch {epoch}, but the session is "
+                        f"pinned to epoch {session.epoch} (stale-epoch "
+                        f"attestation)")
+        return (f"report #{report.seq} does not answer the "
+                f"outstanding challenge (replayed chain?)")
 
     def ingest(self, device_id: str, data: bytes,
                now: float) -> Optional[Session]:
@@ -212,10 +271,9 @@ class SessionManager:
         if report.device_id != device_id.encode():
             return self._reject(
                 session, "report device id does not match the session")
-        if report.challenge != session.challenge.nonce:
+        if report.challenge != session.bound_challenge:
             return self._reject(
-                session, f"report #{report.seq} does not answer the "
-                         f"outstanding challenge (replayed chain?)")
+                session, self._diagnose_challenge(session, report))
         seq = report.seq
         if seq < session.next_seq:  # duplicate of an accepted report
             if session.chunks[seq] == data:

@@ -49,12 +49,16 @@ from pathlib import Path
 from types import SimpleNamespace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cfa.fleet.dictver import DictEpoch, DictionaryRegistry
 from repro.cfa.fleet.metrics import FleetMetrics, aggregate_metrics
+from repro.cfa.fleet.mining import TrafficSampler
 from repro.cfa.fleet.service import FleetService
 from repro.cfa.fleet.store import DurableReplayCache, EvidenceStore
 from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
 from repro.cfa.protocol import Challenge
 from repro.cfa.wire import (
+    SHARD_KIND_DACK,
+    SHARD_KIND_DICT,
     SHARD_KIND_REPORT,
     decode_shard_frame,
     encode_shard_frame,
@@ -128,11 +132,17 @@ class ShardedFleetService:
                  replay_cache: bool = True,
                  fsync: bool = True,
                  resume: bool = False,
-                 vnodes: int = 64):
+                 vnodes: int = 64,
+                 sampler: bool = False):
         self.ring = HashRing(shards, vnodes=vnodes)
         self.seed = seed
         self.audit_key = audit_key(seed)
         self.store_dir = Path(store_dir) if store_dir is not None else None
+        # dictionary versions are fleet-wide, not per shard: one shared
+        # registry (persisted beside the evidence logs when durable) so
+        # every shard resolves the same (profile, epoch) -> dictionary
+        self.registry = DictionaryRegistry(
+            self.store_dir / "dicts" if self.store_dir is not None else None)
         self.stores: List[Optional[EvidenceStore]] = []
         self.shards: List[FleetService] = []
         t0 = time.perf_counter()
@@ -152,7 +162,8 @@ class ShardedFleetService:
                 workers=workers, seed=seed, idle_timeout=idle_timeout,
                 reorder_window=reorder_window, max_attempts=max_attempts,
                 max_sessions=max_sessions, replay_cache=cache,
-                executor=executor, store=store, nonce_scope="device")
+                executor=executor, store=store, nonce_scope="device",
+                registry=self.registry, sampler=sampler)
             if store is not None and store.recovered:
                 if not resume:
                     raise ValueError(
@@ -218,6 +229,58 @@ class ShardedFleetService:
             if store is not None:
                 merged.update(store.heads())
         return merged
+
+    # -- adaptive speculation (router surface) ------------------------------
+
+    def traffic_samples(self) -> Dict[DeviceProfile, list]:
+        """Fleet-wide miner input: per-shard samplers merged into one
+        sample, so the miner sees the whole fleet's traffic weights."""
+        samplers = [s.sampler for s in self.shards if s.sampler is not None]
+        if not samplers:
+            return {}
+        merged = TrafficSampler.merge(samplers)
+        return {profile: merged.sample(profile)
+                for profile in merged.profiles()}
+
+    def publish_dictionary(self, profile: DeviceProfile,
+                           dictionary) -> DictEpoch:
+        """One publish in the shared registry; every shard resolves the
+        new epoch immediately (the registry is the shared truth)."""
+        return self.registry.publish(profile, dictionary)
+
+    def dictionary_pushes(
+            self, profile: Optional[DeviceProfile] = None
+    ) -> List[Tuple[str, bytes]]:
+        """``(device_id, DICT frame)`` fleet-wide. Each push crosses
+        the shard handoff framing (kind ``DICT``) exactly like a report
+        submit does, so the multi-process path is the tested path."""
+        pushes: List[Tuple[str, bytes]] = []
+        for shard_id, service in enumerate(self.shards):
+            for device_id, payload in service.dictionary_pushes(profile):
+                frame = encode_shard_frame(
+                    shard_id, device_id, payload, kind=SHARD_KIND_DICT)
+                framed_shard, framed_device, kind, inner = \
+                    decode_shard_frame(frame)
+                assert kind == SHARD_KIND_DICT and framed_shard == shard_id
+                pushes.append((framed_device, inner))
+        return pushes
+
+    def ingest_dack(self, device_id: str, data: bytes,
+                    now: float = 0.0) -> bool:
+        """Route a device's ``DACK`` to its owning shard (kind ``DACK``
+        handoff frame); the shard validates MAC and registry binding."""
+        shard_id = self.ring.route(device_id)
+        frame = encode_shard_frame(
+            shard_id, device_id, data, kind=SHARD_KIND_DACK)
+        framed_shard, framed_device, kind, payload = \
+            decode_shard_frame(frame)
+        assert kind == SHARD_KIND_DACK
+        return self.shards[framed_shard].ingest_dack(
+            framed_device, payload, now)
+
+    def acked_epoch(self, device_id: str, profile: DeviceProfile) -> int:
+        return self.shards[self.ring.route(device_id)].acked_epoch(
+            device_id, profile)
 
     def drain(self) -> FleetMetrics:
         for service in self.shards:

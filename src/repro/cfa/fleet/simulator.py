@@ -27,6 +27,7 @@ thousand-session fleets cheap to generate.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -35,10 +36,12 @@ from repro.baselines.naive_mtb import NaiveMtbEngine
 from repro.baselines.traces import TracesEngine
 from repro.cfa.cflog import CFLog
 from repro.cfa.engine import EngineConfig, RapTrackEngine
+from repro.cfa.fleet.dictver import DictEpoch, dack_mac, spec_challenge
 from repro.cfa.fleet.service import FleetService
 from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
 from repro.cfa.report import Report
-from repro.cfa.wire import encode_report
+from repro.cfa.speccfa import compress
+from repro.cfa.wire import decode_dict_frame, encode_dack_frame, encode_report
 from repro.eval.runner import prepare
 from repro.tz.keystore import KeyStore
 from repro.workloads import load_workload
@@ -67,6 +70,10 @@ class DeviceSpec:
     device_id: str
     profile: DeviceProfile
     behavior: str = "honest"
+    #: whether this device acknowledges dictionary pushes; a
+    #: non-ACKing device keeps attesting under its last pinned epoch
+    #: (epoch 0 forever if it never ACKed anything)
+    acks: bool = True
 
     @property
     def expected_accepted(self) -> bool:
@@ -91,6 +98,9 @@ class ChainFactory:
         self.engine_config = EngineConfig(watermark=watermark)
         self.cache = cache
         self._templates: Dict[Tuple[DeviceProfile, bool], _Template] = {}
+        #: (profile, attacked, dict digest) -> compressed per-report logs
+        self._compressed: Dict[Tuple[DeviceProfile, bool, bytes],
+                               List[CFLog]] = {}
 
     def _attest_template(self, profile: DeviceProfile,
                          attacked: bool) -> _Template:
@@ -116,26 +126,50 @@ class ChainFactory:
             cflogs=[r.cflog for r in result.reports],
         )
 
-    def chain(self, spec: DeviceSpec, nonce: bytes) -> List[bytes]:
-        """The wire-encoded report chain ``spec`` sends for ``nonce``."""
+    def chain(self, spec: DeviceSpec, nonce: bytes,
+              dict_epoch: Optional[DictEpoch] = None) -> List[bytes]:
+        """The wire-encoded report chain ``spec`` sends for ``nonce``.
+
+        With ``dict_epoch`` set (the device's last acknowledged
+        dictionary version), each report's CFLog is compressed under
+        that dictionary and the chain answers the epoch-bound
+        challenge — exactly what a speculation-enabled Prv transmits.
+        Compressed logs are cached per (profile, attacked, digest), so
+        a fleet on one epoch compresses each template once.
+        """
         key = (spec.profile, spec.behavior == "attack")
         template = self._templates.get(key)
         if template is None:
             template = self._attest_template(*key)
             self._templates[key] = template
-        last = len(template.cflogs) - 1
+        cflogs = template.cflogs
+        challenge = nonce
+        if dict_epoch is not None and not dict_epoch.is_empty:
+            challenge = spec_challenge(
+                nonce, dict_epoch.epoch, dict_epoch.digest)
+            ckey = key + (dict_epoch.digest,)
+            cflogs = self._compressed.get(ckey)
+            if cflogs is None:
+                dictionary = dict_epoch.dictionary
+                cflogs = []
+                for cflog in template.cflogs:
+                    log = CFLog()
+                    log.extend(compress(list(cflog.records), dictionary))
+                    cflogs.append(log)
+                self._compressed[ckey] = cflogs
+        last = len(cflogs) - 1
         signing_key = device_key(spec.device_id)
         return [
             encode_report(Report(
                 device_id=spec.device_id.encode(),
                 method=template.method,
-                challenge=nonce,
+                challenge=challenge,
                 h_mem=template.h_mem,
                 seq=seq,
                 final=seq == last,
                 cflog=cflog,
             ).sign(signing_key))
-            for seq, cflog in enumerate(template.cflogs)
+            for seq, cflog in enumerate(cflogs)
         ]
 
 
@@ -163,6 +197,53 @@ class FleetSimulator:
         # across simulators (e.g. the halves of a crash-restart run)
         self.factory = factory or ChainFactory(
             watermark=watermark, cache=cache)
+        #: device-side dictionary state: the epoch each device has
+        #: acknowledged and will compress its next session under
+        self.device_epochs: Dict[str, DictEpoch] = {}
+
+    # -- the dictionary push/ACK leg (device side) --------------------------
+
+    def deliver_pushes(
+            self, pushes: Sequence[Tuple[str, bytes]]
+    ) -> List[Tuple[str, bytes]]:
+        """Deliver ``DICT`` frames to their devices; collect signed DACKs.
+
+        Each device validates the offer exactly as firmware would —
+        profile match, content digest over the payload — adopts the
+        dictionary for its *next* session, and answers with a ``DACK``
+        MAC'd under its attestation key. Devices with ``acks=False``
+        drop the offer silently (and so stay on their pinned epoch).
+        """
+        by_id = {spec.device_id: spec for spec in self.specs}
+        acks: List[Tuple[str, bytes]] = []
+        for device_id, frame in pushes:
+            spec = by_id.get(device_id)
+            if spec is None or not spec.acks:
+                continue
+            workload, method, epoch, digest, payload = \
+                decode_dict_frame(frame)
+            if DeviceProfile(workload, method) != spec.profile:
+                continue  # not our firmware: refuse to adopt
+            if hashlib.sha256(payload).digest() != digest:
+                continue  # damaged in transit: refuse to adopt
+            entry = DictEpoch(profile=spec.profile, epoch=epoch,
+                              digest=digest, payload=payload)
+            entry.dictionary  # strict parse before adopting
+            self.device_epochs[device_id] = entry
+            acks.append((device_id, encode_dack_frame(
+                device_id, epoch, digest,
+                dack_mac(device_key(device_id), device_id, epoch,
+                         digest))))
+        return acks
+
+    def handshake(self, service) -> int:
+        """One full push/ACK round trip; returns ACKs accepted."""
+        accepted = 0
+        for device_id, dack in self.deliver_pushes(
+                service.dictionary_pushes()):
+            if service.ingest_dack(device_id, dack):
+                accepted += 1
+        return accepted
 
     # -- adversarial deliveries --------------------------------------------
 
@@ -218,7 +299,9 @@ class FleetSimulator:
             challenge = service.open_session(
                 spec.device_id, spec.profile,
                 device_key(spec.device_id), now)
-            honest = self.factory.chain(spec, challenge.nonce)
+            honest = self.factory.chain(
+                spec, challenge.nonce,
+                self.device_epochs.get(spec.device_id))
             queues[spec.device_id] = self._deliveries(spec, honest)
         # interleave: randomly pick among devices that still have traffic
         live = [d for d, q in queues.items() if q]
@@ -238,7 +321,8 @@ class FleetSimulator:
             rechallenges = service.tick(now)
             for device_id, challenge in rechallenges:
                 spec = by_id[device_id]
-                chunks = self.factory.chain(spec, challenge.nonce)
+                chunks = self.factory.chain(
+                    spec, challenge.nonce, self.device_epochs.get(device_id))
                 if spec.behavior != "stall":
                     chunks = self._deliveries(spec, chunks)
                 for chunk in chunks:

@@ -26,10 +26,18 @@ idiom of :mod:`repro.eval.cache` with the fleet tier:
     file   := b"EVD1" u8 version (frame)*
     frame  := u32 frame_len prev_digest[32] mac[32] body
     body   := lp device_id lp workload lp method lp challenge
-              chain_digest[32] u8 flags lp reason
+              chain_digest[32] u32 epoch u8 flags lp reason
               u32 reports u32 records u32 path_len lp path_digest
+              lp records_digest
               u16 n_violations (lp kind u32 address lp detail)*
               u32 seq
+
+``epoch`` is the speculation-dictionary epoch the session was pinned
+to (0 = plain logs) and ``records_digest`` the digest of the expanded
+record stream the replay consumed — together they let an auditor
+re-expand the wire bytes behind ``chain_digest`` under the exact
+dictionary version and check the reconstruction (version 2 of the
+format; version-1 logs predate dictionary epochs).
 
 ``flags`` bits: 0 accepted, 1 authenticated, 2 lossless, 3 cache_hit,
 4 expired. **Hash schedule**::
@@ -65,7 +73,7 @@ from repro.cfa.fleet.verify import (
 from repro.eval.cache import ArtifactCache
 
 EVIDENCE_MAGIC = b"EVD1"
-EVIDENCE_VERSION = 1
+EVIDENCE_VERSION = 2
 #: genesis link: the "previous digest" of a device's first record
 GENESIS = b"\x00" * 32
 _HEADER_LEN = 5
@@ -144,6 +152,7 @@ class EvidenceRecord:
     method: str
     challenge: bytes      # the nonce this session's chain answered
     chain_digest: bytes   # digest of the exact wire bytes received
+    epoch: int            # dictionary epoch the session was pinned to
     accepted: bool
     authenticated: bool
     lossless: bool
@@ -154,6 +163,7 @@ class EvidenceRecord:
     records: int
     path_len: int
     path_digest: str
+    records_digest: str
     violations: Tuple[Tuple[str, int, str], ...]
     seq: int              # per-device index in the chain, from 0
     prev_digest: bytes
@@ -180,12 +190,13 @@ class EvidenceRecord:
             records=self.records,
             path_len=self.path_len,
             path_digest=self.path_digest,
+            records_digest=self.records_digest,
         )
 
 
 def _encode_body(verdict: SessionVerdict, challenge: bytes,
                  chain: bytes, cache_hit: bool, expired: bool,
-                 seq: int) -> bytes:
+                 seq: int, epoch: int = 0) -> bytes:
     flags = ((_FLAG_ACCEPTED if verdict.accepted else 0)
              | (_FLAG_AUTHENTICATED if verdict.authenticated else 0)
              | (_FLAG_LOSSLESS if verdict.lossless else 0)
@@ -199,11 +210,13 @@ def _encode_body(verdict: SessionVerdict, challenge: bytes,
         _lp(verdict.profile.method.encode()),
         _lp(challenge),
         chain,
+        struct.pack("<I", epoch),
         struct.pack("<B", flags),
         _lp(verdict.reason.encode()),
         struct.pack("<III", verdict.reports, verdict.records,
                     verdict.path_len),
         _lp(verdict.path_digest.encode()),
+        _lp(verdict.records_digest.encode()),
         struct.pack("<H", len(verdict.violations)),
     ]
     for kind, address, detail in verdict.violations:
@@ -222,10 +235,12 @@ def _decode_body(body: bytes, prev_digest: bytes,
     method = reader.lp_str()
     challenge = reader.lp_bytes()
     chain = reader.take(_DIGEST_LEN)
+    epoch = reader.u32()
     flags = reader.u8()
     reason = reader.lp_str()
     reports, records, path_len = struct.unpack("<III", reader.take(12))
     path_digest = reader.lp_str()
+    records_digest = reader.lp_str()
     n_violations = reader.u16()
     violations = []
     for _ in range(n_violations):
@@ -238,7 +253,7 @@ def _decode_body(body: bytes, prev_digest: bytes,
         raise EvidenceError("trailing bytes inside evidence body")
     return EvidenceRecord(
         device_id=device_id, workload=workload, method=method,
-        challenge=challenge, chain_digest=chain,
+        challenge=challenge, chain_digest=chain, epoch=epoch,
         accepted=bool(flags & _FLAG_ACCEPTED),
         authenticated=bool(flags & _FLAG_AUTHENTICATED),
         lossless=bool(flags & _FLAG_LOSSLESS),
@@ -246,6 +261,7 @@ def _decode_body(body: bytes, prev_digest: bytes,
         expired=bool(flags & _FLAG_EXPIRED),
         reason=reason, reports=reports, records=records,
         path_len=path_len, path_digest=path_digest,
+        records_digest=records_digest,
         violations=tuple(violations), seq=seq,
         prev_digest=prev_digest, mac=mac,
         digest=hashlib.sha256(prev_digest + body + mac).digest(),
@@ -375,7 +391,7 @@ class EvidenceStore:
 
     def append(self, verdict: SessionVerdict, chain: bytes,
                challenge: bytes = b"", cache_hit: bool = False,
-               expired: bool = False) -> EvidenceRecord:
+               expired: bool = False, epoch: int = 0) -> EvidenceRecord:
         """Persist one verdict; durable before this method returns.
 
         The in-memory chain head only advances after the bytes are on
@@ -387,7 +403,7 @@ class EvidenceStore:
         device_id = verdict.device_id
         seq, prev_digest = self._heads.get(device_id, (0, GENESIS))
         body = _encode_body(verdict, challenge, chain, cache_hit,
-                            expired, seq)
+                            expired, seq, epoch=epoch)
         mac = _record_mac(self.key, prev_digest, body)
         frame = prev_digest + mac + body
         try:

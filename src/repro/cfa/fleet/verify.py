@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.cfa.speccfa import SpecRecord, SubPathDict, expand
 from repro.cfa.streaming import StreamError, StreamingVerifier
 from repro.cfa.verifier import NaiveVerifier, Verifier
 from repro.cfa.wire import WireError
@@ -65,6 +66,11 @@ class SessionVerdict:
     records: int = 0
     path_len: int = 0
     path_digest: str = ""
+    #: digest of the *expanded* (canonical) record stream the replay
+    #: consumed — invariant under speculation-dictionary changes, so
+    #: identical executions produce identical verdicts whether their
+    #: logs crossed the wire compressed or plain
+    records_digest: str = ""
 
 
 def path_digest(path: Sequence[int]) -> str:
@@ -159,7 +165,9 @@ def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
                          challenge: bytes, chunks: Sequence[bytes],
                          cache: Optional[ReplayCache] = None,
                          reports: Optional[Sequence] = None,
-                         info: Optional[dict] = None) -> SessionVerdict:
+                         info: Optional[dict] = None,
+                         dictionary: Optional[SubPathDict] = None
+                         ) -> SessionVerdict:
     """Verify one complete session chain exactly as the serial Vrf would.
 
     ``chunks`` are the session's wire-encoded reports in sequence
@@ -173,6 +181,13 @@ def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
     ``==`` verdicts. Never raises: wire damage and protocol violations
     come back as a rejected verdict so a poisoned session cannot take a
     worker (or the service thread) down with it.
+
+    ``dictionary`` is the speculation dictionary of the session's
+    pinned epoch: after authentication, speculated tokens in the
+    record stream are expanded through it before replay. The replay
+    cache is keyed by the digest of the **expanded** stream, so a
+    compressed session and a plain session of the same execution
+    share one cached replay — and produce ``==`` verdicts.
 
     ``info``, when supplied, receives side-band facts that must *not*
     influence verdict equality — currently ``info["cache_hit"]``, True
@@ -195,16 +210,26 @@ def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
                 stream.feed_bytes(chunk)
         if not stream.finished:
             raise StreamError("final report not yet received")
+        records = stream.records
+        if dictionary or any(isinstance(r, SpecRecord) for r in records):
+            # expansion only after every report authenticated; a token
+            # naming an unknown sub-path (wrong/missing dictionary) is
+            # an explicit rejection, never a silent mis-expansion
+            try:
+                records = expand(records, dictionary or {})
+            except ValueError as exc:
+                raise StreamError(
+                    f"speculation expansion failed: {exc}") from None
+        key_digest = ReplayCache.key(records)
         if cache is not None:
-            key_digest = ReplayCache.key(stream.records)
             summary = cache.lookup(profile, key_digest)
             if info is not None:
                 info["cache_hit"] = summary is not None
             if summary is None:
-                summary = _summarize(stream.finish())
+                summary = _summarize(_replay(verifier, records))
                 cache.store(profile, key_digest, summary)
         else:
-            summary = _summarize(stream.finish())
+            summary = _summarize(_replay(verifier, records))
     except (WireError, StreamError) as exc:
         return SessionVerdict(
             device_id=device_id, profile=profile, accepted=False,
@@ -222,7 +247,15 @@ def verify_session_chain(device_id: str, profile: DeviceProfile, key: bytes,
         records=summary.consumed,
         path_len=summary.path_len,
         path_digest=summary.path_digest,
+        records_digest=key_digest.hex(),
     )
+
+
+def _replay(verifier, records):
+    """Replay an authenticated (and expanded) record stream."""
+    outcome = verifier.replay(records)
+    outcome.authenticated = True  # each report was checked on feed
+    return outcome
 
 
 # the worker-side replay cache (one per process, like _ARTIFACTS)
@@ -231,7 +264,9 @@ _WORKER_CACHE = ReplayCache()
 
 def pool_verify(device_id: str, profile: DeviceProfile, key: bytes,
                 challenge: bytes, chunks: Sequence[bytes],
-                use_cache: bool) -> Tuple[SessionVerdict, int, int]:
+                use_cache: bool,
+                dictionary: Optional[SubPathDict] = None
+                ) -> Tuple[SessionVerdict, int, int]:
     """Worker-pool entry point (module-level for pickling).
 
     Returns ``(verdict, cache_hits_delta, cache_misses_delta)`` so the
@@ -240,17 +275,20 @@ def pool_verify(device_id: str, profile: DeviceProfile, key: bytes,
     cache = _WORKER_CACHE if use_cache else None
     hits0, misses0 = _WORKER_CACHE.hits, _WORKER_CACHE.misses
     verdict = verify_session_chain(
-        device_id, profile, key, challenge, chunks, cache=cache)
+        device_id, profile, key, challenge, chunks, cache=cache,
+        dictionary=dictionary)
     return (verdict, _WORKER_CACHE.hits - hits0,
             _WORKER_CACHE.misses - misses0)
 
 
 def local_verify(args: tuple, cache: Optional[ReplayCache],
                  reports: Optional[Sequence] = None,
-                 info: Optional[dict] = None
+                 info: Optional[dict] = None,
+                 dictionary: Optional[SubPathDict] = None
                  ) -> Tuple[SessionVerdict, int, int]:
     """Thread-pool entry point: shares the service's cache in-process
     (cache deltas ride the shared object, so none are reported here;
     the caller's ``info`` dict rides along for the cache-hit flag)."""
     return verify_session_chain(
-        *args, cache=cache, reports=reports, info=info), 0, 0
+        *args, cache=cache, reports=reports, info=info,
+        dictionary=dictionary), 0, 0

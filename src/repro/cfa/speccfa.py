@@ -21,12 +21,19 @@ This module implements the core of that idea over our record streams:
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.cfa.cflog import CFLog, Record
+from repro.cfa.cflog import (
+    AddressRecord,
+    BranchRecord,
+    CFLog,
+    LoopRecord,
+    Record,
+)
 from repro.cfa.report import AttestationResult, Report
 from repro.cfa.verifier import VerificationResult, Verifier
 
@@ -49,6 +56,85 @@ class SpecRecord:
 
 #: a dictionary of speculated sub-paths: id -> record tuple
 SubPathDict = Dict[int, Tuple[Record, ...]]
+
+# -- dictionary serialization ------------------------------------------------
+#
+# A speculation dictionary crosses the wire (the fleet Vrf pushes mined
+# dictionaries to devices), so it has a canonical byte layout::
+#
+#     payload := b"SPD1" u32 n_paths
+#                ( u32 path_id u16 n_records (record)* )*
+#     record  := u8 tag u32 a u32 b        # Record.pack, tags 1/2/3
+#
+# entries sorted by path id, so identical dictionaries serialize to
+# identical bytes and :func:`dictionary_digest` is content-addressed.
+
+DICTIONARY_MAGIC = b"SPD1"
+
+_PATTERN_RECORDS = {
+    1: BranchRecord,
+    2: AddressRecord,
+    3: LoopRecord,
+}
+
+
+def pack_dictionary(dictionary: SubPathDict) -> bytes:
+    """Canonical serialization of a speculation dictionary."""
+    parts = [DICTIONARY_MAGIC, struct.pack("<I", len(dictionary))]
+    for path_id in sorted(dictionary):
+        pattern = dictionary[path_id]
+        if not pattern:
+            raise ValueError(f"sub-path {path_id} is empty")
+        parts.append(struct.pack("<IH", path_id, len(pattern)))
+        for record in pattern:
+            if isinstance(record, SpecRecord):
+                raise ValueError("sub-paths cannot nest speculation tokens")
+            parts.append(record.pack())
+    return b"".join(parts)
+
+
+def unpack_dictionary(payload: bytes) -> SubPathDict:
+    """Invert :func:`pack_dictionary`; strict (raises ``ValueError``)."""
+    if payload[:4] != DICTIONARY_MAGIC:
+        raise ValueError("bad dictionary magic")
+    pos = 4
+    if pos + 4 > len(payload):
+        raise ValueError("truncated dictionary header")
+    (n_paths,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    dictionary: SubPathDict = {}
+    for _ in range(n_paths):
+        if pos + 6 > len(payload):
+            raise ValueError("truncated sub-path header")
+        path_id, n_records = struct.unpack_from("<IH", payload, pos)
+        pos += 6
+        if path_id in dictionary:
+            raise ValueError(f"duplicate sub-path id {path_id}")
+        if n_records == 0:
+            raise ValueError(f"sub-path {path_id} is empty")
+        pattern = []
+        for _ in range(n_records):
+            if pos + 9 > len(payload):
+                raise ValueError("truncated sub-path record")
+            tag, a, b = struct.unpack_from("<BII", payload, pos)
+            pos += 9
+            cls = _PATTERN_RECORDS.get(tag)
+            if cls is None:
+                raise ValueError(f"unknown sub-path record tag {tag}")
+            pattern.append(cls(a, b))
+        dictionary[path_id] = tuple(pattern)
+    if pos != len(payload):
+        raise ValueError("trailing bytes after dictionary")
+    return dictionary
+
+
+def dictionary_digest(dictionary: SubPathDict) -> bytes:
+    """Content digest of a dictionary (its canonical serialization)."""
+    return hashlib.sha256(pack_dictionary(dictionary)).digest()
+
+
+#: the digest every Prv and Vrf agree on before any mining has happened
+EMPTY_DICTIONARY_DIGEST = dictionary_digest({})
 
 
 def mine_subpaths(records: Sequence[Record], *, max_len: int = 8,

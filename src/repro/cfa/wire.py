@@ -22,11 +22,7 @@ from repro.cfa.cflog import (
     Record,
 )
 from repro.cfa.report import AttestationResult, Report
-
-try:
-    from repro.cfa.speccfa import SpecRecord
-except ImportError:  # pragma: no cover - speccfa is part of the package
-    SpecRecord = None
+from repro.cfa.speccfa import SpecRecord
 
 MAGIC = b"RAPT"
 VERSION = 1
@@ -83,7 +79,7 @@ def decode_record(reader: _Reader) -> Record:
         return AddressRecord(a, b)
     if tag == 3:
         return LoopRecord(a, b)
-    if tag == 4 and SpecRecord is not None:
+    if tag == 4:
         return SpecRecord(a, b)
     raise WireError(f"unknown record tag {tag}")
 
@@ -149,11 +145,16 @@ def decode_report(data: bytes) -> Tuple[Report, int]:
 SHARD_MAGIC = b"RSHD"
 SHARD_VERSION = 1
 
-#: frame kinds: a device report inbound to a shard, or a challenge
-#: outbound from a shard (re-challenge fan-in at the router)
+#: frame kinds: a device report inbound to a shard, a challenge
+#: outbound from a shard (re-challenge fan-in at the router), a
+#: dictionary push outbound, or a dictionary ACK inbound — dictionary
+#: traffic crosses the shard boundary exactly like session traffic
 SHARD_KIND_REPORT = 1
 SHARD_KIND_CHALLENGE = 2
-_SHARD_KINDS = (SHARD_KIND_REPORT, SHARD_KIND_CHALLENGE)
+SHARD_KIND_DICT = 3
+SHARD_KIND_DACK = 4
+_SHARD_KINDS = (SHARD_KIND_REPORT, SHARD_KIND_CHALLENGE,
+                SHARD_KIND_DICT, SHARD_KIND_DACK)
 
 
 def encode_shard_frame(shard_id: int, device_id: str, payload: bytes,
@@ -194,6 +195,98 @@ def decode_shard_frame(data: bytes) -> Tuple[int, str, int, bytes]:
     if not reader.exhausted:
         raise WireError("trailing bytes after shard frame")
     return shard_id, device_id, kind, payload
+
+
+# -- dictionary distribution framing ----------------------------------------
+#
+# The fleet Vrf mines speculation dictionaries from live traffic and
+# pushes them to devices; a device acknowledges the epoch it installed.
+# Both directions are framed here so the epoch handshake is a wire
+# protocol, not an in-process convention:
+#
+# ``DICT`` (Vrf -> Prv): the dictionary itself, named by its profile,
+# monotone epoch number, and content digest (the receiver re-hashes the
+# payload and refuses a frame whose digest lies).
+#
+# ``DACK`` (Prv -> Vrf): the device's signed acknowledgement that it
+# installed (epoch, digest); the MAC is computed under the device's
+# attestation key (see ``repro.cfa.fleet.dictver.dack_mac``) so a
+# spoofed ACK cannot silently re-pin a device.
+
+DICT_MAGIC = b"DICT"
+DICT_VERSION = 1
+DACK_MAGIC = b"DACK"
+DACK_VERSION = 1
+_DIGEST_LEN = 32
+
+
+def encode_dict_frame(workload: str, method: str, epoch: int,
+                      digest: bytes, payload: bytes) -> bytes:
+    """Frame one dictionary push for a device."""
+    if len(digest) != _DIGEST_LEN:
+        raise WireError("dictionary digest must be 32 bytes")
+    if not 0 <= epoch <= 0xFFFFFFFF:
+        raise WireError(f"epoch {epoch} out of range")
+    return (DICT_MAGIC
+            + struct.pack("<BI", DICT_VERSION, epoch)
+            + digest
+            + _pack_bytes(workload.encode())
+            + _pack_bytes(method.encode())
+            + _pack_bytes(payload))
+
+
+def decode_dict_frame(data: bytes) -> Tuple[str, str, int, bytes, bytes]:
+    """Parse a dictionary push; returns
+    ``(workload, method, epoch, digest, payload)``."""
+    reader = _Reader(data)
+    if reader.take(4) != DICT_MAGIC:
+        raise WireError("bad dictionary frame magic")
+    version, epoch = struct.unpack("<BI", reader.take(5))
+    if version != DICT_VERSION:
+        raise WireError(f"unsupported dictionary frame version {version}")
+    digest = reader.take(_DIGEST_LEN)
+    try:
+        workload = reader.lp_bytes().decode("utf-8")
+        method = reader.lp_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"non-UTF-8 profile field: {exc}") from None
+    payload = reader.lp_bytes()
+    if not reader.exhausted:
+        raise WireError("trailing bytes after dictionary frame")
+    return workload, method, epoch, digest, payload
+
+
+def encode_dack_frame(device_id: str, epoch: int, digest: bytes,
+                      mac: bytes) -> bytes:
+    """Frame one device's dictionary acknowledgement."""
+    if len(digest) != _DIGEST_LEN:
+        raise WireError("dictionary digest must be 32 bytes")
+    if not 0 <= epoch <= 0xFFFFFFFF:
+        raise WireError(f"epoch {epoch} out of range")
+    return (DACK_MAGIC
+            + struct.pack("<BI", DACK_VERSION, epoch)
+            + digest
+            + _pack_bytes(device_id.encode())
+            + _pack_bytes(mac))
+
+
+def decode_dack_frame(data: bytes) -> Tuple[str, int, bytes, bytes]:
+    """Parse an ACK; returns ``(device_id, epoch, digest, mac)``."""
+    reader = _Reader(data)
+    if reader.take(4) != DACK_MAGIC:
+        raise WireError("bad dictionary ACK magic")
+    version, epoch = struct.unpack("<BI", reader.take(5))
+    if version != DACK_VERSION:
+        raise WireError(f"unsupported dictionary ACK version {version}")
+    digest = reader.take(_DIGEST_LEN)
+    try:
+        device_id = reader.lp_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"device id is not valid UTF-8: {exc}") from None
+    mac = reader.lp_bytes()
+    if not reader.exhausted:
+        raise WireError("trailing bytes after dictionary ACK")
+    return device_id, epoch, digest, mac
 
 
 def encode_result(result: AttestationResult) -> bytes:

@@ -236,16 +236,20 @@ def _cmd_fleet(args) -> int:
               file=sys.stderr)
         return 2
 
+    learn_rounds = getattr(args, "learn", 0)
+
     def make_service(resume: bool = False):
         if args.shards:
             return ShardedFleetService(
                 shards=args.shards, store_dir=args.store,
                 workers=args.workers, executor=args.executor,
                 idle_timeout=5.0,
-                replay_cache=not args.no_replay_cache, resume=resume)
+                replay_cache=not args.no_replay_cache, resume=resume,
+                sampler=bool(learn_rounds))
         return FleetService(workers=args.workers, executor=args.executor,
                             idle_timeout=5.0,
-                            replay_cache=not args.no_replay_cache)
+                            replay_cache=not args.no_replay_cache,
+                            sampler=bool(learn_rounds))
 
     specs = build_fleet_specs(
         args.devices, attack_fraction=args.attack_fraction,
@@ -280,10 +284,35 @@ def _cmd_fleet(args) -> int:
         metrics = service.close()
     else:
         with make_service() as service:
-            report = FleetSimulator(specs, seed=args.seed,
-                                    factory=factory).run(service)
+            simulator = FleetSimulator(specs, seed=args.seed,
+                                       factory=factory)
+            report = simulator.run(service)
             mismatches += report.mismatches
             verdicts.update(service.verdicts)
+            for round_no in range(1, learn_rounds + 1):
+                from repro.cfa.fleet import learn_dictionaries
+                m = service.metrics
+                before_bps = (m.bytes_ingested / m.sessions_settled
+                              if m.sessions_settled else 0.0)
+                published = learn_dictionaries(service)
+                acked = simulator.handshake(service)
+                bytes0 = m.bytes_ingested
+                sessions0 = m.sessions_settled
+                report = simulator.run(service)
+                mismatches += report.mismatches
+                verdicts.update(service.verdicts)
+                m = service.metrics
+                after_bps = (
+                    (m.bytes_ingested - bytes0)
+                    / max(1, m.sessions_settled - sessions0))
+                note = (f"{before_bps / after_bps:.2f}x smaller"
+                        if after_bps and after_bps < before_bps
+                        else "no gain")
+                print(f"fleet: learn round {round_no}: "
+                      f"{len(published)} dictionary epoch(s) live, "
+                      f"{acked} device(s) acked, "
+                      f"{before_bps:.0f} -> {after_bps:.0f} B/session "
+                      f"({note})", file=sys.stderr)
             metrics = service.metrics
     print(f"fleet: {metrics.summary()}", file=sys.stderr)
     if args.store and args.shards:
@@ -457,6 +486,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hard-stop the service halfway, recover "
                             "from the evidence logs, finish the run "
                             "(the CI durability smoke)")
+    fleet.add_argument("--learn", type=int, default=0, metavar="R",
+                       help="adaptive speculation: after the first run, "
+                            "mine dictionaries from sampled traffic, "
+                            "push/ACK them, and re-run the fleet, R "
+                            "times (default: 0 = off)")
     _add_cache_flags(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 

@@ -127,3 +127,84 @@ class TestFuzz:
             decode_result(data + noise)
         except WireError:
             pass
+
+
+class TestDictionaryFrames:
+    """The epoch handshake's two frames: DICT (Vrf -> Prv) and DACK
+    (Prv -> Vrf). Both must round-trip exactly and refuse damage with
+    a WireError, never a partial parse."""
+
+    DIGEST = bytes(range(32))
+
+    def test_dict_frame_roundtrip(self):
+        from repro.cfa.speccfa import pack_dictionary
+        from repro.cfa.wire import decode_dict_frame, encode_dict_frame
+
+        payload = pack_dictionary(
+            {0: (BranchRecord(4, 8), BranchRecord(8, 4))})
+        frame = encode_dict_frame(
+            "fibcall", "rap-track", 3, self.DIGEST, payload)
+        assert decode_dict_frame(frame) == (
+            "fibcall", "rap-track", 3, self.DIGEST, payload)
+
+    def test_dict_frame_rejects_damage(self):
+        from repro.cfa.wire import decode_dict_frame, encode_dict_frame
+
+        frame = encode_dict_frame("fibcall", "rap-track", 3,
+                                  self.DIGEST, b"payload")
+        for blob in (b"", b"XXXX" + frame[4:],       # bad magic
+                     frame[:4] + b"\xff" + frame[5:],  # bad version
+                     frame[:-1], frame + b"\x00"):   # truncated/trailing
+            with pytest.raises(WireError):
+                decode_dict_frame(blob)
+        with pytest.raises(WireError):
+            encode_dict_frame("w", "m", 1, b"short", b"")
+        with pytest.raises(WireError):
+            encode_dict_frame("w", "m", 1 << 32, self.DIGEST, b"")
+
+    def test_dack_frame_roundtrip(self):
+        from repro.cfa.wire import decode_dack_frame, encode_dack_frame
+
+        frame = encode_dack_frame("prv-07", 9, self.DIGEST, b"m" * 32)
+        assert decode_dack_frame(frame) == (
+            "prv-07", 9, self.DIGEST, b"m" * 32)
+
+    def test_dack_frame_rejects_damage(self):
+        from repro.cfa.wire import decode_dack_frame, encode_dack_frame
+
+        frame = encode_dack_frame("prv-07", 9, self.DIGEST, b"m" * 32)
+        for blob in (b"", b"XXXX" + frame[4:],
+                     frame[:4] + b"\xff" + frame[5:],
+                     frame[:-1], frame + b"\x00"):
+            with pytest.raises(WireError):
+                decode_dack_frame(blob)
+        with pytest.raises(WireError):
+            encode_dack_frame("prv-07", -1, self.DIGEST, b"m" * 32)
+
+    @given(st.binary(min_size=0, max_size=120))
+    @settings(deadline=None, max_examples=120)
+    def test_frame_decoders_never_crash_unexpectedly(self, blob):
+        from repro.cfa.wire import decode_dack_frame, decode_dict_frame
+
+        for decode in (decode_dict_frame, decode_dack_frame):
+            try:
+                decode(blob)
+            except WireError:
+                pass  # the only acceptable failure mode
+
+    def test_compressed_report_expands_after_the_wire(self, keystore):
+        """A chain compressed under a dictionary survives the report
+        codec and expands back to the exact original stream — the wire
+        never needs to know what the SpecRecords mean."""
+        from repro.cfa.speccfa import compress, expand, mine_subpaths
+
+        key = keystore.attestation_key
+        records = [BranchRecord(4, 8), BranchRecord(8, 4)] * 6
+        dictionary = mine_subpaths(records)
+        compressed = compress(records, dictionary)
+        assert any(isinstance(r, SpecRecord) for r in compressed)
+        decoded, _ = decode_report(
+            encode_report(sample_report(key, compressed)))
+        assert decoded.verify(key)
+        assert decoded.cflog.records == compressed
+        assert expand(decoded.cflog.records, dictionary) == records
