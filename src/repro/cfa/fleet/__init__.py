@@ -20,6 +20,10 @@ The package splits along the cost structure of fleet CFA:
   dictionaries and the cryptographic epoch handshake (DICT/DACK);
 * :mod:`~repro.cfa.fleet.mining` — the live-traffic sampler and the
   profit-scored sub-path miner behind the adaptive speculation loop.
+
+The policy control plane — firmware registry, quarantine engine, and
+guaranteed healing — lives in :mod:`repro.cfa.policy` and plugs into
+the services here via the ``policy=`` constructor hooks.
 """
 
 from repro.cfa.fleet.dictver import (
@@ -44,17 +48,21 @@ from repro.cfa.fleet.store import (
     EvidenceError,
     EvidenceRecord,
     EvidenceStore,
+    PolicyRecord,
     chain_digest,
     verify_evidence_trail,
 )
 from repro.cfa.fleet.simulator import (
     BEHAVIORS,
+    CampaignReport,
+    CampaignSimulator,
     ChainFactory,
     DeviceSpec,
     FleetSimulator,
     HONEST_BEHAVIORS,
     HOSTILE_BEHAVIORS,
     SimulationReport,
+    build_campaign_specs,
     build_fleet_specs,
     device_key,
 )
@@ -67,6 +75,8 @@ from repro.cfa.fleet.verify import (
 
 __all__ = [
     "BEHAVIORS",
+    "CampaignReport",
+    "CampaignSimulator",
     "ChainFactory",
     "DeviceProfile",
     "DeviceSpec",
@@ -83,6 +93,7 @@ __all__ = [
     "HONEST_BEHAVIORS",
     "HOSTILE_BEHAVIORS",
     "HashRing",
+    "PolicyRecord",
     "ReplayCache",
     "Session",
     "SessionManager",
@@ -92,6 +103,7 @@ __all__ = [
     "TrafficSampler",
     "aggregate_metrics",
     "audit_key",
+    "build_campaign_specs",
     "build_fleet_specs",
     "chain_digest",
     "dack_mac",

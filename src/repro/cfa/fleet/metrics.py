@@ -58,6 +58,20 @@ class FleetMetrics:
     dict_pushes: int = 0         # DICT frames offered to lagging devices
     dict_acks: int = 0           # valid DACKs that advanced a device's pin
     dict_acks_rejected: int = 0  # malformed / forged / mismatched DACKs
+    #: traffic-sampler exemplars evicted by the dedup-map bound
+    sampler_evictions: int = 0
+    # policy control plane
+    sessions_denied: int = 0     # open_session refused: quarantined/revoked
+    reports_denied: int = 0      # reports dropped from blocked devices
+    policy_decisions: int = 0    # decision records appended (live+repaired)
+    policy_notices: int = 0      # PLCY frames pushed
+    suspects: int = 0            # transitions into SUSPECT
+    quarantines: int = 0         # transitions into QUARANTINED
+    recoveries: int = 0          # SUSPECT -> HEALTHY recoveries
+    heals_started: int = 0       # HEAL orders issued
+    heals_failed: int = 0        # healing rounds that burned an attempt
+    rejoins: int = 0             # HEALING -> REJOINED successes
+    revocations: int = 0         # permanent revocations
 
     @property
     def sessions_settled(self) -> int:
@@ -106,6 +120,13 @@ class FleetMetrics:
                f"({self.dict_acks_rejected} rejected), "
                if self.dict_pushes or self.dict_acks
                or self.dict_acks_rejected else "")
+            + (f"policy {self.policy_decisions} decisions "
+               f"({self.quarantines} quarantine, {self.heals_started} "
+               f"heal, {self.rejoins} rejoin, {self.revocations} "
+               f"revoked; {self.sessions_denied}+{self.reports_denied} "
+               f"denied), "
+               if self.policy_decisions or self.sessions_denied
+               or self.reports_denied else "")
             + f"wall {self.wall_s:.2f}s"
         )
 
@@ -145,6 +166,18 @@ def aggregate_metrics(per_shard: Sequence[FleetMetrics],
         total.dict_pushes += m.dict_pushes
         total.dict_acks += m.dict_acks
         total.dict_acks_rejected += m.dict_acks_rejected
+        total.sampler_evictions += m.sampler_evictions
+        total.sessions_denied += m.sessions_denied
+        total.reports_denied += m.reports_denied
+        total.policy_decisions += m.policy_decisions
+        total.policy_notices += m.policy_notices
+        total.suspects += m.suspects
+        total.quarantines += m.quarantines
+        total.recoveries += m.recoveries
+        total.heals_started += m.heals_started
+        total.heals_failed += m.heals_failed
+        total.rejoins += m.rejoins
+        total.revocations += m.revocations
     executors = {m.executor for m in per_shard}
     total.executor = executors.pop() if len(executors) == 1 else "mixed"
     total.wall_s = wall_s or max(

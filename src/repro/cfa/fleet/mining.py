@@ -59,22 +59,56 @@ def _stream_digest(records: Sequence[Record]) -> bytes:
 class ProfileSample:
     """The deduplicated traffic sample for one device profile."""
 
-    #: stream digest -> exemplar record tuple (bounded)
+    #: stream digest -> exemplar record tuple (bounded by max_streams)
     streams: Dict[bytes, Tuple[Record, ...]] = field(default_factory=dict)
-    #: stream digest -> sessions observed (counts every observation,
-    #: including ones whose exemplar was dropped by the bound)
+    #: stream digest -> sessions observed (bounded by max_digests;
+    #: cold digests — and their exemplars — are evicted deterministically
+    #: when the bound is hit)
     counts: Counter = field(default_factory=Counter)
     sessions: int = 0
     bytes_observed: int = 0
 
 
 class TrafficSampler:
-    """Bounded per-profile tap on accepted sessions' record streams."""
+    """Bounded per-profile tap on accepted sessions' record streams.
 
-    def __init__(self, max_streams: int = 64):
+    Both maps are hard-bounded, so a fleet of adversarially-diverse
+    streams cannot grow Vrf memory without limit: at most
+    ``max_streams`` exemplar record tuples are retained per profile,
+    and the dedup-count map holds at most ``max_digests`` entries
+    (default ``4 * max_streams``) — one 32-byte digest plus one int
+    each, so the per-profile footprint is a few KiB however many
+    distinct executions the fleet produces. When a new digest would
+    exceed the cap, the *coldest* existing entry is evicted
+    deterministically — minimum count, ties broken by lexicographically
+    smallest digest, the newcomer itself never evicted — and its
+    exemplar (if retained) is dropped with it. Evictions are counted
+    (:attr:`evictions`, surfaced as ``sampler_evictions`` in
+    :class:`~repro.cfa.fleet.metrics.FleetMetrics`); an evicted hot
+    path that stays hot simply re-enters with a fresh count.
+    """
+
+    def __init__(self, max_streams: int = 64,
+                 max_digests: Optional[int] = None):
+        if max_streams < 1:
+            raise ValueError("max_streams must be >= 1")
         self.max_streams = max_streams
+        self.max_digests = (max(max_streams, max_digests)
+                            if max_digests is not None
+                            else 4 * max_streams)
+        self.evictions = 0
         self._lock = threading.Lock()
         self._profiles: Dict[DeviceProfile, ProfileSample] = {}
+
+    def _evict_coldest(self, sample: ProfileSample,
+                       keep: bytes) -> None:
+        """Deterministically evict the coldest digest (never ``keep``)."""
+        victim = min(
+            (d for d in sample.counts if d != keep),
+            key=lambda d: (sample.counts[d], d))
+        del sample.counts[victim]
+        sample.streams.pop(victim, None)
+        self.evictions += 1
 
     def observe(self, profile: DeviceProfile,
                 records: Sequence[Record],
@@ -87,7 +121,10 @@ class TrafficSampler:
             sample.sessions += 1
             sample.bytes_observed += _stream_bytes(records)
             sample.counts[digest] += 1
-            if (digest not in sample.streams
+            while len(sample.counts) > self.max_digests:
+                self._evict_coldest(sample, digest)
+            if (digest in sample.counts
+                    and digest not in sample.streams
                     and len(sample.streams) < self.max_streams):
                 sample.streams[digest] = tuple(records)
 
@@ -114,9 +151,13 @@ class TrafficSampler:
     @staticmethod
     def merge(samplers: Sequence["TrafficSampler"]) -> "TrafficSampler":
         """Fold per-shard samplers into one fleet-wide sample (counts
-        sum; the exemplar bound applies to the merged set)."""
+        sum; both bounds apply to the merged set — the merged map is
+        trimmed back to ``max_digests`` by the same coldest-first
+        rule)."""
         merged = TrafficSampler(
-            max_streams=max((s.max_streams for s in samplers), default=64))
+            max_streams=max((s.max_streams for s in samplers), default=64),
+            max_digests=max((s.max_digests for s in samplers),
+                            default=None) or None)
         for sampler in samplers:
             with sampler._lock:
                 items = list(sampler._profiles.items())
@@ -129,6 +170,13 @@ class TrafficSampler:
                     if (digest not in out.streams
                             and len(out.streams) < merged.max_streams):
                         out.streams[digest] = sample.streams[digest]
+        for out in merged._profiles.values():
+            while len(out.counts) > merged.max_digests:
+                coldest = min(out.counts,
+                              key=lambda d: (out.counts[d], d))
+                del out.counts[coldest]
+                out.streams.pop(coldest, None)
+                merged.evictions += 1
         return merged
 
 

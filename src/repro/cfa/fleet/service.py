@@ -45,7 +45,8 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Dict, List, Optional, Tuple, Union
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cfa.fleet.dictver import (
     DictEpoch,
@@ -71,6 +72,29 @@ from repro.cfa.fleet.verify import (
     pool_verify,
     verify_session_chain,
 )
+from repro.cfa.policy.engine import (
+    ACT_HEAL,
+    ACT_HEAL_FAIL,
+    ACT_QUARANTINE,
+    ACT_RECOVER,
+    ACT_REJOIN,
+    ACT_REVOKE,
+    ACT_SUSPECT,
+    PolicyDeniedError,
+    PolicyEngine,
+)
+from repro.cfa.policy.heal import build_heal_frame, build_policy_frame
+
+#: decision action -> FleetMetrics counter name
+_DECISION_COUNTERS = {
+    ACT_SUSPECT: "suspects",
+    ACT_QUARANTINE: "quarantines",
+    ACT_RECOVER: "recoveries",
+    ACT_HEAL: "heals_started",
+    ACT_HEAL_FAIL: "heals_failed",
+    ACT_REJOIN: "rejoins",
+    ACT_REVOKE: "revocations",
+}
 from repro.cfa.protocol import Challenge
 from repro.cfa.speccfa import expand
 from repro.cfa.wire import WireError, decode_dack_frame, encode_dict_frame
@@ -91,7 +115,19 @@ class FleetService:
                  store: Optional[EvidenceStore] = None,
                  nonce_scope: str = "counter",
                  registry: Optional[DictionaryRegistry] = None,
-                 sampler: Union[bool, TrafficSampler, None] = None):
+                 sampler: Union[bool, TrafficSampler, None] = None,
+                 policy: Optional[PolicyEngine] = None,
+                 key_lookup: Optional[Callable[[str], bytes]] = None):
+        #: policy control plane: when set, every settled session feeds
+        #: the quarantine engine's fold, its decisions are persisted in
+        #: the evidence chain, and admission control applies (shared
+        #: with sibling shards when the router injects one engine —
+        #: devices are disjoint across shards, so per-store folds
+        #: compose)
+        self.policy = policy
+        #: device id -> attestation key, for policy/heal pushes to
+        #: devices with no session on file (e.g. right after a restart)
+        self._key_lookup = key_lookup
         #: speculation-dictionary versions this Vrf knows (shared with
         #: sibling shards when the router injects one registry)
         self.registry = registry or DictionaryRegistry()
@@ -158,8 +194,16 @@ class FleetService:
         dictionary epoch the device last acknowledged (epoch 0 until a
         first ACK arrives): a push landing mid-session changes nothing
         until the device's next session.
+
+        With a policy engine attached, QUARANTINED / HEALING / REVOKED
+        devices are refused (:class:`PolicyDeniedError`) — the only
+        session such a device may own is the one :meth:`begin_heal`
+        opens for it.
         """
         with self._lock:
+            if self.policy is not None and not self.policy.admits(device_id):
+                self.metrics.sessions_denied += 1
+                raise PolicyDeniedError(self.policy.deny_reason(device_id))
             epoch = self._acks.get((device_id, profile), 0)
             dict_epoch = self.registry.get(profile, epoch)
             try:
@@ -179,6 +223,13 @@ class FleetService:
         on backpressure — see the module docstring).
         """
         with self._lock:
+            if self.policy is not None and not self.policy.admits(device_id):
+                # blocked devices land nothing — except into the healing
+                # session the protocol itself opened for them
+                session = self.manager.sessions.get(device_id)
+                if session is None or not session.active:
+                    self.metrics.reports_denied += 1
+                    return
             self.metrics.reports_ingested += 1
             self.metrics.bytes_ingested += len(data)
             before_ignored = self.manager.reports_ignored
@@ -218,24 +269,41 @@ class FleetService:
     def restore(self, records) -> int:
         """Rebuild released state from recovered evidence records.
 
-        Each record is one settled session: its verdict re-enters the
-        verdict map (latest round wins) and the device's round counter
-        advances, so device-scoped nonce derivation resumes exactly
-        where the crashed process stopped — settled devices get fresh
-        challenges, interrupted ones re-derive their pre-crash nonce.
+        Each *session* record is one settled session: its verdict
+        re-enters the verdict map (latest round wins) and the device's
+        round counter advances, so device-scoped nonce derivation
+        resumes exactly where the crashed process stopped — settled
+        devices get fresh challenges, interrupted ones re-derive their
+        pre-crash nonce. With a policy engine attached, the mixed
+        (session + policy) stream then re-runs the policy fold — every
+        device's lifecycle state comes back, and decisions a crash lost
+        (derived but never appended) are re-appended byte-identically.
         Returns the number of verdicts restored. The replay cache is
         not rebuilt here: a :class:`DurableReplayCache` re-warms
         lazily from its own content-addressed files.
         """
+        records = list(records)
+        session_records = [r for r in records
+                           if not getattr(r, "is_policy", False)]
         rounds: Dict[str, int] = {}
         with self._lock:
-            for record in records:
+            for record in session_records:
                 self.verdicts[record.device_id] = record.to_verdict()
                 rounds[record.device_id] = rounds.get(
                     record.device_id, 0) + 1
             self.manager.restore_rounds(rounds)
-            self.metrics.sessions_recovered += len(records)
-        return len(records)
+            self.metrics.sessions_recovered += len(session_records)
+        if self.policy is not None:
+            replayed, repaired = self.policy.restore(records,
+                                                     store=self.store)
+            with self._lock:
+                self.metrics.policy_decisions += replayed + repaired
+                if self.store is not None:
+                    self.metrics.evidence_records = (
+                        self.store.records_appended)
+                    self.metrics.evidence_bytes = self.store.bytes_appended
+                    self.metrics.evidence_fsyncs = self.store.fsyncs
+        return len(session_records)
 
     # -- adaptive speculation: mining taps + epoch handshake ----------------
 
@@ -329,6 +397,148 @@ class FleetService:
         with self._lock:
             return self._acks.get((device_id, profile), 0)
 
+    # -- policy control plane: quarantine + guaranteed healing --------------
+
+    def _count_decision_locked(self, decision) -> None:
+        self.metrics.policy_decisions += 1
+        counter = _DECISION_COUNTERS.get(decision.action)
+        if counter is not None:
+            setattr(self.metrics, counter,
+                    getattr(self.metrics, counter) + 1)
+
+    def _device_key_locked(self, device_id: str) -> Optional[bytes]:
+        session = self.manager.sessions.get(device_id)
+        if session is not None:
+            return session.key
+        if self._key_lookup is not None:
+            return self._key_lookup(device_id)
+        return None
+
+    def begin_heal(self, device_id: str,
+                   now: float = 0.0) -> Optional[Tuple[str, bytes]]:
+        """Issue a heal order for one quarantined device.
+
+        Persists + applies the QUARANTINED -> HEALING decision, opens
+        the device's healing session (admission control does not apply:
+        the protocol itself owns this session) and returns the
+        ``(device_id, HEAL frame)`` the transport must deliver. The
+        frame orders the device to re-provision the policy-pinned
+        firmware and answer a fresh challenge; the session's evidence
+        record carries the healing flag, so the fold judges the rejoin.
+        ``None`` when the device is not eligible (not quarantined, out
+        of attempts, or no attestation key on file).
+        """
+        if self.policy is None:
+            return None
+        with self._lock:
+            key = self._device_key_locked(device_id)
+            if key is None:
+                return None
+            decision = self.policy.begin_heal(device_id)
+            if decision is None:
+                return None
+            if self.store is not None:
+                self.store.append_decision(decision)
+                self.metrics.evidence_records = self.store.records_appended
+                self.metrics.evidence_bytes = self.store.bytes_appended
+                self.metrics.evidence_fsyncs = self.store.fsyncs
+            self.policy.apply(decision)
+            self._count_decision_locked(decision)
+            epoch = self._acks.get((device_id, decision.profile), 0)
+            dict_epoch = self.registry.get(decision.profile, epoch)
+            session = self.manager.open(device_id, decision.profile, key,
+                                        now, dict_epoch=dict_epoch)
+            session.healing = True
+            self.metrics.sessions_opened += 1
+            frame = build_heal_frame(
+                key, device_id, decision.heal_attempt,
+                decision.policy_epoch, decision.measurement,
+                session.challenge.nonce)
+        return (device_id, frame)
+
+    def heal_pushes(self, now: float = 0.0) -> List[Tuple[str, bytes]]:
+        """One healing round: a heal order for every quarantined device
+        that still has attempts left (devices out of attempts stay
+        quarantined until an operator intervenes or a failed healing
+        session already revoked them)."""
+        if self.policy is None:
+            return []
+        pushes: List[Tuple[str, bytes]] = []
+        for device_id in self.policy.quarantined_devices():
+            push = self.begin_heal(device_id, now)
+            if push is not None:
+                pushes.append(push)
+        return pushes
+
+    def resume_heal(self, device_id: str,
+                    now: float = 0.0) -> Optional[Tuple[str, bytes]]:
+        """Re-issue one standing heal order after a restart (idempotent).
+
+        A device the evidence log shows as HEALING already burned its
+        attempt; no new decision is minted. Its healing session is
+        re-opened — device-scoped nonces make the re-derived challenge
+        identical to the pre-crash one, so a device that already
+        answered can simply retransmit — and the HEAL frame is rebuilt
+        from the engine's standing order. A device whose healing
+        session is still live is re-framed without reopening.
+        """
+        if self.policy is None:
+            return None
+        order = self.policy.heal_order(device_id)
+        if order is None:
+            return None
+        attempt, policy_epoch, measurement, profile = order
+        with self._lock:
+            key = self._device_key_locked(device_id)
+            if key is None:
+                return None
+            session = self.manager.sessions.get(device_id)
+            if session is None or not session.active:
+                epoch = self._acks.get((device_id, profile), 0)
+                dict_epoch = self.registry.get(profile, epoch)
+                session = self.manager.open(device_id, profile, key,
+                                            now, dict_epoch=dict_epoch)
+                session.healing = True
+                self.metrics.sessions_opened += 1
+            frame = build_heal_frame(
+                key, device_id, attempt, policy_epoch, measurement,
+                session.challenge.nonce)
+        return (device_id, frame)
+
+    def resume_heals(self, now: float = 0.0) -> List[Tuple[str, bytes]]:
+        """:meth:`resume_heal` for every HEALING device."""
+        if self.policy is None:
+            return []
+        frames = (self.resume_heal(device_id, now)
+                  for device_id in self.policy.healing_devices())
+        return [frame for frame in frames if frame is not None]
+
+    def policy_notice_frame(self, device_id: str, state: int,
+                            reason: str, epoch: int) -> Optional[bytes]:
+        """Build one PLCY lifecycle notice (MAC'd under the device key
+        so a device can reject forged quarantine notices); ``None``
+        when no key is on file."""
+        with self._lock:
+            key = self._device_key_locked(device_id)
+            if key is None:
+                return None
+            self.metrics.policy_notices += 1
+            return build_policy_frame(key, device_id, state, reason, epoch)
+
+    def policy_pushes(self) -> List[Tuple[str, bytes]]:
+        """Drain pending lifecycle notices as ``(device_id, PLCY
+        frame)`` pairs. Notices are idempotent: a crash between
+        draining and delivery just re-sends after :meth:`restore`."""
+        if self.policy is None:
+            return []
+        pushes: List[Tuple[str, bytes]] = []
+        for device_id, state, reason, epoch in self.policy.take_notices():
+            frame = self.policy_notice_frame(device_id, state, reason,
+                                             epoch)
+            if frame is not None:
+                pushes.append((device_id, frame))
+        return pushes
+
     def _sample_locked(self, session: Session,
                        verdict: SessionVerdict) -> None:
         """Feed one accepted session's expanded stream to the sampler."""
@@ -418,20 +628,43 @@ class FleetService:
         # a replayed verdict is still a verdict) must be fsync'd into
         # the hash chain before anything observes the verdict. If the
         # append fails the verdict is withheld, never half-released.
+        measurement = session.reports[0].h_mem if session.reports else b""
+        record = None
         if self.store is not None:
-            self.store.append(
+            record = self.store.append(
                 verdict,
                 chain=chain_digest(session.chunks),
                 challenge=session.challenge.nonce,
                 cache_hit=cache_hit,
                 expired=session.state == EXPIRED,
                 epoch=session.epoch,
+                measurement=measurement,
+                healing=session.healing,
             )
             self.metrics.evidence_records = self.store.records_appended
             self.metrics.evidence_bytes = self.store.bytes_appended
             self.metrics.evidence_fsyncs = self.store.fsyncs
         if self.sampler is not None and verdict.accepted:
             self._sample_locked(session, verdict)
+        if self.policy is not None:
+            # the fold's input is the *persisted* record (live and
+            # crash-recovery paths thus run the same code over the same
+            # bytes); with no store attached, an equivalent observation
+            if record is None:
+                record = SimpleNamespace(
+                    device_id=session.device_id, profile=session.profile,
+                    accepted=verdict.accepted, reason=verdict.reason,
+                    violations=tuple(verdict.violations),
+                    measurement=measurement, healing=session.healing)
+            decisions = self.policy.observe(record)
+            for decision in decisions:
+                if self.store is not None:
+                    self.store.append_decision(decision)
+                self._count_decision_locked(decision)
+            if decisions and self.store is not None:
+                self.metrics.evidence_records = self.store.records_appended
+                self.metrics.evidence_bytes = self.store.bytes_appended
+                self.metrics.evidence_fsyncs = self.store.fsyncs
         session.verdict = verdict
         if session.state == EXPIRED:
             self.metrics.sessions_expired += 1

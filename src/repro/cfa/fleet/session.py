@@ -93,6 +93,10 @@ class Session:
     duplicates: int = 0
     reject_reason: str = ""
     verdict: Optional[SessionVerdict] = None
+    #: opened by the healing protocol (bypasses admission control; its
+    #: evidence record carries the healing flag so the policy fold can
+    #: judge the rejoin)
+    healing: bool = False
 
     @property
     def active(self) -> bool:

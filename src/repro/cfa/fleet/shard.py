@@ -55,10 +55,15 @@ from repro.cfa.fleet.mining import TrafficSampler
 from repro.cfa.fleet.service import FleetService
 from repro.cfa.fleet.store import DurableReplayCache, EvidenceStore
 from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
+from repro.cfa.policy.engine import PolicyEngine
+from repro.cfa.policy.recovery import write_recovery_manifest
+from repro.cfa.policy.registry import PolicyRegistry, policy_key
 from repro.cfa.protocol import Challenge
 from repro.cfa.wire import (
     SHARD_KIND_DACK,
     SHARD_KIND_DICT,
+    SHARD_KIND_HEAL,
+    SHARD_KIND_PLCY,
     SHARD_KIND_REPORT,
     decode_shard_frame,
     encode_shard_frame,
@@ -79,15 +84,25 @@ class HashRing:
     and the remap fraction at the cost of a larger (still tiny) ring.
     """
 
-    def __init__(self, shard_count: int, vnodes: int = 64):
-        if shard_count < 1:
-            raise ValueError("need at least one shard")
+    def __init__(self, shard_count: int, vnodes: int = 64,
+                 shard_ids: Optional[Sequence[int]] = None):
         if vnodes < 1:
             raise ValueError("need at least one vnode per shard")
-        self.shard_count = shard_count
+        if shard_ids is None:
+            if shard_count < 1:
+                raise ValueError("need at least one shard")
+            shard_ids = tuple(range(shard_count))
+        else:
+            # an explicit member set: what a ring looks like after
+            # decommissions — shard ids need not be contiguous
+            shard_ids = tuple(sorted(set(shard_ids)))
+            if not shard_ids:
+                raise ValueError("need at least one shard")
+        self.shard_ids = shard_ids
+        self.shard_count = len(shard_ids)
         self.vnodes = vnodes
         points: List[Tuple[int, int]] = []
-        for shard in range(shard_count):
+        for shard in shard_ids:
             for vnode in range(vnodes):
                 points.append((self._point(
                     f"shard:{shard}:vnode:{vnode}".encode()), shard))
@@ -106,6 +121,21 @@ class HashRing:
         if index == len(self._points):  # wrap past the last point
             index = 0
         return self._owners[index]
+
+    def remove(self, shard: int) -> "HashRing":
+        """The ring after decommissioning ``shard``.
+
+        A removed shard's vnode points vanish; every one of its keys
+        falls through to the next surviving point. Keys owned by the
+        survivors never move (their owning points are untouched) — the
+        mirror of the add-a-shard property, pinned by the removal
+        property test in ``tests/test_fleet_sharding.py``.
+        """
+        if shard not in self.shard_ids:
+            raise ValueError(f"shard {shard} is not on the ring")
+        return HashRing(
+            0, vnodes=self.vnodes,
+            shard_ids=[s for s in self.shard_ids if s != shard])
 
 
 class ShardedFleetService:
@@ -133,7 +163,11 @@ class ShardedFleetService:
                  fsync: bool = True,
                  resume: bool = False,
                  vnodes: int = 64,
-                 sampler: bool = False):
+                 sampler: bool = False,
+                 policy: bool = False,
+                 key_lookup=None,
+                 suspect_threshold: int = 2,
+                 max_heal_attempts: int = 2):
         self.ring = HashRing(shards, vnodes=vnodes)
         self.seed = seed
         self.audit_key = audit_key(seed)
@@ -143,6 +177,21 @@ class ShardedFleetService:
         # every shard resolves the same (profile, epoch) -> dictionary
         self.registry = DictionaryRegistry(
             self.store_dir / "dicts" if self.store_dir is not None else None)
+        # the policy control plane is likewise fleet-wide: one signed
+        # firmware registry and one quarantine engine shared by every
+        # shard. Devices are disjoint across shards, so the per-store
+        # policy folds compose into the fleet-wide engine state.
+        self.policy_registry: Optional[PolicyRegistry] = None
+        self.policy: Optional[PolicyEngine] = None
+        if policy:
+            self.policy_registry = PolicyRegistry(
+                policy_key(seed),
+                self.store_dir / "policy"
+                if self.store_dir is not None else None)
+            self.policy = PolicyEngine(
+                registry=self.policy_registry,
+                suspect_threshold=suspect_threshold,
+                max_heal_attempts=max_heal_attempts)
         self.stores: List[Optional[EvidenceStore]] = []
         self.shards: List[FleetService] = []
         t0 = time.perf_counter()
@@ -163,7 +212,8 @@ class ShardedFleetService:
                 reorder_window=reorder_window, max_attempts=max_attempts,
                 max_sessions=max_sessions, replay_cache=cache,
                 executor=executor, store=store, nonce_scope="device",
-                registry=self.registry, sampler=sampler)
+                registry=self.registry, sampler=sampler,
+                policy=self.policy, key_lookup=key_lookup)
             if store is not None and store.recovered:
                 if not resume:
                     raise ValueError(
@@ -175,6 +225,10 @@ class ShardedFleetService:
             self.stores.append(store)
             self.shards.append(service)
         self.recovered_verdicts = recovered
+        if self.store_dir is not None:
+            # the operator's map of what on this disk is authoritative
+            # state vs cache, and how to rebuild the control plane
+            write_recovery_manifest(self.store_dir)
         self._recovery_s = time.perf_counter() - t0 if resume else 0.0
         self._started = time.perf_counter()
 
@@ -281,6 +335,80 @@ class ShardedFleetService:
     def acked_epoch(self, device_id: str, profile: DeviceProfile) -> int:
         return self.shards[self.ring.route(device_id)].acked_epoch(
             device_id, profile)
+
+    # -- policy control plane (router surface) ------------------------------
+
+    def policy_states(self) -> Dict[str, str]:
+        """device id -> lifecycle state name, fleet-wide."""
+        return self.policy.state_names() if self.policy else {}
+
+    def begin_heal(self, device_id: str,
+                   now: float = 0.0) -> Optional[Tuple[str, bytes]]:
+        """Heal one quarantined device at its owning shard."""
+        return self.shards[self.ring.route(device_id)].begin_heal(
+            device_id, now)
+
+    def heal_pushes(self, now: float = 0.0) -> List[Tuple[str, bytes]]:
+        """One fleet-wide healing round. The engine is shared, so the
+        router — not the shards — enumerates quarantined devices and
+        routes each heal to the shard that owns the device's sessions;
+        each order crosses the ``HEAL`` handoff framing like every
+        other shard-bound byte."""
+        if self.policy is None:
+            return []
+        pushes: List[Tuple[str, bytes]] = []
+        for device_id in self.policy.quarantined_devices():
+            shard_id = self.ring.route(device_id)
+            push = self.shards[shard_id].begin_heal(device_id, now)
+            if push is None:
+                continue
+            frame = encode_shard_frame(
+                shard_id, push[0], push[1], kind=SHARD_KIND_HEAL)
+            framed_shard, framed_device, kind, inner = \
+                decode_shard_frame(frame)
+            assert kind == SHARD_KIND_HEAL and framed_shard == shard_id
+            pushes.append((framed_device, inner))
+        return pushes
+
+    def resume_heals(self, now: float = 0.0) -> List[Tuple[str, bytes]]:
+        """Re-issue standing heal orders after a restart, each at its
+        owning shard (no new decisions are minted)."""
+        if self.policy is None:
+            return []
+        pushes: List[Tuple[str, bytes]] = []
+        for device_id in self.policy.healing_devices():
+            shard_id = self.ring.route(device_id)
+            push = self.shards[shard_id].resume_heal(device_id, now)
+            if push is None:
+                continue
+            frame = encode_shard_frame(
+                shard_id, push[0], push[1], kind=SHARD_KIND_HEAL)
+            framed_shard, framed_device, kind, inner = \
+                decode_shard_frame(frame)
+            assert kind == SHARD_KIND_HEAL and framed_shard == shard_id
+            pushes.append((framed_device, inner))
+        return pushes
+
+    def policy_pushes(self) -> List[Tuple[str, bytes]]:
+        """Drain pending lifecycle notices fleet-wide (kind ``PLCY``
+        handoff frames; each notice is MAC'd by the owning shard under
+        the device's key)."""
+        if self.policy is None:
+            return []
+        pushes: List[Tuple[str, bytes]] = []
+        for device_id, state, reason, epoch in self.policy.take_notices():
+            shard_id = self.ring.route(device_id)
+            payload = self.shards[shard_id].policy_notice_frame(
+                device_id, state, reason, epoch)
+            if payload is None:
+                continue
+            frame = encode_shard_frame(
+                shard_id, device_id, payload, kind=SHARD_KIND_PLCY)
+            framed_shard, framed_device, kind, inner = \
+                decode_shard_frame(frame)
+            assert kind == SHARD_KIND_PLCY and framed_shard == shard_id
+            pushes.append((framed_device, inner))
+        return pushes
 
     def drain(self) -> FleetMetrics:
         for service in self.shards:

@@ -15,7 +15,16 @@ stall       final report withheld; answers the retry challenge in full
 tamper      one byte flipped inside a report (MAC or framing breaks)
 truncate    one report cut short (structural wire damage)
 attack      a genuine ROP execution on the ``vulnerable`` firmware
+equivocate  two *conflicting* copies of one report (same seq, different
+            bytes — only a compromised or cloned device can emit both)
 ========== ==============================================================
+
+:class:`CampaignSimulator` layers the policy control plane's adversary
+model on top: a fleet where a fraction of devices start compromised,
+get quarantined by the :class:`~repro.cfa.policy.engine.PolicyEngine`,
+are re-provisioned through the HEAL protocol, and re-attest clean —
+with SLA accounting (time-to-quarantine, healing success, wrongful
+quarantines) the ``repro policy`` CLI and the CI smoke gate report.
 
 Device executions are deterministic, so the simulator attests each
 distinct ``(profile, attacked)`` template **once** and then re-signs
@@ -29,8 +38,9 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.naive_mtb import NaiveMtbEngine
 from repro.baselines.traces import TracesEngine
@@ -39,6 +49,8 @@ from repro.cfa.engine import EngineConfig, RapTrackEngine
 from repro.cfa.fleet.dictver import DictEpoch, dack_mac, spec_challenge
 from repro.cfa.fleet.service import FleetService
 from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
+from repro.cfa.policy.engine import PolicyDeniedError
+from repro.cfa.policy.heal import verify_heal_frame, verify_policy_frame
 from repro.cfa.report import Report
 from repro.cfa.speccfa import compress
 from repro.cfa.wire import decode_dict_frame, encode_dack_frame, encode_report
@@ -51,7 +63,7 @@ from repro.workloads.base import make_mcu
 #: behaviors whose sessions a correct service must end up accepting
 HONEST_BEHAVIORS = frozenset({"honest", "duplicate", "reorder", "stall"})
 #: behaviors whose sessions a correct service must end up rejecting
-HOSTILE_BEHAVIORS = frozenset({"tamper", "truncate", "attack"})
+HOSTILE_BEHAVIORS = frozenset({"tamper", "truncate", "attack", "equivocate"})
 BEHAVIORS = tuple(sorted(HONEST_BEHAVIORS | HOSTILE_BEHAVIORS))
 
 #: fleet-wide provisioning secret (device key = KDF(device id, secret))
@@ -173,6 +185,51 @@ class ChainFactory:
         ]
 
 
+def apply_behavior(behavior: str, chunks: Sequence[bytes],
+                   rng: random.Random) -> List[bytes]:
+    """Apply one transport behavior to an honest report chain."""
+    chunks = list(chunks)
+    if behavior in ("honest", "attack"):
+        return chunks
+    if behavior == "duplicate":
+        index = rng.randrange(len(chunks))
+        chunks.insert(index + 1, chunks[index])
+        return chunks
+    if behavior == "reorder":
+        if len(chunks) >= 2:
+            index = rng.randrange(len(chunks) - 1)
+            chunks[index], chunks[index + 1] = (
+                chunks[index + 1], chunks[index])
+        return chunks
+    if behavior == "stall":
+        return chunks[:-1]  # withhold the final report
+    if behavior == "tamper":
+        index = rng.randrange(len(chunks))
+        body = bytearray(chunks[index])
+        # flip one bit past the magic/version header
+        offset = rng.randrange(9, len(body))
+        body[offset] ^= 1 << rng.randrange(8)
+        chunks[index] = bytes(body)
+        return chunks
+    if behavior == "truncate":
+        index = rng.randrange(len(chunks))
+        cut = rng.randrange(1, 9)
+        chunks[index] = chunks[index][:-cut]
+        return chunks
+    if behavior == "equivocate":
+        # a second copy of one report with its trailing (MAC) byte
+        # flipped: still well-formed wire, same seq, different bytes —
+        # the signature of a cloned or compromised signer. The conflict
+        # must land before the chain completes, so pick a non-final
+        # report when there is one.
+        index = rng.randrange(max(1, len(chunks) - 1))
+        twin = bytearray(chunks[index])
+        twin[-1] ^= 0x01
+        chunks.insert(index + 1, bytes(twin))
+        return chunks
+    raise ValueError(f"unknown behavior {behavior!r}")
+
+
 @dataclass
 class SimulationReport:
     """What one simulated fleet run produced."""
@@ -249,37 +306,7 @@ class FleetSimulator:
 
     def _deliveries(self, spec: DeviceSpec,
                     chunks: List[bytes]) -> List[bytes]:
-        """Apply the spec's transport behavior to an honest chain."""
-        behavior = spec.behavior
-        chunks = list(chunks)
-        if behavior in ("honest", "attack"):
-            return chunks
-        if behavior == "duplicate":
-            index = self.rng.randrange(len(chunks))
-            chunks.insert(index + 1, chunks[index])
-            return chunks
-        if behavior == "reorder":
-            if len(chunks) >= 2:
-                index = self.rng.randrange(len(chunks) - 1)
-                chunks[index], chunks[index + 1] = (
-                    chunks[index + 1], chunks[index])
-            return chunks
-        if behavior == "stall":
-            return chunks[:-1]  # withhold the final report
-        if behavior == "tamper":
-            index = self.rng.randrange(len(chunks))
-            body = bytearray(chunks[index])
-            # flip one bit past the magic/version header
-            offset = self.rng.randrange(9, len(body))
-            body[offset] ^= 1 << self.rng.randrange(8)
-            chunks[index] = bytes(body)
-            return chunks
-        if behavior == "truncate":
-            index = self.rng.randrange(len(chunks))
-            cut = self.rng.randrange(1, 9)
-            chunks[index] = chunks[index][:-cut]
-            return chunks
-        raise ValueError(f"unknown behavior {behavior!r}")
+        return apply_behavior(spec.behavior, chunks, self.rng)
 
     # -- the run ------------------------------------------------------------
 
@@ -353,7 +380,9 @@ def build_fleet_specs(devices: int,
     """A mixed fleet: honest behaviors cycled over ``workloads``, the
     hostile fraction cycled over tamper/truncate/attack."""
     rng = random.Random(seed)
-    hostile = sorted(HOSTILE_BEHAVIORS)
+    # explicit cycle (not sorted(HOSTILE_BEHAVIORS)): fleet compositions
+    # are pinned by tests and must not shift as behaviors are added
+    hostile = ["attack", "tamper", "truncate"]
     honest = sorted(HONEST_BEHAVIORS)
     specs: List[DeviceSpec] = []
     n_hostile = round(devices * attack_fraction)
@@ -373,3 +402,285 @@ def build_fleet_specs(devices: int,
         ))
     rng.shuffle(specs)
     return specs
+
+
+# -- compromise-then-heal campaigns (the policy control plane's load) -------
+
+
+def build_campaign_specs(devices: int,
+                         compromised_fraction: float = 0.05,
+                         workloads: Sequence[str] = ("fibcall", "prime"),
+                         method: str = "rap-track",
+                         seed: int = 0) -> List[DeviceSpec]:
+    """A campaign fleet: mostly honest devices, a compromised fraction
+    cycled over attack/equivocate/tamper (each of which the policy
+    engine must quarantine — the first two on hard signals, the last
+    by consecutive-failure scoring)."""
+    rng = random.Random(seed)
+    compromised = ["attack", "equivocate", "tamper"]
+    honest = sorted(HONEST_BEHAVIORS)
+    n_compromised = round(devices * compromised_fraction)
+    specs: List[DeviceSpec] = []
+    for index in range(devices):
+        device_id = f"prv-{index:04d}"
+        if index < n_compromised:
+            behavior = compromised[index % len(compromised)]
+            workload = ("vulnerable" if behavior == "attack"
+                        else rng.choice(list(workloads)))
+        else:
+            behavior = honest[index % len(honest)]
+            workload = rng.choice(list(workloads))
+        specs.append(DeviceSpec(
+            device_id=device_id,
+            profile=DeviceProfile(workload, method),
+            behavior=behavior,
+        ))
+    rng.shuffle(specs)
+    return specs
+
+
+@dataclass
+class CampaignReport:
+    """SLA accounting for one compromise-then-heal campaign."""
+
+    rounds: int = 0
+    #: compromised device -> round index it reached QUARANTINED
+    quarantined_round: Dict[str, int] = field(default_factory=dict)
+    #: device -> round index its HEAL order was accepted on-device
+    healed_round: Dict[str, int] = field(default_factory=dict)
+    #: honest devices that were ever quarantined (must stay empty)
+    wrongful_quarantines: List[str] = field(default_factory=list)
+    #: sessions refused at admission (quarantined/revoked devices)
+    denials: int = 0
+    #: PLCY lifecycle notices that verified on-device
+    notices_verified: int = 0
+    compromised: List[str] = field(default_factory=list)
+    end_states: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def rejoined(self) -> List[str]:
+        return sorted(d for d in self.compromised
+                      if self.end_states.get(d) == "REJOINED")
+
+    @property
+    def revoked(self) -> List[str]:
+        return sorted(d for d in self.compromised
+                      if self.end_states.get(d) == "REVOKED")
+
+    @property
+    def mean_time_to_quarantine(self) -> float:
+        """Mean rounds from compromise (round 0) to QUARANTINED,
+        counting the quarantining round itself — 1.0 means every
+        compromised device was caught in its first session round."""
+        if not self.quarantined_round:
+            return 0.0
+        return (sum(self.quarantined_round.values())
+                / len(self.quarantined_round) + 1.0)
+
+    @property
+    def healing_success_rate(self) -> float:
+        """Fraction of quarantined-and-healed devices that rejoined."""
+        settled = [d for d in self.quarantined_round
+                   if self.end_states.get(d) in ("REJOINED", "REVOKED")]
+        if not settled:
+            return 0.0
+        return (sum(1 for d in settled
+                    if self.end_states.get(d) == "REJOINED")
+                / len(settled))
+
+    @property
+    def ok(self) -> bool:
+        """The campaign's SLA: every compromised device was caught and
+        settled (rejoined or revoked), no honest device was touched."""
+        caught = all(d in self.quarantined_round
+                     for d in self.compromised)
+        settled = all(self.end_states.get(d) in ("REJOINED", "REVOKED")
+                      for d in self.compromised)
+        return caught and settled and not self.wrongful_quarantines
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.compromised)} compromised / "
+            f"{len(self.end_states)} devices over {self.rounds} "
+            f"round(s): {len(self.quarantined_round)} quarantined "
+            f"(mean {self.mean_time_to_quarantine:.2f} rounds to "
+            f"quarantine), {len(self.rejoined)} rejoined, "
+            f"{len(self.revoked)} revoked "
+            f"(healing success {self.healing_success_rate:.0%}), "
+            f"{len(self.wrongful_quarantines)} wrongful quarantine(s), "
+            f"{self.denials} admission denial(s), "
+            f"{self.notices_verified} notice(s) verified on-device")
+
+
+class CampaignSimulator:
+    """Drive a compromise-then-heal campaign against a policy-enabled
+    service (:class:`FleetService` or ``ShardedFleetService``).
+
+    Device-side state — which devices have been re-provisioned by a
+    HEAL order — lives here, *outside* the service: devices do not
+    crash when the Vrf does, so a campaign can be split around a
+    service kill/restart (the crash differential drives ``run_round``
+    / ``heal_round`` step by step against successive service
+    incarnations, with one shared factory and one shared simulator).
+
+    Every round is deterministic in ``(seed, round_index)`` alone:
+    interleaving draws from a per-round CRC-seeded RNG and the logical
+    clock is derived from the round index, so two campaigns over the
+    same fleet — interrupted or not — submit byte-identical wire
+    traffic.
+    """
+
+    def __init__(self, specs: Sequence[DeviceSpec], seed: int = 0,
+                 watermark: Optional[int] = 1024, cache=None,
+                 factory: Optional[ChainFactory] = None):
+        self.specs = list(specs)
+        self.seed = seed
+        self.factory = factory or ChainFactory(
+            watermark=watermark, cache=cache)
+        self._by_id = {spec.device_id: spec for spec in self.specs}
+        #: device-side re-provision flags (set when a HEAL order lands)
+        self.healed: Set[str] = set()
+        self.report = CampaignReport(compromised=sorted(
+            s.device_id for s in self.specs
+            if s.behavior in HOSTILE_BEHAVIORS))
+
+    def _rng(self, round_index: int, phase: str) -> random.Random:
+        tag = f"campaign:{self.seed}:{round_index}:{phase}".encode()
+        return random.Random(zlib.crc32(tag))
+
+    def _effective(self, spec: DeviceSpec) -> DeviceSpec:
+        """What the device actually is this round: a healed device was
+        re-flashed with pinned firmware and behaves honestly."""
+        if spec.device_id in self.healed \
+                and spec.behavior in HOSTILE_BEHAVIORS:
+            return replace(spec, behavior="honest")
+        return spec
+
+    def pin_profiles(self, service) -> int:
+        """Publish a policy document per fleet profile pinning the
+        honest firmware measurement (so HEAL orders name a concrete
+        image and rogue measurements become hard signals)."""
+        if service.policy is None or service.policy.registry is None:
+            return 0
+        published = 0
+        for profile in sorted({s.profile for s in self.specs},
+                              key=lambda p: (p.workload, p.method)):
+            template = self.factory._templates.get((profile, False))
+            if template is None:
+                template = self.factory._attest_template(profile, False)
+                self.factory._templates[(profile, False)] = template
+            service.policy.registry.publish(profile, template.h_mem)
+            published += 1
+        return published
+
+    # -- one attestation round ---------------------------------------------
+
+    def run_round(self, service, round_index: int,
+                  step_s: float = 0.001) -> None:
+        """Every admitted device attests once; blocked devices are
+        refused at admission and counted."""
+        rng = self._rng(round_index, "run")
+        now = float(round_index) * 1000.0
+        queues: Dict[str, List[bytes]] = {}
+        for spec in self.specs:
+            eff = self._effective(spec)
+            try:
+                challenge = service.open_session(
+                    eff.device_id, eff.profile,
+                    device_key(eff.device_id), now)
+            except PolicyDeniedError:
+                self.report.denials += 1
+                continue
+            honest = self.factory.chain(eff, challenge.nonce)
+            queues[eff.device_id] = apply_behavior(
+                eff.behavior, honest, rng)
+        live = sorted(d for d, q in queues.items() if q)
+        while live:
+            device_id = live[rng.randrange(len(live))]
+            service.submit(device_id, queues[device_id].pop(0), now)
+            now += step_s
+            if not queues[device_id]:
+                live.remove(device_id)
+        # settle stalled chains exactly like FleetSimulator.run
+        for _ in range(service.manager.max_attempts):
+            now += service.manager.idle_timeout + 1.0
+            for device_id, challenge in service.tick(now):
+                eff = self._effective(self._by_id[device_id])
+                chunks = self.factory.chain(eff, challenge.nonce)
+                if eff.behavior != "stall":
+                    chunks = apply_behavior(eff.behavior, chunks, rng)
+                for chunk in chunks:
+                    service.submit(device_id, chunk, now)
+                    now += step_s
+        service.drain()
+        self._observe_states(service, round_index)
+
+    # -- one healing round ---------------------------------------------------
+
+    def heal_round(self, service, round_index: int,
+                   step_s: float = 0.001, resume: bool = False) -> int:
+        """Deliver HEAL orders; healed devices answer the healing
+        challenge with a clean chain. Returns orders accepted
+        on-device. With ``resume=True``, standing orders are re-issued
+        (the post-restart path) instead of minting new ones."""
+        now = float(round_index) * 1000.0 + 500.0
+        pushes = (service.resume_heals(now) if resume
+                  else service.heal_pushes(now))
+        accepted = 0
+        for device_id, frame in sorted(pushes):
+            order = verify_heal_frame(
+                device_key(device_id), device_id, frame)
+            if order is None:
+                continue  # forged or damaged order: the device refuses
+            _attempt, _epoch, _measurement, nonce = order
+            # re-provision: flash the ordered image, attest cleanly
+            self.healed.add(device_id)
+            self.report.healed_round.setdefault(device_id, round_index)
+            accepted += 1
+            eff = self._effective(self._by_id[device_id])
+            for chunk in self.factory.chain(eff, nonce):
+                service.submit(device_id, chunk, now)
+                now += step_s
+        service.drain()
+        self._observe_states(service, round_index)
+        return accepted
+
+    def deliver_notices(self, service) -> int:
+        """Deliver pending PLCY notices; devices verify the MAC."""
+        verified = 0
+        for device_id, frame in service.policy_pushes():
+            if verify_policy_frame(
+                    device_key(device_id), device_id, frame) is not None:
+                verified += 1
+        self.report.notices_verified += verified
+        return verified
+
+    def _observe_states(self, service, round_index: int) -> None:
+        if service.policy is None:
+            return
+        for device_id, state in sorted(
+                service.policy.state_names().items()):
+            if state in ("QUARANTINED", "HEALING", "REVOKED"):
+                self.report.quarantined_round.setdefault(
+                    device_id, round_index)
+                spec = self._by_id.get(device_id)
+                if (spec is not None
+                        and spec.behavior in HONEST_BEHAVIORS
+                        and device_id
+                        not in self.report.wrongful_quarantines):
+                    self.report.wrongful_quarantines.append(device_id)
+
+    # -- the whole campaign ---------------------------------------------------
+
+    def run(self, service, rounds: int = 3,
+            heal: bool = True) -> CampaignReport:
+        """``rounds`` full cycles of attest -> heal -> notify."""
+        for round_index in range(rounds):
+            self.run_round(service, round_index)
+            if heal:
+                self.heal_round(service, round_index)
+            self.deliver_notices(service)
+        self.report.rounds = rounds
+        if service.policy is not None:
+            self.report.end_states = service.policy.state_names()
+        return self.report

@@ -23,24 +23,34 @@ idiom of :mod:`repro.eval.cache` with the fleet tier:
 
 **Byte layout** (all little-endian; ``lp x`` = ``u32 len(x) || x``)::
 
-    file   := b"EVD1" u8 version (frame)*
-    frame  := u32 frame_len prev_digest[32] mac[32] body
-    body   := lp device_id lp workload lp method lp challenge
-              chain_digest[32] u32 epoch u8 flags lp reason
-              u32 reports u32 records u32 path_len lp path_digest
-              lp records_digest
-              u16 n_violations (lp kind u32 address lp detail)*
-              u32 seq
+    file    := b"EVD1" u8 version (frame)*
+    frame   := u32 frame_len prev_digest[32] mac[32] body
+    body    := u8 kind session | u8 kind policy          (version 3)
+    session := lp device_id lp workload lp method lp challenge
+               chain_digest[32] u32 epoch u8 flags lp reason
+               u32 reports u32 records u32 path_len lp path_digest
+               lp records_digest
+               u16 n_violations (lp kind u32 address lp detail)*
+               lp measurement u32 seq
+    policy  := lp device_id lp workload lp method
+               u8 from_state u8 to_state lp action lp reason
+               u32 score u32 heal_attempt u32 policy_epoch
+               lp measurement u32 seq
 
-``epoch`` is the speculation-dictionary epoch the session was pinned
-to (0 = plain logs) and ``records_digest`` the digest of the expanded
-record stream the replay consumed — together they let an auditor
-re-expand the wire bytes behind ``chain_digest`` under the exact
-dictionary version and check the reconstruction (version 2 of the
-format; version-1 logs predate dictionary epochs).
+Three format versions coexist. Version 1 predates dictionary epochs
+(no ``epoch``/``records_digest``) and version 2 predates the policy
+control plane (no ``kind`` byte, no ``measurement``): both still load,
+audit, and restore — the parser dispatches on the file's version byte,
+and a store opened on a legacy file keeps appending session records in
+that file's native version so its chains stay verifiable end to end.
+Policy-decision records (``kind`` 1, the transitions of
+:mod:`repro.cfa.policy.engine`) thread through the *same* per-device
+hash chain as the device's session records — one chain per device
+commits its verdicts and its lifecycle, interleaved in decision order.
 
 ``flags`` bits: 0 accepted, 1 authenticated, 2 lossless, 3 cache_hit,
-4 expired. **Hash schedule**::
+4 expired, 5 healing (the session was opened by the healing
+protocol). **Hash schedule**::
 
     mac_i    = HMAC-SHA256(K_audit, prev_digest_i || body_i)
     digest_i = SHA256(prev_digest_i || body_i || mac_i)
@@ -73,7 +83,10 @@ from repro.cfa.fleet.verify import (
 from repro.eval.cache import ArtifactCache
 
 EVIDENCE_MAGIC = b"EVD1"
-EVIDENCE_VERSION = 2
+EVIDENCE_VERSION = 3
+#: every version this parser can load (new files are always written
+#: at EVIDENCE_VERSION; legacy files keep their own)
+SUPPORTED_VERSIONS = (1, 2, 3)
 #: genesis link: the "previous digest" of a device's first record
 GENESIS = b"\x00" * 32
 _HEADER_LEN = 5
@@ -81,11 +94,16 @@ _DIGEST_LEN = 32
 #: a frame is at least prev_digest + mac + the fixed body fields
 _MIN_FRAME = 2 * _DIGEST_LEN
 
+#: record kinds (version >= 3; earlier versions are all-session)
+KIND_SESSION = 0
+KIND_POLICY = 1
+
 _FLAG_ACCEPTED = 1 << 0
 _FLAG_AUTHENTICATED = 1 << 1
 _FLAG_LOSSLESS = 1 << 2
 _FLAG_CACHE_HIT = 1 << 3
 _FLAG_EXPIRED = 1 << 4
+_FLAG_HEALING = 1 << 5
 
 
 class EvidenceError(Exception):
@@ -169,6 +187,15 @@ class EvidenceRecord:
     prev_digest: bytes
     mac: bytes
     digest: bytes
+    #: firmware measurement (``H_MEM``) the session attested, for the
+    #: policy registry to judge (b"" on pre-v3 records and on sessions
+    #: rejected before any report landed)
+    measurement: bytes = b""
+    #: the session was opened by the healing protocol
+    healing: bool = False
+
+    #: discriminator shared with :class:`PolicyRecord`
+    is_policy = False
 
     @property
     def profile(self) -> DeviceProfile:
@@ -194,53 +221,129 @@ class EvidenceRecord:
         )
 
 
+@dataclass(frozen=True)
+class PolicyRecord:
+    """One policy-engine decision, as persisted in the evidence log.
+
+    Field-for-field the
+    :class:`~repro.cfa.policy.engine.PolicyDecision` that produced it,
+    plus the chain bookkeeping every record carries. Policy records
+    share their device's hash chain with its session records, so the
+    chain head commits the device's lifecycle as well as its verdicts.
+    """
+
+    device_id: str
+    workload: str
+    method: str
+    from_state: int
+    to_state: int
+    action: str
+    reason: str
+    score: int
+    heal_attempt: int
+    policy_epoch: int
+    measurement: bytes
+    seq: int
+    prev_digest: bytes
+    mac: bytes
+    digest: bytes
+
+    is_policy = True
+
+    @property
+    def profile(self) -> DeviceProfile:
+        return DeviceProfile(self.workload, self.method)
+
+
 def _encode_body(verdict: SessionVerdict, challenge: bytes,
                  chain: bytes, cache_hit: bool, expired: bool,
-                 seq: int, epoch: int = 0) -> bytes:
+                 seq: int, epoch: int = 0,
+                 version: int = EVIDENCE_VERSION,
+                 measurement: bytes = b"",
+                 healing: bool = False) -> bytes:
     flags = ((_FLAG_ACCEPTED if verdict.accepted else 0)
              | (_FLAG_AUTHENTICATED if verdict.authenticated else 0)
              | (_FLAG_LOSSLESS if verdict.lossless else 0)
              | (_FLAG_CACHE_HIT if cache_hit else 0)
-             | (_FLAG_EXPIRED if expired else 0))
+             | (_FLAG_EXPIRED if expired else 0)
+             | (_FLAG_HEALING if healing and version >= 3 else 0))
     if len(chain) != _DIGEST_LEN:
         raise ValueError("chain digest must be 32 bytes")
-    parts = [
+    if version == 1 and epoch:
+        raise EvidenceError(
+            "version-1 evidence logs cannot record dictionary epochs; "
+            "migrate to a fresh store")
+    parts = []
+    if version >= 3:
+        parts.append(struct.pack("<B", KIND_SESSION))
+    parts += [
         _lp(verdict.device_id.encode()),
         _lp(verdict.profile.workload.encode()),
         _lp(verdict.profile.method.encode()),
         _lp(challenge),
         chain,
-        struct.pack("<I", epoch),
+    ]
+    if version >= 2:
+        parts.append(struct.pack("<I", epoch))
+    parts += [
         struct.pack("<B", flags),
         _lp(verdict.reason.encode()),
         struct.pack("<III", verdict.reports, verdict.records,
                     verdict.path_len),
         _lp(verdict.path_digest.encode()),
-        _lp(verdict.records_digest.encode()),
-        struct.pack("<H", len(verdict.violations)),
     ]
+    if version >= 2:
+        parts.append(_lp(verdict.records_digest.encode()))
+    parts.append(struct.pack("<H", len(verdict.violations)))
     for kind, address, detail in verdict.violations:
         parts.append(_lp(kind.encode()))
         parts.append(struct.pack("<I", address & 0xFFFFFFFF))
         parts.append(_lp(detail.encode()))
+    if version >= 3:
+        parts.append(_lp(measurement))
     parts.append(struct.pack("<I", seq))
     return b"".join(parts)
 
 
-def _decode_body(body: bytes, prev_digest: bytes,
-                 mac: bytes) -> EvidenceRecord:
+def _encode_policy_body(decision, seq: int) -> bytes:
+    """Serialize one policy decision (duck-typed: any object carrying
+    the :class:`~repro.cfa.policy.engine.PolicyDecision` fields)."""
+    return b"".join([
+        struct.pack("<B", KIND_POLICY),
+        _lp(decision.device_id.encode()),
+        _lp(decision.workload.encode()),
+        _lp(decision.method.encode()),
+        struct.pack("<BB", decision.from_state, decision.to_state),
+        _lp(decision.action.encode()),
+        _lp(decision.reason.encode()),
+        struct.pack("<III", decision.score, decision.heal_attempt,
+                    decision.policy_epoch),
+        _lp(decision.measurement),
+        struct.pack("<I", seq),
+    ])
+
+
+def _decode_body(body: bytes, prev_digest: bytes, mac: bytes,
+                 version: int = EVIDENCE_VERSION
+                 ) -> Union[EvidenceRecord, "PolicyRecord"]:
     reader = _Reader(body)
+    if version >= 3:
+        kind = reader.u8()
+        if kind == KIND_POLICY:
+            return _decode_policy_body(reader, body, prev_digest, mac)
+        if kind != KIND_SESSION:
+            raise EvidenceError(f"unknown evidence record kind {kind}")
     device_id = reader.lp_str()
     workload = reader.lp_str()
     method = reader.lp_str()
     challenge = reader.lp_bytes()
     chain = reader.take(_DIGEST_LEN)
-    epoch = reader.u32()
+    epoch = reader.u32() if version >= 2 else 0
     flags = reader.u8()
     reason = reader.lp_str()
     reports, records, path_len = struct.unpack("<III", reader.take(12))
     path_digest = reader.lp_str()
-    records_digest = reader.lp_str()
+    records_digest = reader.lp_str() if version >= 2 else ""
     n_violations = reader.u16()
     violations = []
     for _ in range(n_violations):
@@ -248,6 +351,7 @@ def _decode_body(body: bytes, prev_digest: bytes,
         address = reader.u32()
         detail = reader.lp_str()
         violations.append((kind, address, detail))
+    measurement = reader.lp_bytes() if version >= 3 else b""
     seq = reader.u32()
     if not reader.exhausted:
         raise EvidenceError("trailing bytes inside evidence body")
@@ -265,6 +369,32 @@ def _decode_body(body: bytes, prev_digest: bytes,
         violations=tuple(violations), seq=seq,
         prev_digest=prev_digest, mac=mac,
         digest=hashlib.sha256(prev_digest + body + mac).digest(),
+        measurement=measurement,
+        healing=bool(flags & _FLAG_HEALING),
+    )
+
+
+def _decode_policy_body(reader: _Reader, body: bytes,
+                        prev_digest: bytes, mac: bytes) -> PolicyRecord:
+    device_id = reader.lp_str()
+    workload = reader.lp_str()
+    method = reader.lp_str()
+    from_state, to_state = struct.unpack("<BB", reader.take(2))
+    action = reader.lp_str()
+    reason = reader.lp_str()
+    score, heal_attempt, policy_epoch = struct.unpack(
+        "<III", reader.take(12))
+    measurement = reader.lp_bytes()
+    seq = reader.u32()
+    if not reader.exhausted:
+        raise EvidenceError("trailing bytes inside policy record body")
+    return PolicyRecord(
+        device_id=device_id, workload=workload, method=method,
+        from_state=from_state, to_state=to_state, action=action,
+        reason=reason, score=score, heal_attempt=heal_attempt,
+        policy_epoch=policy_epoch, measurement=measurement, seq=seq,
+        prev_digest=prev_digest, mac=mac,
+        digest=hashlib.sha256(prev_digest + body + mac).digest(),
     )
 
 
@@ -273,7 +403,8 @@ def _record_mac(key: bytes, prev_digest: bytes, body: bytes) -> bytes:
 
 
 def _parse(data: bytes, key: bytes
-           ) -> Tuple[List[EvidenceRecord], int, Optional[str]]:
+           ) -> Tuple[List[Union[EvidenceRecord, PolicyRecord]], int,
+                      Optional[str]]:
     """Parse and verify an evidence file image.
 
     Returns ``(records, valid_length, torn_reason)``: every verified
@@ -290,8 +421,9 @@ def _parse(data: bytes, key: bytes
         return [], 0, "torn file header"
     if data[:4] != EVIDENCE_MAGIC:
         raise EvidenceError("bad evidence magic")
-    if data[4] != EVIDENCE_VERSION:
-        raise EvidenceError(f"unsupported evidence version {data[4]}")
+    version = data[4]
+    if version not in SUPPORTED_VERSIONS:
+        raise EvidenceError(f"unsupported evidence version {version}")
     pos = _HEADER_LEN
     heads: Dict[str, Tuple[int, bytes]] = {}
     records: List[EvidenceRecord] = []
@@ -311,7 +443,7 @@ def _parse(data: bytes, key: bytes
         body = frame[2 * _DIGEST_LEN:]
         if not hmac.compare_digest(mac, _record_mac(key, prev_digest, body)):
             raise EvidenceError(f"MAC mismatch on frame at {pos}")
-        record = _decode_body(body, prev_digest, mac)
+        record = _decode_body(body, prev_digest, mac, version)
         seq, expected_prev = heads.get(record.device_id, (0, GENESIS))
         if record.seq != seq:
             raise EvidenceError(
@@ -328,7 +460,8 @@ def _parse(data: bytes, key: bytes
 
 
 def verify_evidence_trail(path: Union[str, os.PathLike],
-                          key: bytes) -> List[EvidenceRecord]:
+                          key: bytes
+                          ) -> List[Union[EvidenceRecord, PolicyRecord]]:
     """Strictly verify an evidence log from disk.
 
     Every frame must parse, MAC under ``key``, and extend its device's
@@ -366,11 +499,16 @@ class EvidenceStore:
         self.fsyncs = 0
         self.truncated_tail = ""  # recovery note: torn bytes dropped
         self._heads: Dict[str, Tuple[int, bytes]] = {}
-        self.recovered: List[EvidenceRecord] = []
+        self.recovered: List[Union[EvidenceRecord, PolicyRecord]] = []
+        #: the format this file is written in — a reopened legacy log
+        #: keeps its native version so its chains stay verifiable
+        self.version = EVIDENCE_VERSION
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing = self.path.read_bytes() if self.path.exists() else b""
         if existing:
             self.recovered, good, torn = _parse(existing, key)
+            if len(existing) >= _HEADER_LEN:
+                self.version = existing[4]
             for record in self.recovered:
                 self._heads[record.device_id] = (
                     record.seq + 1, record.digest)
@@ -381,7 +519,7 @@ class EvidenceStore:
         self._fh = open(self.path, "ab")
         if self._fh.tell() == 0:
             self._fh.write(
-                EVIDENCE_MAGIC + struct.pack("<B", EVIDENCE_VERSION))
+                EVIDENCE_MAGIC + struct.pack("<B", self.version))
             self._fh.flush()
             if self.fsync_enabled:
                 self._fsync(self._fh.fileno())
@@ -391,7 +529,9 @@ class EvidenceStore:
 
     def append(self, verdict: SessionVerdict, chain: bytes,
                challenge: bytes = b"", cache_hit: bool = False,
-               expired: bool = False, epoch: int = 0) -> EvidenceRecord:
+               expired: bool = False, epoch: int = 0,
+               measurement: bytes = b"",
+               healing: bool = False) -> EvidenceRecord:
         """Persist one verdict; durable before this method returns.
 
         The in-memory chain head only advances after the bytes are on
@@ -403,7 +543,40 @@ class EvidenceStore:
         device_id = verdict.device_id
         seq, prev_digest = self._heads.get(device_id, (0, GENESIS))
         body = _encode_body(verdict, challenge, chain, cache_hit,
-                            expired, seq, epoch=epoch)
+                            expired, seq, epoch=epoch,
+                            version=self.version,
+                            measurement=measurement, healing=healing)
+        self._append_frame(device_id, seq, prev_digest, body)
+        mac = _record_mac(self.key, prev_digest, body)
+        return _decode_body(body, prev_digest, mac, self.version)
+
+    def append_decision(self, decision) -> PolicyRecord:
+        """Persist one policy decision into its device's hash chain.
+
+        ``decision`` carries the
+        :class:`~repro.cfa.policy.engine.PolicyDecision` fields. Same
+        durability contract as :meth:`append`: the caller must not act
+        on the transition (admission, healing, notices) if this raises.
+        Policy records require the current format; appending one to a
+        legacy (v1/v2) log is refused rather than silently corrupting
+        old auditors.
+        """
+        if self.version < 3:
+            raise EvidenceError(
+                f"evidence log {self.path} is format version "
+                f"{self.version}; policy records need version 3 "
+                f"(use a fresh store for the policy control plane)")
+        device_id = decision.device_id
+        seq, prev_digest = self._heads.get(device_id, (0, GENESIS))
+        body = _encode_policy_body(decision, seq)
+        self._append_frame(device_id, seq, prev_digest, body)
+        mac = _record_mac(self.key, prev_digest, body)
+        record = _decode_body(body, prev_digest, mac, self.version)
+        assert isinstance(record, PolicyRecord)
+        return record
+
+    def _append_frame(self, device_id: str, seq: int,
+                      prev_digest: bytes, body: bytes) -> None:
         mac = _record_mac(self.key, prev_digest, body)
         frame = prev_digest + mac + body
         try:
@@ -426,7 +599,6 @@ class EvidenceStore:
         self._heads[device_id] = (seq + 1, digest)
         self.records_appended += 1
         self.bytes_appended += 4 + len(frame)
-        return _decode_body(body, prev_digest, mac)
 
     # -- reading ------------------------------------------------------------
 

@@ -1,0 +1,67 @@
+"""Policy control plane for the fleet Vrf.
+
+Verdicts end at pass/fail; this package decides what *happens* to a
+device afterwards. Three pieces:
+
+* :mod:`~repro.cfa.policy.registry` — the firmware/attestation
+  registry: signed, monotone-epoch policy documents pinning the
+  acceptable firmware measurements per device profile, with
+  revocation.
+* :mod:`~repro.cfa.policy.engine` — the quarantine engine: a
+  deterministic fold over session evidence that scores devices and
+  walks them through HEALTHY → SUSPECT → QUARANTINED → HEALING →
+  REJOINED (→ REVOKED), enforcing admission control and emitting one
+  auditable :class:`~repro.cfa.policy.engine.PolicyDecision` per
+  transition.
+* :mod:`~repro.cfa.policy.heal` — the guaranteed-healing protocol:
+  MAC'd ``HEAL`` orders carrying the pinned firmware measurement and a
+  fresh challenge, with retry and escalation to permanent revocation.
+
+Every decision is appended to the evidence store as a policy record in
+the device's own hash chain, and :mod:`~repro.cfa.policy.recovery`
+rebuilds the whole control-plane state from the evidence logs alone.
+"""
+
+from repro.cfa.policy.engine import (
+    HEALING,
+    HEALTHY,
+    PolicyDecision,
+    PolicyDeniedError,
+    PolicyEngine,
+    QUARANTINED,
+    REJOINED,
+    REVOKED,
+    STATE_NAMES,
+    SUSPECT,
+    state_name,
+)
+from repro.cfa.policy.heal import (
+    build_heal_frame,
+    build_policy_frame,
+    heal_mac,
+    policy_notice_mac,
+    verify_heal_frame,
+    verify_policy_frame,
+)
+from repro.cfa.policy.recovery import (
+    ControlPlaneSnapshot,
+    reconstruct_control_plane,
+    write_recovery_manifest,
+)
+from repro.cfa.policy.registry import (
+    PolicyDoc,
+    PolicyError,
+    PolicyRegistry,
+    policy_key,
+)
+
+__all__ = [
+    "HEALTHY", "SUSPECT", "QUARANTINED", "HEALING", "REJOINED",
+    "REVOKED", "STATE_NAMES", "state_name",
+    "PolicyDecision", "PolicyDeniedError", "PolicyEngine",
+    "PolicyDoc", "PolicyError", "PolicyRegistry", "policy_key",
+    "heal_mac", "verify_heal_frame", "build_heal_frame",
+    "policy_notice_mac", "verify_policy_frame", "build_policy_frame",
+    "ControlPlaneSnapshot", "reconstruct_control_plane",
+    "write_recovery_manifest",
+]

@@ -147,14 +147,18 @@ SHARD_VERSION = 1
 
 #: frame kinds: a device report inbound to a shard, a challenge
 #: outbound from a shard (re-challenge fan-in at the router), a
-#: dictionary push outbound, or a dictionary ACK inbound — dictionary
-#: traffic crosses the shard boundary exactly like session traffic
+#: dictionary push outbound, a dictionary ACK inbound, a policy
+#: notice outbound, or a healing order outbound — policy traffic
+#: crosses the shard boundary exactly like session traffic
 SHARD_KIND_REPORT = 1
 SHARD_KIND_CHALLENGE = 2
 SHARD_KIND_DICT = 3
 SHARD_KIND_DACK = 4
+SHARD_KIND_PLCY = 5
+SHARD_KIND_HEAL = 6
 _SHARD_KINDS = (SHARD_KIND_REPORT, SHARD_KIND_CHALLENGE,
-                SHARD_KIND_DICT, SHARD_KIND_DACK)
+                SHARD_KIND_DICT, SHARD_KIND_DACK,
+                SHARD_KIND_PLCY, SHARD_KIND_HEAL)
 
 
 def encode_shard_frame(shard_id: int, device_id: str, payload: bytes,
@@ -287,6 +291,103 @@ def decode_dack_frame(data: bytes) -> Tuple[str, int, bytes, bytes]:
     if not reader.exhausted:
         raise WireError("trailing bytes after dictionary ACK")
     return device_id, epoch, digest, mac
+
+
+# -- policy control-plane framing --------------------------------------------
+#
+# The policy engine notifies devices of lifecycle transitions and
+# drives the guaranteed-healing protocol over its own frames:
+#
+# ``PLCY`` (Vrf -> Prv): a policy notice — the device's new lifecycle
+# state, the reason, and the policy epoch it was decided under. MAC'd
+# under the device's attestation key so a network adversary cannot
+# fake a quarantine (or a rejoin) notice.
+#
+# ``HEAL`` (Vrf -> Prv): a healing order — the pinned firmware
+# measurement the device must re-provision, the healing attempt
+# number, and the fresh challenge nonce its post-heal chain must
+# answer. MAC'd under the device's attestation key so only the real
+# Vrf can force a re-provision.
+
+PLCY_MAGIC = b"PLCY"
+PLCY_VERSION = 1
+HEAL_MAGIC = b"HEAL"
+HEAL_VERSION = 1
+
+
+def encode_policy_frame(device_id: str, state: str, reason: str,
+                        policy_epoch: int, mac: bytes) -> bytes:
+    """Frame one policy notice for a device."""
+    if not 0 <= policy_epoch <= 0xFFFFFFFF:
+        raise WireError(f"policy epoch {policy_epoch} out of range")
+    return (PLCY_MAGIC
+            + struct.pack("<BI", PLCY_VERSION, policy_epoch)
+            + _pack_bytes(device_id.encode())
+            + _pack_bytes(state.encode())
+            + _pack_bytes(reason.encode())
+            + _pack_bytes(mac))
+
+
+def decode_policy_frame(data: bytes) -> Tuple[str, str, str, int, bytes]:
+    """Parse a policy notice; returns
+    ``(device_id, state, reason, policy_epoch, mac)``."""
+    reader = _Reader(data)
+    if reader.take(4) != PLCY_MAGIC:
+        raise WireError("bad policy frame magic")
+    version, policy_epoch = struct.unpack("<BI", reader.take(5))
+    if version != PLCY_VERSION:
+        raise WireError(f"unsupported policy frame version {version}")
+    try:
+        device_id = reader.lp_bytes().decode("utf-8")
+        state = reader.lp_bytes().decode("utf-8")
+        reason = reader.lp_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"non-UTF-8 policy field: {exc}") from None
+    mac = reader.lp_bytes()
+    if not reader.exhausted:
+        raise WireError("trailing bytes after policy frame")
+    return device_id, state, reason, policy_epoch, mac
+
+
+def encode_heal_frame(device_id: str, attempt: int, policy_epoch: int,
+                      measurement: bytes, nonce: bytes,
+                      mac: bytes) -> bytes:
+    """Frame one healing order for a quarantined device."""
+    if not 1 <= attempt <= 0xFFFFFFFF:
+        raise WireError(f"healing attempt {attempt} out of range")
+    if not 0 <= policy_epoch <= 0xFFFFFFFF:
+        raise WireError(f"policy epoch {policy_epoch} out of range")
+    return (HEAL_MAGIC
+            + struct.pack("<BII", HEAL_VERSION, attempt, policy_epoch)
+            + _pack_bytes(device_id.encode())
+            + _pack_bytes(measurement)
+            + _pack_bytes(nonce)
+            + _pack_bytes(mac))
+
+
+def decode_heal_frame(
+        data: bytes) -> Tuple[str, int, int, bytes, bytes, bytes]:
+    """Parse a healing order; returns
+    ``(device_id, attempt, policy_epoch, measurement, nonce, mac)``."""
+    reader = _Reader(data)
+    if reader.take(4) != HEAL_MAGIC:
+        raise WireError("bad healing frame magic")
+    version, attempt, policy_epoch = struct.unpack(
+        "<BII", reader.take(9))
+    if version != HEAL_VERSION:
+        raise WireError(f"unsupported healing frame version {version}")
+    if attempt < 1:
+        raise WireError("healing attempt must be >= 1")
+    try:
+        device_id = reader.lp_bytes().decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"device id is not valid UTF-8: {exc}") from None
+    measurement = reader.lp_bytes()
+    nonce = reader.lp_bytes()
+    mac = reader.lp_bytes()
+    if not reader.exhausted:
+        raise WireError("trailing bytes after healing frame")
+    return device_id, attempt, policy_epoch, measurement, nonce, mac
 
 
 def encode_result(result: AttestationResult) -> bytes:

@@ -355,26 +355,179 @@ def _audit_store(store_dir, seed: bytes = b"fleet-vrf") -> int:
 
 
 def _cmd_audit(args) -> int:
+    """Exit codes: 0 = every chain verified; 1 = missing logs or any
+    integrity failure (torn frames, bad MACs, broken chains)."""
+    import json
+    import pathlib
     from collections import Counter
 
-    from repro.cfa.fleet import audit_key, verify_evidence_trail
+    from repro.cfa.fleet import EvidenceError, audit_key, \
+        verify_evidence_trail
+    from repro.cfa.policy import STATE_NAMES
 
-    total = _audit_store(args.store)
-    if total < 0:
-        return 1
+    result = {
+        "ok": False, "store": str(args.store), "logs": [],
+        "records": 0, "session_records": 0, "policy_records": 0,
+        "devices": 0, "accepted": 0, "rejected": 0, "cache_hits": 0,
+        "policy_states": {}, "error": None,
+    }
+
+    def emit(code: int) -> int:
+        if args.json:
+            try:
+                print(json.dumps(result, indent=2, sort_keys=True))
+            except BrokenPipeError:  # |head closed the pipe; exit quietly
+                sys.stderr.close()
+        elif result["error"] is not None:
+            print(f"audit: FAILED: {result['error']}", file=sys.stderr)
+        else:
+            states = ", ".join(
+                f"{count} {name}" for name, count
+                in sorted(result["policy_states"].items()))
+            print(f"audit: {result['records']} records across "
+                  f"{result['devices']} devices OK "
+                  f"({result['accepted']} accepted, "
+                  f"{result['rejected']} rejected, "
+                  f"{result['cache_hits']} cache-hit, "
+                  f"{result['policy_records']} policy"
+                  + (f"; states: {states}" if states else "") + ")")
+        return code
+
     key = audit_key(b"fleet-vrf")
+    store_dir = pathlib.Path(args.store)
+    logs = sorted(store_dir.glob("evidence-*.log"))
+    if not logs and (store_dir / "evidence.log").exists():
+        logs = [store_dir / "evidence.log"]
+    if not logs:
+        result["error"] = f"no evidence logs under {args.store}"
+        return emit(1)
     devices = set()
-    outcomes = Counter()
-    import pathlib
-    for path in sorted(pathlib.Path(args.store).glob("evidence-*.log")):
-        for record in verify_evidence_trail(path, key):
+    last_state: dict = {}
+    for path in logs:
+        try:
+            records = verify_evidence_trail(path, key)
+        except EvidenceError as exc:
+            result["error"] = f"{path.name}: {exc}"
+            return emit(1)
+        result["logs"].append({"name": path.name,
+                               "records": len(records)})
+        for record in records:
             devices.add(record.device_id)
-            outcomes["accepted" if record.accepted else "rejected"] += 1
-            if record.cache_hit:
-                outcomes["cache-hit"] += 1
-    print(f"audit: {total} records across {len(devices)} devices OK "
-          f"({outcomes['accepted']} accepted, {outcomes['rejected']} "
-          f"rejected, {outcomes['cache-hit']} cache-hit)")
+            result["records"] += 1
+            if getattr(record, "is_policy", False):
+                result["policy_records"] += 1
+                last_state[record.device_id] = \
+                    STATE_NAMES[record.to_state]
+            else:
+                result["session_records"] += 1
+                key_name = "accepted" if record.accepted else "rejected"
+                result[key_name] += 1
+                if record.cache_hit:
+                    result["cache_hits"] += 1
+    result["devices"] = len(devices)
+    result["policy_states"] = dict(Counter(last_state.values()))
+    result["ok"] = True
+    return emit(0)
+
+
+def _cmd_policy(args) -> int:
+    """Exit codes: 0 = campaign SLA met (every compromised device
+    quarantined and rejoined, zero wrongful quarantines, evidence
+    clean); 1 = any SLA or audit failure; 2 = bad flag combination."""
+    from repro.cfa.fleet import (
+        CampaignSimulator,
+        ChainFactory,
+        FleetService,
+        ShardedFleetService,
+        build_campaign_specs,
+        device_key,
+    )
+    from repro.cfa.policy import PolicyEngine, PolicyRegistry, policy_key
+
+    if args.store and not args.shards:
+        print("policy: --store requires --shards", file=sys.stderr)
+        return 2
+    if args.smoke_restart and not (args.shards and args.store):
+        print("policy: --smoke-restart requires --shards and --store",
+              file=sys.stderr)
+        return 2
+
+    specs = build_campaign_specs(
+        args.devices, compromised_fraction=args.compromised_fraction,
+        method=args.method, seed=args.seed)
+    factory = ChainFactory(watermark=1024, cache=_make_cache(args))
+    simulator = CampaignSimulator(specs, seed=args.seed, factory=factory)
+
+    def make_service(resume: bool = False):
+        if args.shards:
+            return ShardedFleetService(
+                shards=args.shards, store_dir=args.store,
+                idle_timeout=5.0, resume=resume,
+                policy=True, key_lookup=device_key)
+        return FleetService(
+            idle_timeout=5.0,
+            policy=PolicyEngine(registry=PolicyRegistry(
+                policy_key(b"fleet-vrf"))),
+            key_lookup=device_key)
+
+    service = make_service()
+    if not args.no_pin:
+        pinned = simulator.pin_profiles(service)
+        print(f"policy: pinned {pinned} firmware profile(s)",
+              file=sys.stderr)
+    if args.smoke_restart:
+        # round 0, hard-stop mid-campaign (no clean close), restart
+        # over the same store, re-issue standing heal orders, finish —
+        # the control-plane durability smoke the CI gate runs
+        simulator.run_round(service, 0)
+        simulator.heal_round(service, 0)
+        for shard in service.shards:  # flush OS buffers, skip close()
+            shard.store.close()
+        service = make_service(resume=True)
+        print(f"policy: restart recovered "
+              f"{service.recovered_verdicts} verdicts; policy states "
+              f"rebuilt from evidence", file=sys.stderr)
+        resumed = simulator.heal_round(service, 0, resume=True)
+        if resumed:
+            print(f"policy: re-issued {resumed} standing heal "
+                  f"order(s)", file=sys.stderr)
+        simulator.deliver_notices(service)
+        for round_index in range(1, args.rounds):
+            simulator.run_round(service, round_index)
+            simulator.heal_round(service, round_index)
+            simulator.deliver_notices(service)
+        simulator.report.rounds = args.rounds
+        simulator.report.end_states = service.policy.state_names()
+        report = simulator.report
+    else:
+        report = simulator.run(service, rounds=args.rounds)
+    metrics = service.close()
+    print(f"policy: {metrics.summary()}", file=sys.stderr)
+    print(f"policy: {report.summary()}")
+    failures = []
+    for device_id in report.compromised:
+        end = report.end_states.get(device_id, "HEALTHY")
+        if device_id not in report.quarantined_round:
+            failures.append(f"{device_id}: compromised but never "
+                            f"quarantined")
+        elif end != "REJOINED":
+            failures.append(f"{device_id}: quarantined but ended "
+                            f"{end}, not REJOINED")
+    for device_id in report.wrongful_quarantines:
+        failures.append(f"{device_id}: honest device was quarantined")
+    if args.store:
+        audited = _audit_store(args.store)
+        if audited < 0:
+            failures.append("evidence audit failed")
+        else:
+            print(f"policy: evidence trail verified from disk "
+                  f"({audited} records)", file=sys.stderr)
+    for line in failures:
+        print(f"FAILED {line}")
+    if failures:
+        print(f"policy: {len(failures)} SLA failure(s)")
+        return 1
+    print(f"policy: campaign SLA met over {len(specs)} device(s)")
     return 0
 
 
@@ -496,10 +649,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser(
         "audit",
-        help="verify a fleet evidence store's hash chains from disk")
+        help="verify a fleet evidence store's hash chains from disk "
+             "(exit 0 = clean, 1 = missing logs or any integrity "
+             "failure)")
     audit.add_argument("store", metavar="DIR",
                        help="evidence-store directory (evidence-*.log)")
+    audit.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
     audit.set_defaults(func=_cmd_audit)
+
+    policy = sub.add_parser(
+        "policy",
+        help="compromise-then-heal campaign against the policy control "
+             "plane (exit 0 = SLA met, 1 = SLA/audit failure)")
+    policy.add_argument("--devices", type=int, default=100, metavar="N",
+                        help="fleet size (default: 100)")
+    policy.add_argument("--compromised-fraction", type=float,
+                        default=0.05, metavar="F",
+                        help="fraction of initially-compromised devices "
+                             "(default: 0.05)")
+    policy.add_argument("--rounds", type=int, default=3, metavar="R",
+                        help="attest/heal/notify cycles (default: 3)")
+    policy.add_argument("--method", choices=["rap-track", "traces"],
+                        default="rap-track")
+    policy.add_argument("--seed", type=int, default=0,
+                        help="fleet composition + delivery RNG seed")
+    policy.add_argument("--shards", type=int, default=0, metavar="S",
+                        help="shard the fleet across S services "
+                             "(default: 0 = single service)")
+    policy.add_argument("--store", metavar="DIR",
+                        help="durable evidence-store directory "
+                             "(requires --shards >= 1)")
+    policy.add_argument("--smoke-restart", action="store_true",
+                        help="hard-stop the service after the first "
+                             "round, rebuild the control plane from "
+                             "the evidence logs, finish the campaign "
+                             "(the CI policy smoke)")
+    policy.add_argument("--no-pin", action="store_true",
+                        help="skip publishing per-profile firmware "
+                             "policy documents")
+    _add_cache_flags(policy)
+    policy.set_defaults(func=_cmd_policy)
     return parser
 
 

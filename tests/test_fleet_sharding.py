@@ -13,7 +13,9 @@ shard) and the wire-level shard handoff framing every routed report
 crosses.
 """
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.cfa.fleet import (
     ChainFactory,
@@ -148,6 +150,72 @@ class TestHashRing:
             HashRing(0)
         with pytest.raises(ValueError):
             HashRing(2, vnodes=0)
+
+
+class TestHashRingRemoval:
+    """The decommission mirror of the grow-by-one contract: removing a
+    shard may move only that shard's keys, and repeated churn keeps
+    the survivors balanced."""
+
+    @given(shards=st.integers(2, 8), victim_index=st.integers(0, 7),
+           vnodes=st.sampled_from([16, 64]))
+    @settings(deadline=None, max_examples=40)
+    def test_removal_remaps_only_the_removed_shards_keys(
+            self, shards, victim_index, vnodes):
+        ring = HashRing(shards, vnodes=vnodes)
+        victim = ring.shard_ids[victim_index % shards]
+        shrunk = ring.remove(victim)
+        assert victim not in shrunk.shard_ids
+        assert shrunk.shard_count == shards - 1
+        for index in range(400):
+            device = f"prv-{index:05d}"
+            before, after = ring.route(device), shrunk.route(device)
+            if before == victim:
+                assert after in shrunk.shard_ids
+            else:
+                assert after == before, device
+
+    @given(victims=st.lists(st.integers(0, 5), min_size=1,
+                            max_size=4, unique=True))
+    @settings(deadline=None, max_examples=25)
+    def test_churn_sequence_never_moves_survivor_keys(self, victims):
+        ring = HashRing(6)
+        devices = [f"prv-{index:04d}" for index in range(250)]
+        for victim in victims:
+            owners = {device: ring.route(device) for device in devices}
+            ring = ring.remove(victim)
+            for device in devices:
+                if owners[device] == victim:
+                    assert ring.route(device) != victim
+                else:
+                    assert ring.route(device) == owners[device]
+
+    def test_removed_fraction_is_about_one_over_n(self):
+        ring = HashRing(5, vnodes=128)
+        shrunk = ring.remove(2)
+        devices = [f"prv-{index:05d}" for index in range(4000)]
+        moved = sum(1 for device in devices
+                    if ring.route(device) != shrunk.route(device))
+        assert 0.08 < moved / len(devices) < 0.35
+
+    def test_balance_holds_after_churn(self):
+        ring = HashRing(6, vnodes=128)
+        for victim in (1, 4):
+            ring = ring.remove(victim)
+        assert ring.shard_ids == (0, 2, 3, 5)
+        counts = {shard: 0 for shard in ring.shard_ids}
+        for index in range(4000):
+            counts[ring.route(f"prv-{index:05d}")] += 1
+        assert min(counts.values()) > 0.5 * (4000 / 4)
+
+    def test_remove_rejects_unknown_and_final_shard(self):
+        ring = HashRing(2)
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove(7)
+        last = ring.remove(0)
+        assert last.shard_ids == (1,)
+        with pytest.raises(ValueError):
+            last.remove(1)
 
 
 class TestShardFrameCodec:

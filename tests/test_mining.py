@@ -30,6 +30,7 @@ from repro.cfa.fleet import (
     mine_fleet_dictionary,
     mining_gain,
 )
+from repro.cfa.fleet.mining import _stream_digest
 from repro.cfa.speccfa import (
     EMPTY_DICTIONARY_DIGEST,
     SpecRecord,
@@ -196,3 +197,102 @@ def test_sampler_merge_sums_counts():
     assert weights[tuple(hot)] == 3
     assert weights[(AddressRecord(1, 2),)] == 1
     assert merged.sessions_observed(profile) == 4
+
+
+# -- the dedup-map bound and deterministic eviction -------------------------
+
+
+def test_sampler_bound_floors_and_defaults():
+    assert TrafficSampler(max_streams=10).max_digests == 40
+    # the dedup map can never be smaller than the exemplar map
+    assert TrafficSampler(max_streams=8, max_digests=2).max_digests == 8
+    with pytest.raises(ValueError):
+        TrafficSampler(max_streams=0)
+
+
+def test_sampler_eviction_is_deterministic_coldest_first():
+    """Overflowing the dedup map evicts the minimum-(count, digest)
+    entry — never the digest being observed — and drops its exemplar."""
+    profile = DeviceProfile("prime")
+    sampler = TrafficSampler(max_streams=4, max_digests=4)
+    streams = [[AddressRecord(1, i)] for i in range(4)]
+    for records, heat in zip(streams, (3, 2, 1, 1)):
+        for _ in range(heat):
+            sampler.observe(profile, records)
+    assert sampler.evictions == 0
+
+    newcomer = [BranchRecord(4, 8)]
+    sampler.observe(profile, newcomer)
+    assert sampler.evictions == 1
+    # the two count-1 entries tied; lexicographically smaller digest lost
+    victim = min(_stream_digest(streams[2]), _stream_digest(streams[3]))
+    kept = {_stream_digest(records)
+            for records, _ in sampler.sample(profile)}
+    assert victim not in kept
+    assert _stream_digest(newcomer) in kept  # the newcomer survives
+    assert {_stream_digest(streams[0]),
+            _stream_digest(streams[1])} <= kept
+
+
+def test_sampler_evicted_digest_reenters_with_fresh_count():
+    profile = DeviceProfile("prime")
+    sampler = TrafficSampler(max_streams=2, max_digests=2)
+    hot, cold, other = ([BranchRecord(4, 8)], [AddressRecord(1, 0)],
+                        [AddressRecord(1, 1)])
+    for _ in range(5):
+        sampler.observe(profile, hot)
+    sampler.observe(profile, cold)
+    sampler.observe(profile, other)  # evicts cold (count 1)
+    assert sampler.evictions == 1
+    assert _stream_digest(cold) not in {
+        _stream_digest(records) for records, _ in sampler.sample(profile)}
+    for _ in range(3):  # cold comes back hot: first observe evicts other
+        sampler.observe(profile, cold)
+    assert sampler.evictions == 2
+    weights = {_stream_digest(records): weight
+               for records, weight in sampler.sample(profile)}
+    # history before the eviction is gone: 3, not 4
+    assert weights == {_stream_digest(hot): 5, _stream_digest(cold): 3}
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=40,
+                unique=True))
+@settings(max_examples=60, deadline=None)
+def test_sampler_bounds_hold_under_any_traffic(values):
+    """All-distinct traffic (the adversarial worst case): both maps
+    stay hard-bounded at every step, the observed digest is never the
+    eviction victim, and the eviction count is exact."""
+    profile = DeviceProfile("prime")
+    sampler = TrafficSampler(max_streams=3, max_digests=6)
+    for value in values:
+        records = [AddressRecord(1, value)]
+        sampler.observe(profile, records)
+        sample = sampler._profiles[profile]
+        assert len(sample.counts) <= 6
+        assert len(sample.streams) <= 3
+        assert set(sample.streams) <= set(sample.counts)
+        assert sample.counts[_stream_digest(records)] == 1
+    assert sampler.evictions == max(0, len(values) - 6)
+    assert sampler.sessions_observed(profile) == len(values)
+
+
+def test_sampler_merge_trims_to_bound_and_counts_evictions():
+    profile = DeviceProfile("prime")
+    a = TrafficSampler(max_streams=2, max_digests=3)
+    b = TrafficSampler(max_streams=2, max_digests=3)
+    for i in range(3):  # each sampler within bound on its own
+        a.observe(profile, [AddressRecord(1, i)])
+    hot = [BranchRecord(4, 8)]
+    for _ in range(4):
+        b.observe(profile, hot)
+    b.observe(profile, [AddressRecord(2, 0)])
+    b.observe(profile, [AddressRecord(2, 1)])
+
+    merged = TrafficSampler.merge([a, b])
+    assert merged.max_digests == 3  # bounds carry through the fold
+    assert merged.evictions == 3  # 6 distinct digests trimmed to 3
+    sample = merged._profiles[profile]
+    assert len(sample.counts) == 3
+    assert sample.counts[_stream_digest(hot)] == 4  # hottest survives
+    assert set(sample.streams) <= set(sample.counts)
+    assert merged.sessions_observed(profile) == 9  # no sessions lost

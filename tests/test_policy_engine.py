@@ -1,0 +1,595 @@
+"""Unit tests for the policy control plane's building blocks.
+
+Covers the firmware registry (signed monotone policy documents with
+revocation and strict reload), the quarantine engine's state machine
+(hard signals, consecutive-failure scoring, recovery, healing, revoke
+escalation), the engine's evidence-fold restore (including the
+crash-window repair and tamper detection), the MAC'd PLCY/HEAL wire
+frames, and policy records in the evidence store's hash chains.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cfa.fleet.store import (
+    EvidenceError,
+    EvidenceStore,
+    chain_digest,
+    PolicyRecord,
+    verify_evidence_trail,
+)
+from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
+from repro.cfa.policy import (
+    HEALING,
+    HEALTHY,
+    PolicyDecision,
+    PolicyDoc,
+    PolicyEngine,
+    PolicyError,
+    PolicyRegistry,
+    QUARANTINED,
+    REJOINED,
+    REVOKED,
+    SUSPECT,
+    build_heal_frame,
+    build_policy_frame,
+    policy_key,
+    state_name,
+    verify_heal_frame,
+    verify_policy_frame,
+)
+from repro.cfa.policy.engine import (
+    ACT_HEAL,
+    ACT_HEAL_FAIL,
+    ACT_QUARANTINE,
+    ACT_RECOVER,
+    ACT_REJOIN,
+    ACT_REVOKE,
+    ACT_SUSPECT,
+)
+from repro.cfa.policy.registry import (
+    ALLOWED,
+    REVOKED_FW,
+    UNKNOWN_PROFILE,
+    UNPINNED,
+    pack_policy,
+    unpack_policy,
+)
+
+PROFILE = DeviceProfile("fibcall", "rap-track")
+GOOD = b"\x11" * 32
+BAD = b"\x22" * 32
+OTHER = b"\x33" * 32
+KEY = policy_key(b"fleet-vrf")
+
+
+def obs(device="prv-0", accepted=True, reason="", violations=(),
+        measurement=b"", healing=False, profile=PROFILE):
+    """A session observation shaped like a v3 evidence record."""
+    return SimpleNamespace(
+        device_id=device, profile=profile, accepted=accepted,
+        reason=reason, violations=tuple(violations),
+        measurement=measurement, healing=healing)
+
+
+# ---------------------------------------------------------------------------
+# the firmware registry
+# ---------------------------------------------------------------------------
+
+
+class TestPolicyRegistry:
+    def test_epochs_are_monotone_and_content_addressed(self):
+        registry = PolicyRegistry(KEY)
+        assert registry.latest_epoch(PROFILE) == 0
+        assert registry.latest(PROFILE).is_permissive
+        doc1 = registry.publish(PROFILE, GOOD)
+        doc2 = registry.publish(PROFILE, GOOD, allowed=(OTHER,))
+        assert (doc1.epoch, doc2.epoch) == (1, 2)
+        assert registry.latest_epoch(PROFILE) == 2
+        assert doc1.digest != doc2.digest
+        assert registry.get(PROFILE, 1) is doc1
+
+    def test_republish_identical_content_is_idempotent(self):
+        registry = PolicyRegistry(KEY)
+        doc = registry.publish(PROFILE, GOOD, allowed=(OTHER,))
+        again = registry.publish(PROFILE, GOOD, allowed=(OTHER,))
+        assert again is doc
+        assert registry.latest_epoch(PROFILE) == 1
+
+    def test_evaluate_outcomes(self):
+        registry = PolicyRegistry(KEY)
+        # no document published: permissive by design
+        assert registry.evaluate(PROFILE, GOOD) == UNKNOWN_PROFILE
+        registry.publish(PROFILE, GOOD, revoked=(BAD,))
+        assert registry.evaluate(PROFILE, GOOD) == ALLOWED
+        assert registry.evaluate(PROFILE, BAD) == REVOKED_FW
+        assert registry.evaluate(PROFILE, OTHER) == UNPINNED
+        # records predating measurement capture cannot be judged
+        assert registry.evaluate(PROFILE, b"") == UNKNOWN_PROFILE
+
+    def test_revoke_publishes_a_new_epoch(self):
+        registry = PolicyRegistry(KEY)
+        registry.publish(PROFILE, GOOD, allowed=(OTHER,))
+        doc = registry.revoke(PROFILE, OTHER)
+        assert doc.epoch == 2
+        assert OTHER in doc.revoked and OTHER not in doc.allowed
+        assert registry.evaluate(PROFILE, OTHER) == REVOKED_FW
+
+    def test_pinned_measurement_cannot_be_revoked(self):
+        registry = PolicyRegistry(KEY)
+        with pytest.raises(PolicyError, match="cannot be revoked"):
+            registry.publish(PROFILE, GOOD, revoked=(GOOD,))
+        registry.publish(PROFILE, GOOD)
+        with pytest.raises(PolicyError, match="publish a new pin"):
+            registry.revoke(PROFILE, GOOD)
+
+    def test_revoke_requires_a_published_policy(self):
+        registry = PolicyRegistry(KEY)
+        with pytest.raises(PolicyError, match="no published policy"):
+            registry.revoke(PROFILE, BAD)
+
+    def test_epoch_zero_is_the_permissive_document(self):
+        registry = PolicyRegistry(KEY)
+        doc = registry.get(PROFILE, 0)
+        assert doc.is_permissive
+        assert (doc.pinned, doc.allowed, doc.revoked) == (b"", (), ())
+        with pytest.raises(KeyError):
+            registry.get(PROFILE, 1)
+
+    def test_persist_and_strict_reload(self, tmp_path):
+        registry = PolicyRegistry(KEY, tmp_path)
+        registry.publish(PROFILE, GOOD, revoked=(BAD,))
+        registry.publish(PROFILE, GOOD, allowed=(OTHER,), revoked=(BAD,))
+        reloaded = PolicyRegistry(KEY, tmp_path)
+        assert reloaded.latest_epoch(PROFILE) == 2
+        assert reloaded.latest(PROFILE).payload == \
+            registry.latest(PROFILE).payload
+        assert reloaded.profiles() == [PROFILE]
+
+    def test_tampered_policy_file_refuses_to_load(self, tmp_path):
+        registry = PolicyRegistry(KEY, tmp_path)
+        registry.publish(PROFILE, GOOD)
+        path = next(tmp_path.glob("*.pol"))
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PolicyError, match="MAC verification"):
+            PolicyRegistry(KEY, tmp_path)
+
+    def test_epoch_gap_refuses_to_load(self, tmp_path):
+        registry = PolicyRegistry(KEY, tmp_path)
+        registry.publish(PROFILE, GOOD)
+        registry.publish(PROFILE, GOOD, allowed=(OTHER,))
+        next(tmp_path.glob("*__000001.pol")).unlink()
+        with pytest.raises(PolicyError, match="gap"):
+            PolicyRegistry(KEY, tmp_path)
+
+    def test_wrong_key_refuses_to_load(self, tmp_path):
+        PolicyRegistry(KEY, tmp_path).publish(PROFILE, GOOD)
+        with pytest.raises(PolicyError, match="MAC verification"):
+            PolicyRegistry(policy_key(b"other-seed"), tmp_path)
+
+
+class TestPolicyDocCodec:
+    def test_roundtrip(self):
+        payload = pack_policy(PROFILE, 3, GOOD, (GOOD, OTHER), (BAD,))
+        profile, epoch, pinned, allowed, revoked = unpack_policy(payload)
+        assert (profile, epoch, pinned) == (PROFILE, 3, GOOD)
+        assert (allowed, revoked) == ((GOOD, OTHER), (BAD,))
+
+    def test_strict_parse_failures(self):
+        payload = pack_policy(PROFILE, 1, GOOD, (GOOD,), ())
+        with pytest.raises(PolicyError, match="magic"):
+            unpack_policy(b"XXXX" + payload[4:])
+        with pytest.raises(PolicyError, match="version"):
+            unpack_policy(payload[:4] + b"\x63" + payload[5:])
+        with pytest.raises(PolicyError, match="trailing"):
+            unpack_policy(payload + b"\x00")
+        with pytest.raises(PolicyError, match="truncated"):
+            unpack_policy(payload[:-1])
+
+
+# ---------------------------------------------------------------------------
+# the quarantine engine's state machine
+# ---------------------------------------------------------------------------
+
+
+class TestStateMachine:
+    def test_soft_failures_score_up_to_quarantine(self):
+        engine = PolicyEngine(suspect_threshold=2)
+        first = engine.observe(obs(accepted=False, reason="bad MAC"))
+        assert [d.action for d in first] == [ACT_SUSPECT]
+        assert engine.state_of("prv-0") == SUSPECT
+        assert engine.admits("prv-0")
+        second = engine.observe(obs(accepted=False, reason="bad MAC"))
+        assert [d.action for d in second] == [ACT_QUARANTINE]
+        assert second[0].score == 2
+        assert engine.state_of("prv-0") == QUARANTINED
+        assert not engine.admits("prv-0")
+        assert "QUARANTINED" in engine.deny_reason("prv-0")
+
+    def test_accepted_session_recovers_a_suspect(self):
+        engine = PolicyEngine()
+        engine.observe(obs(accepted=False, reason="truncated"))
+        cleared = engine.observe(obs(accepted=True, measurement=GOOD))
+        assert [d.action for d in cleared] == [ACT_RECOVER]
+        assert cleared[0].score == 0
+        assert engine.state_of("prv-0") == HEALTHY
+
+    def test_healthy_accept_makes_no_decision(self):
+        engine = PolicyEngine()
+        assert engine.observe(obs(accepted=True, measurement=GOOD)) == []
+        assert engine.state_of("prv-0") == HEALTHY
+        assert engine.decisions_made == 0
+
+    def test_authenticated_violation_is_a_hard_quarantine(self):
+        engine = PolicyEngine()
+        decisions = engine.observe(obs(
+            accepted=False, reason="control-flow violation",
+            violations=(("rop-gadget", 4, "bad edge"),)))
+        assert [d.action for d in decisions] == [ACT_QUARANTINE]
+        assert "control-flow violation" in decisions[0].reason
+        assert engine.state_of("prv-0") == QUARANTINED
+
+    def test_equivocation_is_a_hard_quarantine(self):
+        engine = PolicyEngine()
+        decisions = engine.observe(obs(
+            accepted=False,
+            reason="conflicting duplicate of report #3"))
+        assert [d.action for d in decisions] == [ACT_QUARANTINE]
+        assert decisions[0].reason.startswith("equivocation")
+
+    def test_revoked_firmware_hard_quarantines_even_when_accepted(self):
+        registry = PolicyRegistry(KEY)
+        registry.publish(PROFILE, GOOD, revoked=(BAD,))
+        engine = PolicyEngine(registry=registry)
+        decisions = engine.observe(obs(accepted=True, measurement=BAD))
+        assert [d.action for d in decisions] == [ACT_QUARANTINE]
+        assert "revoked" in decisions[0].reason
+
+    def test_unpinned_firmware_hard_quarantines(self):
+        registry = PolicyRegistry(KEY)
+        registry.publish(PROFILE, GOOD)
+        engine = PolicyEngine(registry=registry)
+        decisions = engine.observe(obs(accepted=True, measurement=OTHER))
+        assert [d.action for d in decisions] == [ACT_QUARANTINE]
+        assert "not pinned" in decisions[0].reason
+
+    def test_pinned_firmware_passes(self):
+        registry = PolicyRegistry(KEY)
+        registry.publish(PROFILE, GOOD)
+        engine = PolicyEngine(registry=registry)
+        assert engine.observe(obs(accepted=True, measurement=GOOD)) == []
+
+    def test_observations_while_quarantined_are_ignored(self):
+        engine = PolicyEngine()
+        engine.observe(obs(accepted=False,
+                           violations=(("rop", 1, "x"),)))
+        assert engine.observe(obs(accepted=False, reason="junk")) == []
+        assert engine.observe(obs(accepted=True)) == []
+        assert engine.state_of("prv-0") == QUARANTINED
+
+    def test_rejects_degenerate_thresholds(self):
+        with pytest.raises(ValueError):
+            PolicyEngine(suspect_threshold=0)
+        with pytest.raises(ValueError):
+            PolicyEngine(max_heal_attempts=0)
+
+    def test_state_name_rejects_unknown_codes(self):
+        assert state_name(REVOKED) == "REVOKED"
+        with pytest.raises(ValueError):
+            state_name(99)
+
+
+class TestHealing:
+    def _quarantine(self, engine, device="prv-0"):
+        engine.observe(obs(device=device, accepted=False,
+                           violations=(("rop", 1, "x"),)))
+        assert engine.state_of(device) == QUARANTINED
+
+    def test_begin_heal_only_from_quarantine(self):
+        engine = PolicyEngine()
+        assert engine.begin_heal("prv-0") is None  # unknown device
+        engine.observe(obs(accepted=False, reason="soft"))
+        assert engine.begin_heal("prv-0") is None  # merely SUSPECT
+        self._quarantine(PolicyEngine())  # sanity on the helper
+
+    def test_heal_then_clean_chain_rejoins(self):
+        engine = PolicyEngine()
+        self._quarantine(engine)
+        decision = engine.begin_heal("prv-0")
+        assert (decision.action, decision.heal_attempt) == (ACT_HEAL, 1)
+        # begin_heal mints the decision; the caller persists + applies
+        assert engine.state_of("prv-0") == QUARANTINED
+        engine.apply(decision)
+        assert engine.state_of("prv-0") == HEALING
+        assert engine.healing_devices() == ["prv-0"]
+        rejoined = engine.observe(obs(accepted=True, measurement=GOOD,
+                                      healing=True))
+        assert [d.action for d in rejoined] == [ACT_REJOIN]
+        assert engine.state_of("prv-0") == REJOINED
+        assert engine.admits("prv-0")
+        # a rejoin resets the attempt budget
+        assert engine.states["prv-0"].heal_attempts == 0
+
+    def test_failed_heal_burns_the_attempt(self):
+        engine = PolicyEngine(max_heal_attempts=2)
+        self._quarantine(engine)
+        engine.apply(engine.begin_heal("prv-0"))
+        failed = engine.observe(obs(accepted=False, reason="bad MAC",
+                                    healing=True))
+        assert [d.action for d in failed] == [ACT_HEAL_FAIL]
+        assert engine.state_of("prv-0") == QUARANTINED
+        # attempt 2 is still available
+        assert engine.begin_heal("prv-0").heal_attempt == 2
+
+    def test_exhausted_healing_escalates_to_revoked(self):
+        engine = PolicyEngine(max_heal_attempts=1)
+        self._quarantine(engine)
+        engine.apply(engine.begin_heal("prv-0"))
+        decisions = engine.observe(obs(accepted=False, reason="bad",
+                                       healing=True))
+        assert [d.action for d in decisions] == [ACT_HEAL_FAIL,
+                                                 ACT_REVOKE]
+        assert engine.state_of("prv-0") == REVOKED
+        assert not engine.admits("prv-0")
+        assert engine.begin_heal("prv-0") is None
+
+    def test_healing_chain_on_banned_firmware_fails_the_attempt(self):
+        registry = PolicyRegistry(KEY)
+        registry.publish(PROFILE, GOOD, revoked=(BAD,))
+        engine = PolicyEngine(registry=registry, max_heal_attempts=2)
+        self._quarantine(engine)
+        engine.apply(engine.begin_heal("prv-0"))
+        decisions = engine.observe(obs(accepted=True, measurement=BAD,
+                                       healing=True))
+        assert [d.action for d in decisions] == [ACT_HEAL_FAIL]
+        assert "revoked" in decisions[0].reason
+
+    def test_heal_measurement_prefers_the_pinned_image(self):
+        registry = PolicyRegistry(KEY)
+        engine = PolicyEngine(registry=registry)
+        engine.observe(obs(accepted=True, measurement=OTHER))
+        assert engine.heal_measurement("prv-0") == OTHER  # last good
+        registry.publish(PROFILE, GOOD)
+        assert engine.heal_measurement("prv-0") == GOOD   # policy pin
+
+    def test_heal_order_is_the_standing_order(self):
+        registry = PolicyRegistry(KEY)
+        registry.publish(PROFILE, GOOD)
+        engine = PolicyEngine(registry=registry)
+        self._quarantine(engine)
+        assert engine.heal_order("prv-0") is None  # not HEALING yet
+        engine.apply(engine.begin_heal("prv-0"))
+        attempt, epoch, measurement, profile = engine.heal_order("prv-0")
+        assert (attempt, epoch, measurement, profile) == \
+            (1, 1, GOOD, PROFILE)
+
+    def test_stale_healing_report_is_ignored(self):
+        engine = PolicyEngine()
+        # a healing chain for a device that is not HEALING (e.g. after
+        # a manual registry reset) must not fabricate transitions
+        assert engine.observe(obs(accepted=True, healing=True)) == []
+
+
+class TestNotices:
+    def test_take_notices_drains_once(self):
+        engine = PolicyEngine()
+        engine.observe(obs(accepted=False, reason="soft"))
+        notices = engine.take_notices()
+        assert [(d, s) for d, s, _r, _e in notices] == [("prv-0",
+                                                         SUSPECT)]
+        assert engine.take_notices() == []
+
+
+# ---------------------------------------------------------------------------
+# the evidence-fold restore
+# ---------------------------------------------------------------------------
+
+
+def _session_record(device="prv-0", accepted=False, reason="bad MAC",
+                    violations=(), measurement=b"", healing=False,
+                    seq=0):
+    record = obs(device=device, accepted=accepted, reason=reason,
+                 violations=violations, measurement=measurement,
+                 healing=healing)
+    record.is_policy = False
+    record.seq = seq
+    record.workload = PROFILE.workload
+    record.method = PROFILE.method
+    return record
+
+
+def _policy_record(decision, seq):
+    return SimpleNamespace(is_policy=True, seq=seq,
+                           **decision.__dict__)
+
+
+class TestRestore:
+    def test_replay_matches_the_live_fold(self):
+        live = PolicyEngine()
+        session = _session_record(seq=0)
+        decisions = live.observe(session)
+        records = [session] + [_policy_record(d, seq=1)
+                               for d in decisions]
+        restored = PolicyEngine()
+        replayed, repaired = restored.restore(records)
+        assert (replayed, repaired) == (1, 0)
+        assert restored.state_names() == live.state_names()
+
+    def test_crash_window_decisions_are_repaired(self):
+        # the log ends with a session record whose decision the crash
+        # lost: restore re-derives and re-applies it
+        restored = PolicyEngine()
+        replayed, repaired = restored.restore([_session_record(seq=0)])
+        assert (replayed, repaired) == (0, 1)
+        assert restored.state_of("prv-0") == SUSPECT
+
+    def test_mismatched_policy_record_is_tamper(self):
+        live = PolicyEngine()
+        session = _session_record(seq=0)
+        decision = live.observe(session)[0]  # ACT_SUSPECT
+        forged = _policy_record(decision, seq=1)
+        forged.to_state = QUARANTINED
+        forged.action = ACT_QUARANTINE
+        with pytest.raises(ValueError, match="does not match the fold"):
+            PolicyEngine().restore([session, forged])
+
+    def test_unpredicted_policy_record_is_tamper(self):
+        decision = PolicyDecision(
+            device_id="prv-0", workload=PROFILE.workload,
+            method=PROFILE.method, from_state=HEALTHY,
+            to_state=QUARANTINED, action=ACT_QUARANTINE,
+            reason="forged", score=0, heal_attempt=0, policy_epoch=0,
+            measurement=b"")
+        with pytest.raises(ValueError, match="no session record"):
+            PolicyEngine().restore([_policy_record(decision, seq=0)])
+
+    def test_heal_records_need_no_predicting_session(self):
+        # ACT_HEAL is exogenous (coordinator-driven), so it may appear
+        # without a preceding session record deriving it
+        live = PolicyEngine()
+        live.observe(obs(accepted=False, violations=(("rop", 1, "x"),)))
+        heal = live.begin_heal("prv-0")
+        session = _session_record(
+            violations=(("rop", 1, "x"),), reason="violation", seq=0)
+        quarantine = PolicyEngine().observe(session)[0]
+        records = [session, _policy_record(quarantine, seq=1),
+                   _policy_record(heal, seq=2)]
+        restored = PolicyEngine()
+        replayed, repaired = restored.restore(records)
+        assert (replayed, repaired) == (2, 0)
+        assert restored.state_of("prv-0") == HEALING
+        assert restored.heal_order("prv-0") is not None
+
+    def test_session_record_before_owed_decisions_is_tamper(self):
+        with pytest.raises(ValueError, match="expected policy record"):
+            PolicyEngine().restore([_session_record(seq=0),
+                                    _session_record(seq=1)])
+
+
+# ---------------------------------------------------------------------------
+# the MAC'd PLCY / HEAL wire frames
+# ---------------------------------------------------------------------------
+
+
+class TestHealFrames:
+    KEY = b"\xaa" * 32
+    NONCE = b"\x42" * 32
+
+    def test_heal_order_roundtrip(self):
+        frame = build_heal_frame(self.KEY, "prv-7", 2, 5, GOOD,
+                                 self.NONCE)
+        assert verify_heal_frame(self.KEY, "prv-7", frame) == \
+            (2, 5, GOOD, self.NONCE)
+
+    def test_heal_order_refused_on_wrong_key_or_device(self):
+        frame = build_heal_frame(self.KEY, "prv-7", 1, 1, GOOD,
+                                 self.NONCE)
+        assert verify_heal_frame(b"\xbb" * 32, "prv-7", frame) is None
+        assert verify_heal_frame(self.KEY, "prv-8", frame) is None
+
+    def test_heal_order_refused_on_any_bit_flip(self):
+        frame = build_heal_frame(self.KEY, "prv-7", 1, 1, GOOD,
+                                 self.NONCE)
+        for index in range(len(frame)):
+            damaged = bytearray(frame)
+            damaged[index] ^= 0x01
+            assert verify_heal_frame(
+                self.KEY, "prv-7", bytes(damaged)) is None
+
+    def test_policy_notice_roundtrip(self):
+        frame = build_policy_frame(self.KEY, "prv-7", QUARANTINED,
+                                   "2 consecutive failures", 3)
+        assert verify_policy_frame(self.KEY, "prv-7", frame) == \
+            ("QUARANTINED", "2 consecutive failures", 3)
+
+    def test_policy_notice_refused_on_forgery(self):
+        frame = build_policy_frame(self.KEY, "prv-7", REVOKED, "gone", 1)
+        assert verify_policy_frame(b"\xcc" * 32, "prv-7", frame) is None
+        assert verify_policy_frame(self.KEY, "prv-9", frame) is None
+        damaged = bytearray(frame)
+        damaged[-1] ^= 0x01
+        assert verify_policy_frame(self.KEY, "prv-7",
+                                   bytes(damaged)) is None
+
+
+# ---------------------------------------------------------------------------
+# policy records in the evidence chain
+# ---------------------------------------------------------------------------
+
+
+def _verdict(device="prv-0", accepted=False, reason="bad MAC"):
+    return SessionVerdict(
+        device_id=device, profile=PROFILE, accepted=accepted,
+        authenticated=accepted, lossless=accepted, violations=(),
+        reason=reason, reports=1, records=4, path_len=4,
+        path_digest="ab" * 16, records_digest="cd" * 16)
+
+
+class TestPolicyEvidenceRecords:
+    def test_decision_joins_the_device_hash_chain(self, tmp_path):
+        store = EvidenceStore(tmp_path / "evidence.log", KEY)
+        session = store.append(_verdict(), chain_digest([b"chain-bytes"]))
+        engine = PolicyEngine()
+        decisions = engine.observe(session)
+        persisted = store.append_decision(decisions[0])
+        store.close()
+        assert isinstance(persisted, PolicyRecord)
+        assert persisted.seq == session.seq + 1
+        assert persisted.prev_digest == session.digest
+        records = verify_evidence_trail(tmp_path / "evidence.log", KEY)
+        assert [r.is_policy for r in records] == [False, True]
+        assert records[1].action == ACT_SUSPECT
+        assert records[1].to_state == SUSPECT
+
+    def test_persisted_decision_round_trips_every_field(self, tmp_path):
+        store = EvidenceStore(tmp_path / "evidence.log", KEY)
+        decision = PolicyDecision(
+            device_id="prv-0", workload=PROFILE.workload,
+            method=PROFILE.method, from_state=QUARANTINED,
+            to_state=HEALING, action=ACT_HEAL,
+            reason="healing attempt 1 of 2", score=2, heal_attempt=1,
+            policy_epoch=7, measurement=GOOD)
+        record = store.append_decision(decision)
+        store.close()
+        reread = verify_evidence_trail(tmp_path / "evidence.log", KEY)[0]
+        for field in ("device_id", "workload", "method", "from_state",
+                      "to_state", "action", "reason", "score",
+                      "heal_attempt", "policy_epoch", "measurement"):
+            assert getattr(reread, field) == getattr(decision, field)
+        assert reread.digest == record.digest
+
+    def test_legacy_logs_refuse_policy_records(self, tmp_path):
+        path = tmp_path / "evidence.log"
+        path.write_bytes(b"EVD1\x01")  # a v1-format log
+        store = EvidenceStore(path, KEY)
+        assert store.version == 1
+        engine = PolicyEngine()
+        decision = engine.observe(_session_record())[0]
+        with pytest.raises(EvidenceError, match="version 3"):
+            store.append_decision(decision)
+        store.close()
+
+    def test_restore_repairs_into_the_store_byte_identically(
+            self, tmp_path):
+        # reference: session + decision both persisted
+        ref = EvidenceStore(tmp_path / "ref.log", KEY)
+        session = ref.append(_verdict(), chain_digest([b"chain-bytes"]))
+        decision = PolicyEngine().observe(session)[0]
+        ref.append_decision(decision)
+        ref_head = ref.head("prv-0")
+        ref.close()
+        # crashed: only the session record made it to disk
+        crashed = EvidenceStore(tmp_path / "crashed.log", KEY)
+        crashed.append(_verdict(), chain_digest([b"chain-bytes"]))
+        crashed.close()
+        resumed = EvidenceStore(tmp_path / "crashed.log", KEY)
+        engine = PolicyEngine()
+        replayed, repaired = engine.restore(resumed.recovered,
+                                            store=resumed)
+        resumed.close()
+        assert (replayed, repaired) == (0, 1)
+        # the repaired chain head equals the uninterrupted reference
+        assert resumed.head("prv-0") == ref_head

@@ -1,0 +1,249 @@
+"""Kill-and-restart differential for the policy control plane.
+
+The contract under test (the tentpole's acceptance criterion): hard-
+stop a policy-enabled sharded service at an arbitrary point in a
+compromise-then-heal campaign, restart it over the same evidence
+store, finish the campaign — and the result must be **byte-identical**
+to an uninterrupted reference run: same policy decision records (same
+bytes, same chain positions), same device end states, same per-device
+evidence heads. Plus the offline proof: an auditor who never ran the
+service reconstructs the same control-plane state from the store
+alone (:func:`reconstruct_control_plane`).
+
+Why it holds by construction: decisions are a pure fold over session
+evidence, session nonces are device-scoped (a restarted coordinator
+re-derives exactly the healing challenge an interrupted device was
+answering), and a crash can only lose a log's *last* decision suffix,
+which restore re-derives and re-appends into the same chain position.
+"""
+
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.cfa.fleet import (
+    CampaignSimulator,
+    ChainFactory,
+    ShardedFleetService,
+    audit_key,
+    build_campaign_specs,
+    device_key,
+    verify_evidence_trail,
+)
+from repro.cfa.policy import reconstruct_control_plane
+
+SEED = b"fleet-vrf"
+SHARDS = 2
+IDLE = 5.0
+ROUNDS = 3
+SIM_SEED = 11
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return ChainFactory(watermark=256)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    # 16 devices, ~3 compromised (one attack, one equivocate, one
+    # tamper), the rest cycling the honest transports
+    return build_campaign_specs(16, compromised_fraction=0.2,
+                                workloads=("fibcall",), seed=10)
+
+
+def make_service(store_dir, resume=False):
+    return ShardedFleetService(
+        shards=SHARDS, store_dir=store_dir, seed=SEED,
+        idle_timeout=IDLE, resume=resume, policy=True,
+        key_lookup=device_key)
+
+
+def policy_trail(store_dir):
+    """Every policy record across the shard logs, field for field
+    (digest included, so equality means byte-identical records in
+    identical chain positions)."""
+    key = audit_key(SEED)
+    trail = []
+    for path in sorted(Path(store_dir).glob("evidence-*.log")):
+        for record in verify_evidence_trail(path, key):
+            if record.is_policy:
+                trail.append((
+                    path.name, record.device_id, record.seq,
+                    record.action, record.from_state, record.to_state,
+                    record.reason, record.score, record.heal_attempt,
+                    record.policy_epoch, record.measurement,
+                    record.digest))
+    # sorted by (log, device, seq): per-device record bytes and chain
+    # positions must match exactly (seq + digest); the cross-device
+    # interleave within a log is scheduling, not state
+    return sorted(trail)
+
+
+def full_round(simulator, service, round_index):
+    simulator.run_round(service, round_index)
+    simulator.heal_round(service, round_index)
+    simulator.deliver_notices(service)
+
+
+@pytest.fixture(scope="module")
+def reference(specs, factory, tmp_path_factory):
+    store = tmp_path_factory.mktemp("reference")
+    simulator = CampaignSimulator(specs, seed=SIM_SEED,
+                                  factory=factory)
+    service = make_service(store)
+    simulator.pin_profiles(service)
+    report = simulator.run(service, rounds=ROUNDS)
+    heads = service.evidence_heads()
+    states = service.policy.state_names()
+    service.close()
+    assert report.ok, report.summary()
+    assert report.compromised and report.rejoined == report.compromised
+    return heads, states, policy_trail(store)
+
+
+def finish_and_compare(simulator, service, store, reference):
+    heads_ref, states_ref, trail_ref = reference
+    heads = service.evidence_heads()
+    states = service.policy.state_names()
+    service.close()
+    assert states == states_ref
+    assert heads == heads_ref
+    assert policy_trail(store) == trail_ref
+    # the offline auditor reconstructs the same control plane
+    snapshot = reconstruct_control_plane(store, SEED)
+    assert snapshot.states() == states_ref
+    assert snapshot.heads == heads_ref
+    assert snapshot.policy_records == len(trail_ref)
+    assert (store / "RECOVERY.md").exists()
+    # the campaign itself still met its SLA through the crash
+    simulator.report.end_states = states
+    assert simulator.report.ok, simulator.report.summary()
+
+
+# where to hard-stop the campaign (no drain, no close, no flush)
+CRASH_POINTS = ("after-first-attest-round", "mid-heal",
+                "after-first-full-cycle", "mid-campaign")
+
+
+@pytest.mark.parametrize("crash_point", CRASH_POINTS)
+def test_kill_and_restart_matches_reference(specs, factory, tmp_path,
+                                            reference, crash_point):
+    store = tmp_path / "store"
+    simulator = CampaignSimulator(specs, seed=SIM_SEED,
+                                  factory=factory)
+    service = make_service(store)
+    simulator.pin_profiles(service)
+
+    # phase 1: run up to the crash point, then hard-stop
+    resume_round_zero_heal = False
+    if crash_point == "after-first-attest-round":
+        # compromised devices are QUARANTINED, no HEAL minted yet
+        simulator.run_round(service, 0)
+    elif crash_point == "mid-heal":
+        # HEAL decisions persisted and orders built, but the crash
+        # eats them before any device hears one
+        simulator.run_round(service, 0)
+        dropped = service.heal_pushes(500.0)
+        assert dropped  # orders existed; none were delivered
+        resume_round_zero_heal = True
+    elif crash_point == "after-first-full-cycle":
+        full_round(simulator, service, 0)
+    else:  # mid-campaign: one full cycle plus the next attest round
+        full_round(simulator, service, 0)
+        simulator.run_round(service, 1)
+    del service  # the crash: no drain, no close
+
+    # phase 2: restart over the same store and finish the campaign
+    resumed = make_service(store, resume=True)
+    if crash_point in ("after-first-attest-round", "mid-heal"):
+        # a restarted coordinator re-issues standing HEAL orders
+        # (resume path) or mints them now (they were never minted)
+        simulator.heal_round(resumed, 0,
+                             resume=resume_round_zero_heal)
+        simulator.deliver_notices(resumed)
+        remaining = range(1, ROUNDS)
+    elif crash_point == "after-first-full-cycle":
+        remaining = range(1, ROUNDS)
+    else:
+        simulator.heal_round(resumed, 1)
+        simulator.deliver_notices(resumed)
+        remaining = range(2, ROUNDS)
+    for round_index in remaining:
+        full_round(simulator, resumed, round_index)
+    finish_and_compare(simulator, resumed, store, reference)
+
+
+def test_torn_heal_decision_is_reminted_byte_identically(
+        specs, factory, tmp_path, reference):
+    """Crash during ``begin_heal``'s append: the HEAL decision never
+    reached the disk, so the restarted coordinator sees the device
+    still QUARANTINED and must mint the same order again — same
+    fields, same chain position, byte-identical record."""
+    store = tmp_path / "store"
+    simulator = CampaignSimulator(specs, seed=SIM_SEED,
+                                  factory=factory)
+    service = make_service(store)
+    simulator.pin_profiles(service)
+    simulator.run_round(service, 0)
+    # mint the HEAL decisions (none delivered), then hard-stop
+    assert service.heal_pushes(500.0)
+    del service
+
+    # surgically drop the last frame of a log that ends with a HEAL
+    # decision (what a crash mid-append leaves after tail truncation)
+    key = audit_key(SEED)
+    dropped = dropped_path = None
+    for path in sorted(store.glob("evidence-*.log")):
+        records = verify_evidence_trail(path, key)
+        if records and records[-1].is_policy \
+                and records[-1].action == "heal":
+            data = path.read_bytes()
+            offset, frames = 5, []  # 4-byte magic + 1-byte version
+            while offset < len(data):
+                (length,) = struct.unpack_from("<I", data, offset)
+                frames.append(offset)
+                offset += 4 + length
+            with open(path, "r+b") as fh:
+                fh.truncate(frames[-1])
+            dropped, dropped_path = records[-1], path
+            break
+    assert dropped is not None, "no shard log ended with a HEAL order"
+
+    resumed = make_service(store, resume=True)
+    assert resumed.policy.state_of(dropped.device_id) == 2  # QUARANTINED
+    # the lost order is minted afresh (heal_pushes), the surviving
+    # orders are re-issued as standing orders (resume_heals)
+    simulator.heal_round(resumed, 0)
+    reminted = verify_evidence_trail(dropped_path, key)
+    assert dropped in reminted
+    simulator.heal_round(resumed, 0, resume=True)
+    simulator.deliver_notices(resumed)
+    for round_index in range(1, ROUNDS):
+        full_round(simulator, resumed, round_index)
+    finish_and_compare(simulator, resumed, store, reference)
+
+
+def test_double_crash_still_converges(specs, factory, tmp_path,
+                                      reference):
+    """Two successive kills — one mid-quarantine, one mid-heal —
+    compose: recovery is idempotent over already-repaired logs."""
+    store = tmp_path / "store"
+    simulator = CampaignSimulator(specs, seed=SIM_SEED,
+                                  factory=factory)
+    service = make_service(store)
+    simulator.pin_profiles(service)
+    simulator.run_round(service, 0)
+    del service
+
+    second = make_service(store, resume=True)
+    second.heal_pushes(500.0)  # orders minted, never delivered
+    del second
+
+    third = make_service(store, resume=True)
+    simulator.heal_round(third, 0, resume=True)
+    simulator.deliver_notices(third)
+    for round_index in range(1, ROUNDS):
+        full_round(simulator, third, round_index)
+    finish_and_compare(simulator, third, store, reference)
