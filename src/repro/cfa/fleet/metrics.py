@@ -33,6 +33,8 @@ class FleetMetrics:
     sessions_expired: int = 0
     sessions_retried: int = 0
     sessions_refused: int = 0  # overload: never admitted
+    #: chains rejected by the `BNDS1` static-bound screen before replay
+    sessions_bounds_rejected: int = 0
     # reports
     reports_ingested: int = 0
     reports_ignored: int = 0   # late / unknown-device deliveries
@@ -109,6 +111,8 @@ class FleetMetrics:
             f"queue depth max {self.queue_depth_max}, "
             f"replay cache {self.replay_cache_hits}/"
             f"{self.replay_cache_hits + self.replay_cache_misses} hits, "
+            + (f"bounds screen {self.sessions_bounds_rejected} rejected, "
+               if self.sessions_bounds_rejected else "")
             + (f"shards={self.shards}, " if self.shards else "")
             + (f"evidence {self.evidence_records} rec "
                f"({self.evidence_bytes} B, {self.evidence_fsyncs} fsync), "
@@ -149,6 +153,7 @@ def aggregate_metrics(per_shard: Sequence[FleetMetrics],
         total.sessions_expired += m.sessions_expired
         total.sessions_retried += m.sessions_retried
         total.sessions_refused += m.sessions_refused
+        total.sessions_bounds_rejected += m.sessions_bounds_rejected
         total.sessions_recovered += m.sessions_recovered
         total.reports_ingested += m.reports_ingested
         total.reports_ignored += m.reports_ignored

@@ -98,6 +98,7 @@ _DECISION_COUNTERS = {
 from repro.cfa.protocol import Challenge
 from repro.cfa.speccfa import expand
 from repro.cfa.wire import WireError, decode_dack_frame, encode_dict_frame
+from repro.core.analysis.certificate import BoundsRegistry, screen_records
 
 
 class FleetService:
@@ -117,7 +118,8 @@ class FleetService:
                  registry: Optional[DictionaryRegistry] = None,
                  sampler: Union[bool, TrafficSampler, None] = None,
                  policy: Optional[PolicyEngine] = None,
-                 key_lookup: Optional[Callable[[str], bytes]] = None):
+                 key_lookup: Optional[Callable[[str], bytes]] = None,
+                 bounds: Optional[BoundsRegistry] = None):
         #: policy control plane: when set, every settled session feeds
         #: the quarantine engine's fold, its decisions are persisted in
         #: the evidence chain, and admission control applies (shared
@@ -128,6 +130,12 @@ class FleetService:
         #: device id -> attestation key, for policy/heal pushes to
         #: devices with no session on file (e.g. right after a restart)
         self._key_lookup = key_lookup
+        #: `BNDS1` certificates for the fleet's firmware images: when
+        #: set, a completed chain whose claimed log length or inferred
+        #: stack depth exceeds the image's pinned static bound is
+        #: rejected at admission — before any replay work is spent —
+        #: with an evidence record like any other verdict
+        self.bounds = bounds
         #: speculation-dictionary versions this Vrf knows (shared with
         #: sibling shards when the router injects one registry)
         self.registry = registry or DictionaryRegistry()
@@ -247,6 +255,15 @@ class FleetService:
                     accepted=False, reason=session.reject_reason,
                     reports=len(session.chunks)))
                 return
+            if session.state == QUEUED and self.bounds is not None:
+                reason = self._screen_bounds_locked(session)
+                if reason is not None:
+                    self.metrics.sessions_bounds_rejected += 1
+                    self._record_locked(session, SessionVerdict(
+                        device_id=session.device_id,
+                        profile=session.profile, accepted=False,
+                        reason=reason, reports=len(session.chunks)))
+                    return
         if session.state == QUEUED:
             self._dispatch(session)
 
@@ -553,6 +570,29 @@ class FleetService:
         digest = (bytes.fromhex(verdict.records_digest)
                   if verdict.records_digest else None)
         self.sampler.observe(session.profile, records, digest=digest)
+
+    # -- admission pre-check: certified path bounds ------------------------
+
+    def _screen_bounds_locked(self, session: Session) -> Optional[str]:
+        """Screen a completed chain against its image's `BNDS1` bound.
+
+        Purely a fast-path rejection: the certificate is pinned to one
+        image digest, so the screen only applies when the chain claims
+        exactly that measurement (a wrong measurement is replay's /
+        the policy registry's business), and only ever *rejects* —
+        passing the screen proves nothing, replay stays authoritative.
+        """
+        cert = self.bounds.get(session.profile.workload,
+                               session.profile.method)
+        if cert is None:
+            return None
+        if not session.reports \
+                or session.reports[0].h_mem != cert.image_digest:
+            return None
+        records = session.admission_records()
+        if records is None:
+            return None
+        return screen_records(cert, records)
 
     # -- verification fan-out -----------------------------------------------
 

@@ -40,7 +40,7 @@ from repro.cfa.protocol import Challenge
 from repro.cfa.fleet.dictver import DictEpoch, spec_challenge
 from repro.cfa.fleet.verify import DeviceProfile, SessionVerdict
 from repro.cfa.report import Report
-from repro.cfa.speccfa import SubPathDict
+from repro.cfa.speccfa import SubPathDict, expand
 from repro.cfa.wire import WireError, decode_report
 
 # session lifecycle states
@@ -109,6 +109,21 @@ class Session:
         MACs pin the session to exactly one dictionary version)."""
         return spec_challenge(self.challenge.nonce, self.epoch,
                               self.dict_digest)
+
+    def admission_records(self) -> Optional[list]:
+        """The chain's claimed records, dictionary-expanded — what the
+        `BNDS1` admission screen inspects before replay is paid for.
+        ``None`` when expansion fails (the chain references unknown
+        dictionary entries; replay will reject it authoritatively)."""
+        records = []
+        for report in self.reports:
+            records.extend(report.cflog.records)
+        if self.dictionary:
+            try:
+                records = expand(records, self.dictionary)
+            except ValueError:
+                return None
+        return records
 
 
 class SessionManager:

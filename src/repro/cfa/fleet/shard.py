@@ -167,7 +167,8 @@ class ShardedFleetService:
                  policy: bool = False,
                  key_lookup=None,
                  suspect_threshold: int = 2,
-                 max_heal_attempts: int = 2):
+                 max_heal_attempts: int = 2,
+                 bounds=None):
         self.ring = HashRing(shards, vnodes=vnodes)
         self.seed = seed
         self.audit_key = audit_key(seed)
@@ -213,7 +214,8 @@ class ShardedFleetService:
                 max_sessions=max_sessions, replay_cache=cache,
                 executor=executor, store=store, nonce_scope="device",
                 registry=self.registry, sampler=sampler,
-                policy=self.policy, key_lookup=key_lookup)
+                policy=self.policy, key_lookup=key_lookup,
+                bounds=bounds)
             if store is not None and store.recovered:
                 if not resume:
                     raise ValueError(

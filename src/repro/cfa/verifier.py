@@ -56,6 +56,9 @@ class VerificationResult:
     violations: List[Violation] = field(default_factory=list)
     path: List[int] = field(default_factory=list)
     consumed: int = 0
+    #: deepest the reconstructed shadow return stack ever got — the
+    #: observable the `BNDS1` static depth bound is checked against
+    max_shadow_depth: int = 0
     error: Optional[str] = None
 
     @property
@@ -161,6 +164,8 @@ class Verifier:
                     break  # top-level return: program exit
                 if info.kind == "call":
                     shadow.append(self._call_resume(pc))
+                    result.max_shadow_depth = max(
+                        result.max_shadow_depth, len(shadow))
                     if dst not in rmap.function_entry_addrs:
                         result.violations.append(Violation(
                             "jop-call", pc,
@@ -266,6 +271,8 @@ class Verifier:
                 pc = self._taken_target(pc, instr)
             elif kind is InstrKind.CALL:
                 shadow.append(pc + instr.size)
+                result.max_shadow_depth = max(
+                    result.max_shadow_depth, len(shadow))
                 pc = self._taken_target(pc, instr)
             elif kind is InstrKind.INDIRECT_BRANCH:
                 # untracked bx lr: a leaf return through an unspilled LR
@@ -388,6 +395,8 @@ class NaiveVerifier:
             elif kind is InstrKind.CALL:
                 target = self.image.addr_of(instr.direct_target().name)
                 shadow.append(pc + instr.size)
+                result.max_shadow_depth = max(
+                    result.max_shadow_depth, len(shadow))
                 if target == pc + instr.size:
                     pc = target  # call-to-next retires sequentially
                 else:
@@ -396,6 +405,8 @@ class NaiveVerifier:
             elif kind is InstrKind.INDIRECT_CALL:
                 entry = consume()
                 shadow.append(pc + instr.size)
+                result.max_shadow_depth = max(
+                    result.max_shadow_depth, len(shadow))
                 pc = entry.dst
             elif kind is InstrKind.INDIRECT_BRANCH:
                 entry = consume()

@@ -135,6 +135,98 @@ def _cmd_offline(args) -> int:
     return 0
 
 
+def _fmt_bound(value) -> str:
+    return "unbounded" if value is None else str(value)
+
+
+def _cmd_analyze_bounds(args) -> int:
+    """`analyze --bounds`: the certification matrix. Every workload in
+    the registry is certified under every bounded method, each `BNDS1`
+    blob is signed and verified back, and the matrix is printed. Exits
+    non-zero if any (workload, method) cell fails to certify."""
+    from repro.core.analysis import (
+        BOUNDED_METHODS,
+        bounds_key,
+        certify_workload,
+        sign_certificate,
+        verify_certificate,
+    )
+    from repro.core.analysis.certificate import DEFAULT_BOUNDS_SEED
+
+    names = [args.workload] if args.workload else sorted(WORKLOADS)
+    key = bounds_key(DEFAULT_BOUNDS_SEED)
+    cache = _make_cache(args)
+    failures = 0
+    print(f"{'workload':12s} {'method':10s} {'depth':>9s} {'records':>9s} "
+          f"{'bytes':>9s} {'exact':>5s}  recursion")
+    print("-" * 70)
+    for name in names:
+        for method in BOUNDED_METHODS:
+            try:
+                cert = certify_workload(name, method, cache=cache,
+                                        store_root=args.store_dir)
+                blob = sign_certificate(cert, key)
+                verify_certificate(blob, key)
+            except Exception as exc:  # noqa: BLE001 - matrix must finish
+                failures += 1
+                print(f"{name:12s} {method:10s} FAILED: {exc}")
+                continue
+            cycles = ", ".join("/".join(c) for c in cert.recursion_cycles)
+            print(f"{name:12s} {method:10s} "
+                  f"{_fmt_bound(cert.max_stack_depth):>9s} "
+                  f"{_fmt_bound(cert.max_log_records):>9s} "
+                  f"{_fmt_bound(cert.max_log_bytes):>9s} "
+                  f"{'yes' if cert.depth_exact else 'no':>5s}  "
+                  f"{cycles or '-'}")
+    print(f"\n{len(names)} workload(s) x {len(BOUNDED_METHODS)} methods, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+def _cmd_analyze_attack_surface(args) -> int:
+    """`analyze --attack-surface`: mine gadgets, synthesize chains for
+    one workload (default: the vulnerable demo image), and replay every
+    chain against the real verifier — each one must be rejected with
+    its predicted violation, or the command exits non-zero."""
+    from repro.cfa.verifier import NaiveVerifier, Verifier
+    from repro.core.analysis import mine_gadgets, synthesize_chains
+    from repro.eval.runner import prepare
+    from repro.tz.keystore import KeyStore
+
+    name = args.workload or "vulnerable"
+    cache = _make_cache(args)
+    survived = 0
+    for method in ("rap-track", "traces", "naive-mtb"):
+        image, bound_map = prepare(load_workload(name), method, cache=cache)
+        gadgets = mine_gadgets(image, bound_map, method)
+        pads = [g for g in gadgets if g.is_pad]
+        chains = synthesize_chains(image, bound_map, method)
+        print(f"{name} / {method}: {len(gadgets)} gadgets "
+              f"({len(pads)} landing pads), {len(chains)} chains")
+        for gadget in pads:
+            where = gadget.label or f"{gadget.entry:#x}"
+            print(f"  pad  {where:24s} {gadget.steps} steps to halt "
+                  f"at {gadget.terminator:#x}")
+        key = KeyStore.provision().attestation_key
+        verifier = (NaiveVerifier(image, key) if method == "naive-mtb"
+                    else Verifier(image, bound_map, key))
+        for chain in chains:
+            outcome = verifier.replay(list(chain.records))
+            kinds = {v.kind for v in outcome.violations}
+            rejected = not outcome.ok and chain.expected_violation in kinds
+            verdict = ("rejected" if rejected
+                       else "SURVIVED REPLAY (analyzer bug)")
+            if not rejected:
+                survived += 1
+            print(f"  chain {chain.name:23s} {len(chain.records)} records, "
+                  f"expect {chain.expected_violation} -> {verdict}: "
+                  f"{chain.description}")
+    if survived:
+        print(f"{survived} chain(s) not rejected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.core.classify import classify_module
     from repro.core.inspect import (
@@ -143,6 +235,14 @@ def _cmd_analyze(args) -> int:
         precision_summary,
     )
 
+    if args.bounds:
+        return _cmd_analyze_bounds(args)
+    if args.attack_surface:
+        return _cmd_analyze_attack_surface(args)
+    if not args.workload:
+        print("analyze: a workload is required without --bounds/"
+              "--attack-surface", file=sys.stderr)
+        return 2
     workload = load_workload(args.workload)
     classification = classify_module(workload.module())
     if args.dot:
@@ -169,6 +269,8 @@ def _cmd_lint(args) -> int:
               f"{report.configs_validated} rewrites certified")
         for finding in report.findings:
             print(f"  {finding}")
+        for note in report.notes:
+            print(f"  note: {note}")
         if report.ok:
             print("lint: clean")
     return 0 if report.ok else 1
@@ -587,10 +689,24 @@ def build_parser() -> argparse.ArgumentParser:
     offline.set_defaults(func=_cmd_offline)
 
     analyze = sub.add_parser(
-        "analyze", help="static-analysis report / CFG dot export")
-    analyze.add_argument("workload", choices=sorted(WORKLOADS))
+        "analyze",
+        help="static-analysis report / CFG dot export / path-bound "
+             "certification / gadget mining")
+    analyze.add_argument("workload", nargs="?", default=None,
+                         choices=sorted(WORKLOADS) + ["vulnerable"],
+                         help="one workload (default for --bounds: all)")
     analyze.add_argument("--dot", action="store_true",
                          help="emit graphviz dot instead of the report")
+    analyze.add_argument("--bounds", action="store_true",
+                         help="certify path bounds (BNDS1) across the "
+                              "workload matrix")
+    analyze.add_argument("--attack-surface", action="store_true",
+                         help="mine ROP/JOP gadgets and synthesize "
+                              "attack chains")
+    analyze.add_argument("--store-dir", metavar="DIR", default=None,
+                         help="with --bounds: write signed .bnds "
+                              "certificates here, content-addressed")
+    _add_cache_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     lint = sub.add_parser(

@@ -1,0 +1,79 @@
+"""Whole-program attack-surface analysis.
+
+Four layers on top of the dataflow engine:
+
+- :mod:`repro.core.analysis.callgraph` — interprocedural call graph
+  with conservative indirect-transfer over-approximation;
+- :mod:`repro.core.analysis.bounds` — certified path bounds (shadow
+  stack depth, worst-case CFLog records/bytes, recursion report);
+- :mod:`repro.core.analysis.certificate` — HMAC-signed ``BNDS1``
+  certificates, the content-addressed store, and the admission screen;
+- :mod:`repro.core.analysis.gadgets` — ROP/JOP gadget mining and
+  concrete attack-chain synthesis.
+"""
+
+from repro.core.analysis.bounds import (
+    BOUNDED_METHODS,
+    PathBounds,
+    analyse_path_bounds,
+)
+from repro.core.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_call_graph,
+)
+from repro.core.analysis.certificate import (
+    DEFAULT_BOUNDS_SEED,
+    BoundsCertificate,
+    BoundsRegistry,
+    bounds_key,
+    certificate_path,
+    certify_workload,
+    decode_certificate,
+    frame_keys,
+    load_certificate,
+    screen_records,
+    sign_certificate,
+    store_certificate,
+    verify_certificate,
+)
+from repro.core.analysis.gadgets import (
+    AttackChain,
+    Gadget,
+    TraceSynthesizer,
+    chain_reports,
+    mine_gadgets,
+    synthesize_chains,
+    synthesize_return_flood,
+)
+
+__all__ = [
+    "AttackChain",
+    "BOUNDED_METHODS",
+    "BoundsCertificate",
+    "BoundsRegistry",
+    "CallGraph",
+    "CallSite",
+    "DEFAULT_BOUNDS_SEED",
+    "FunctionNode",
+    "Gadget",
+    "PathBounds",
+    "TraceSynthesizer",
+    "analyse_path_bounds",
+    "bounds_key",
+    "build_call_graph",
+    "certificate_path",
+    "certify_workload",
+    "chain_reports",
+    "decode_certificate",
+    "frame_keys",
+    "load_certificate",
+    "mine_gadgets",
+    "screen_records",
+    "sign_certificate",
+    "store_certificate",
+    "synthesize_chains",
+    "synthesize_return_flood",
+    "verify_certificate",
+]

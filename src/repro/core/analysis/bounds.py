@@ -1,0 +1,590 @@
+"""Static per-image path bounds: shadow-stack depth and CFLog size.
+
+For one classified module and one attestation method this computes
+three whole-program worst cases an *honest* device can never exceed:
+
+* ``max_stack_depth`` — deepest shadow return stack any execution can
+  build (call edges nest; tail jumps transfer without a frame);
+* ``max_log_records`` / ``max_log_bytes`` — most CFLog records/bytes a
+  complete attestation can emit under the method's logging model.
+
+``None`` means *unbounded*: recursion makes depth unbounded, and any
+loop whose per-iteration cost is non-zero and whose trip count cannot
+be bounded statically makes the log unbounded. Unboundedness is a
+finding, not a failure — ``workloads/vulnerable.py``'s attacker-fed
+copy loop is *correctly* certified unbounded.
+
+Soundness is the only hard requirement (the fleet rejects sessions
+that exceed a bound, so an underestimate would reject honest devices);
+tightness is measured, not assumed — ``benchmarks/bench_bounds.py``
+compares each bound against observed honest maxima.
+
+Cost model per method (mirrors the replay verifiers byte for byte):
+
+=========== ==============================================================
+rap-track    every trampolined site consumes one 8-byte record per
+             execution, except loop-opt latches: one 8-byte LoopRecord
+             per loop *entry* and silent iterations.
+traces       same structure, 4-byte records (AddressRecord/LoopRecord).
+naive-mtb    the unmodified binary: every non-sequential transfer is one
+             8-byte MTB packet — conditionals cost one per evaluation
+             (worst case taken), direct branches/calls cost one unless
+             they target the next instruction.
+=========== ==============================================================
+
+Loops are collapsed innermost-out. A loop multiplies its worst
+per-iteration cost by a static trip count when one exists: either the
+classifier's fixed-loop count, or this module's *relaxed* trip analysis
+(constant-bound counter loops whose bodies may branch but contain no
+calls and exactly one counter update that executes every iteration).
+Everything else is unbounded unless the body is cost-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cfg import CFG
+from repro.core.classify import BranchClass, Classification, TRAMPOLINED
+from repro.core.dominators import compute_dominators, dominates
+from repro.core.loops import (
+    Loop,
+    SimpleLoopShape,
+    _counter_step,
+    _initial_value,
+    _preceding_flag_setter,
+    trip_count,
+)
+from repro.core.analysis.callgraph import CallGraph, CallSite, FunctionNode
+from repro.isa.instructions import InstrKind
+
+INF = float("inf")
+
+#: wire sentinel for an unbounded quantity (u64 all-ones)
+UNBOUNDED = 0xFFFF_FFFF_FFFF_FFFF
+
+#: uniform record size on the wire, per method
+RECORD_UNIT = {"rap-track": 8, "traces": 4, "naive-mtb": 8}
+
+#: methods the analyzer can certify
+BOUNDED_METHODS = tuple(sorted(RECORD_UNIT))
+
+
+@dataclass(frozen=True)
+class PathBounds:
+    """The statically certified worst cases for one (module, method)."""
+
+    method: str
+    max_stack_depth: Optional[int]  # None: unbounded (recursion)
+    max_log_records: Optional[int]  # None: unbounded (open loop)
+    max_log_bytes: Optional[int]
+    recursion_cycles: Tuple[Tuple[str, ...], ...]
+    #: True iff every shadow push/pop is visible in the log, making the
+    #: admission-time depth inference exact (naive-mtb only: trampoline
+    #: methods leave direct calls and leaf returns unlogged)
+    depth_exact: bool
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_log_records is not None
+
+
+def _finite(value: float) -> Optional[int]:
+    return None if value == INF else int(value)
+
+
+# -- per-site record costs ---------------------------------------------------
+
+def _site_costs(classification: Classification,
+                method: str) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """(per-execution record cost by instr index,
+    loop-entry record cost by header block id)."""
+    flat = classification.flat
+    site_cost: Dict[int, float] = {}
+    loop_entry_cost: Dict[int, float] = {}
+    if method in ("rap-track", "traces"):
+        for idx, site in classification.sites.items():
+            if site.cls is BranchClass.LOOP_OPT_LATCH:
+                # one LoopRecord per entry, charged to the loop itself
+                if site.loop is not None:
+                    loop_entry_cost[site.loop.header] = 1.0
+                continue
+            if site.cls in TRAMPOLINED:
+                site_cost[idx] = 1.0
+        return site_cost, loop_entry_cost
+    if method != "naive-mtb":
+        raise ValueError(f"no cost model for method {method!r}")
+    for idx, instr in enumerate(flat.instrs):
+        kind = instr.kind
+        if kind is InstrKind.BRANCH:
+            if instr.cond is not None:
+                site_cost[idx] = 1.0  # worst case: taken
+            elif flat.target_index(instr) != idx + 1:
+                site_cost[idx] = 1.0
+        elif kind is InstrKind.COMPARE_BRANCH:
+            site_cost[idx] = 1.0
+        elif kind is InstrKind.CALL:
+            if flat.target_index(instr) != idx + 1:
+                site_cost[idx] = 1.0
+        elif kind in (InstrKind.INDIRECT_CALL, InstrKind.INDIRECT_BRANCH):
+            site_cost[idx] = 1.0
+        elif instr.writes_pc():  # pop {...,pc} / ldr pc
+            site_cost[idx] = 1.0
+    return site_cost, loop_entry_cost
+
+
+# -- static trip counts ------------------------------------------------------
+
+def _loop_static_trips(classification: Classification,
+                       loop: Loop) -> Optional[int]:
+    """A sound static upper bound on a loop's iterations, or None.
+
+    Tier 1 is the classifier's own fixed-loop count. Tier 2 relaxes the
+    body-determinism requirement: the body may branch internally, but
+    must contain no calls or indirect transfers (nothing can clobber
+    the counter), exactly one constant-step counter update, and that
+    update must execute on every iteration (its block dominates the
+    latch inside the loop). The simulated trip count is then an upper
+    bound: each iteration moves the counter at least one step toward
+    the exit condition.
+    """
+    cfg = classification.cfg
+    flat = classification.flat
+    for latch_bid in loop.latches:
+        idx = cfg.blocks[latch_bid].terminator_index
+        site = classification.sites.get(idx)
+        if (site is not None and site.cls is BranchClass.FIXED_LOOP_LATCH
+                and site.trip_count is not None):
+            return site.trip_count
+
+    if len(loop.latches) != 1:
+        return None
+    latch_bid = loop.latches[0]
+    latch_block = cfg.blocks[latch_bid]
+    latch_idx = latch_block.terminator_index
+    latch = flat.instrs[latch_idx]
+    if latch.kind is InstrKind.COMPARE_BRANCH:
+        reg = latch.operands[0]
+        counter, bound = reg.num, 0
+        cond = "eq" if latch.mnemonic == "cbz" else "ne"
+    elif latch.kind is InstrKind.BRANCH and latch.cond is not None:
+        setter = _preceding_flag_setter(flat, latch_block.start, latch_idx)
+        if setter is None:
+            return None
+        counter, bound, idiom = setter
+        cond = latch.cond
+        if idiom == "self" and cond not in ("eq", "ne", "mi", "pl"):
+            return None
+    else:
+        return None
+
+    # no calls / indirect transfers anywhere in the body: the counter
+    # register cannot be clobbered behind the analysis's back
+    for bid in loop.body:
+        block = cfg.blocks[bid]
+        for i in range(block.start, block.end):
+            kind = flat.instrs[i].kind
+            if kind in (InstrKind.CALL, InstrKind.INDIRECT_CALL,
+                        InstrKind.INDIRECT_BRANCH):
+                return None
+            if flat.instrs[i].writes_pc() and kind is not InstrKind.BRANCH \
+                    and kind is not InstrKind.COMPARE_BRANCH:
+                return None
+
+    step = _counter_step(cfg, loop, counter)
+    if step is None or step == 0:
+        return None
+    # the single update must run every iteration: find its block and
+    # require it to dominate the latch within the loop body
+    update_bid = None
+    for bid in loop.body:
+        block = cfg.blocks[bid]
+        for i in range(block.start, block.end):
+            instr = flat.instrs[i]
+            if instr.mnemonic in ("add", "sub") and instr.operands:
+                dest = instr.operands[0]
+                if getattr(dest, "num", None) == counter:
+                    update_bid = bid
+    if update_bid is None:
+        return None
+    idom = compute_dominators(cfg, loop.header, restrict=set(loop.body))
+    if latch_bid not in idom or update_bid not in idom:
+        return None
+    if not dominates(idom, update_bid, latch_bid):
+        return None
+
+    init = _initial_value(cfg, loop, counter)
+    if init is None:
+        return None
+    shape = SimpleLoopShape(latch_idx, counter, bound, step, cond, init)
+    try:
+        return trip_count(shape, init)
+    except ValueError:
+        return None
+
+
+# -- intraprocedural worst-path cost ----------------------------------------
+
+def _longest_dag_path(entry: int, nodes: Set[int],
+                      succs: Dict[int, Set[int]],
+                      weight: Dict[int, float]) -> float:
+    """Max node-weight sum over any path from ``entry``; cycles are
+    collapsed by SCC condensation (a cycle with any weight is INF —
+    the structured loop pass has already claimed every bounded loop)."""
+    if entry not in nodes:
+        return 0.0
+    sccs, scc_of = _scc(nodes, succs)
+    scc_weight: List[float] = []
+    for members in sccs:
+        total = sum(weight.get(m, 0.0) for m in members)
+        cyclic = len(members) > 1 or any(
+            m in succs.get(m, ()) for m in members)
+        if cyclic and total > 0:
+            scc_weight.append(INF)
+        else:
+            scc_weight.append(total)
+    # Tarjan order is reverse topological: process as emitted
+    best: Dict[int, float] = {}
+    for sid, members in enumerate(sccs):
+        out = scc_weight[sid]
+        succ_best = 0.0
+        for m in members:
+            for s in succs.get(m, ()):
+                tid = scc_of[s]
+                if tid != sid:
+                    succ_best = max(succ_best, best.get(tid, 0.0))
+        best[sid] = out + succ_best
+    return best[scc_of[entry]]
+
+
+def _scc(nodes: Set[int], succs: Dict[int, Set[int]]
+         ) -> Tuple[List[Tuple[int, ...]], Dict[int, int]]:
+    """Iterative Tarjan over an int graph (reverse topological order)."""
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[Tuple[int, ...]] = []
+    scc_of: Dict[int, int] = {}
+    counter = 0
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        work: List[Tuple[int, List[int], int]] = [
+            (root, sorted(s for s in succs.get(root, ()) if s in nodes), 0)]
+        while work:
+            node, adj, child = work[-1]
+            if child == 0 and node not in index_of:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            while child < len(adj):
+                succ = adj[child]
+                child += 1
+                if succ not in index_of:
+                    work[-1] = (node, adj, child)
+                    work.append((succ, sorted(
+                        s for s in succs.get(succ, ()) if s in nodes), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                members: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == node:
+                        break
+                sid = len(sccs)
+                sccs.append(tuple(members))
+                for member in members:
+                    scc_of[member] = sid
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs, scc_of
+
+
+class _FunctionCost:
+    """Worst-case record cost of one analysis-unit invocation.
+
+    A unit is one function, or several functions welded together by
+    interior gotos (``CallGraph.gotos`` — the switch-dispatch idiom).
+    ``entry_start`` picks which member the unit is entered at; indirect
+    tail jumps to member entries become explicit edges so cycles
+    threaded through the dispatch stay visible.
+    """
+
+    def __init__(self, classification: Classification,
+                 entry_start: int,
+                 members: Sequence[FunctionNode],
+                 internal: Set[str],
+                 site_cost: Dict[int, float],
+                 loop_entry_cost: Dict[int, float],
+                 callee_cost: Dict[str, float],
+                 trips: Dict[int, Optional[int]],
+                 member_start: Dict[str, int]):
+        self.cls = classification
+        self.cfg = classification.cfg
+        self.entry_start = entry_start
+        self.extents = [(n.start, n.end) for n in members]
+        self.site_cost = site_cost
+        self.loop_entry_cost = loop_entry_cost
+        self.callee_cost = callee_cost
+        self.trips = trips
+        #: call/jump cost by call-site index (max over *external* targets;
+        #: internal targets are walked through the unit's own CFG)
+        self.call_cost: Dict[int, float] = {}
+        #: jump-table edges: site block -> internal target entry block
+        self.extra_edges: List[Tuple[int, int]] = []
+        for node in members:
+            for site in node.sites:
+                self.call_cost[site.index] = max(
+                    (callee_cost.get(t, 0.0) for t in site.targets
+                     if t not in internal),
+                    default=0.0)
+                if site.tail:
+                    src_bid = self.cfg.block_of_index.get(site.index)
+                    for t in site.targets:
+                        if t in internal and src_bid is not None:
+                            dst_bid = self.cfg.block_of_index.get(
+                                member_start[t])
+                            if dst_bid is not None:
+                                self.extra_edges.append((src_bid, dst_bid))
+
+    def _in_unit(self, index: int) -> bool:
+        return any(lo <= index < hi for lo, hi in self.extents)
+
+    def _block_weight(self, bid: int) -> float:
+        block = self.cfg.blocks[bid]
+        total = 0.0
+        for idx in range(block.start, block.end):
+            total += self.site_cost.get(idx, 0.0)
+            total += self.call_cost.get(idx, 0.0)
+        return total
+
+    def compute(self) -> float:
+        entry_bid = self.cfg.block_of_index[self.entry_start]
+        candidates = {bid for bid, block in enumerate(self.cfg.blocks)
+                      if self._in_unit(block.start)}
+        all_succs: Dict[int, Set[int]] = {
+            bid: {s for s in self.cfg.blocks[bid].succs if s in candidates}
+            for bid in candidates
+        }
+        for src, dst in self.extra_edges:
+            if src in candidates and dst in candidates:
+                all_succs[src].add(dst)
+        # reachability over the augmented edge set, within the unit
+        blocks: Set[int] = set()
+        stack = [entry_bid] if entry_bid in candidates else []
+        while stack:
+            bid = stack.pop()
+            if bid in blocks:
+                continue
+            blocks.add(bid)
+            stack.extend(s for s in all_succs[bid] if s not in blocks)
+        weight = {bid: self._block_weight(bid) for bid in blocks}
+        succs = {bid: {s for s in all_succs[bid] if s in blocks}
+                 for bid in blocks}
+        loops = [
+            loop for loop in self.cls.loops
+            if loop.header in blocks and set(loop.body) <= blocks
+        ]
+        # innermost first; ties broken by header for determinism
+        loops.sort(key=lambda l: (len(l.body), l.header))
+        collapsed: List[Tuple[Loop, int]] = []  # (loop, virtual node id)
+        rep: Dict[int, int] = {bid: bid for bid in blocks}
+
+        def find(bid: int) -> int:
+            while rep[bid] != bid:
+                rep[bid] = rep[rep[bid]]
+                bid = rep[bid]
+            return bid
+
+        next_virtual = max(blocks, default=0) + 1
+        nodes = set(blocks)
+        for loop in loops:
+            members = {find(b) for b in loop.body if find(b) in nodes}
+            header = find(loop.header)
+            if header not in members:
+                continue  # already swallowed by an equal-header merge
+            # per-iteration cost: longest path inside the (contracted)
+            # body from the header, with the loop's back edges removed
+            inner_succs = {
+                m: {find(s) for s in succs.get(m, ())
+                    if find(s) in members and find(s) != header}
+                for m in members
+            }
+            iter_cost = _longest_dag_path(header, members, inner_succs,
+                                          weight)
+            trips_n = self.trips.get(loop.header)
+            entry_cost = self.loop_entry_cost.get(loop.header, 0.0)
+            if trips_n is not None:
+                total = trips_n * iter_cost + entry_cost
+            elif iter_cost == 0:
+                total = entry_cost
+            else:
+                total = INF
+            # contract the loop into one virtual node
+            vid = next_virtual
+            next_virtual += 1
+            out: Set[int] = set()
+            for m in members:
+                for s in succs.get(m, ()):
+                    t = find(s)
+                    if t in nodes and t not in members:
+                        out.add(t)
+            for m in members:
+                nodes.discard(m)
+                succs.pop(m, None)
+                weight.pop(m, None)
+                rep[m] = vid
+            rep[vid] = vid
+            nodes.add(vid)
+            weight[vid] = total
+            succs[vid] = out
+            # redirect inbound edges
+            for bid in nodes:
+                if bid == vid:
+                    continue
+                succs[bid] = {find(s) for s in succs.get(bid, ())}
+            collapsed.append((loop, vid))
+        # remap every edge once more (paranoia for chained merges)
+        for bid in list(nodes):
+            succs[bid] = {find(s) for s in succs.get(bid, ())
+                          if find(s) in nodes}
+        return _longest_dag_path(find(entry_bid), nodes, succs, weight)
+
+
+# -- whole-program assembly --------------------------------------------------
+
+def _goto_units(graph: CallGraph) -> Dict[str, str]:
+    """Union-find: each function -> the root of its goto-merged unit."""
+    parent = {name: name for name in graph.functions}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for src, dst in graph.gotos:
+        if src in parent and dst in parent:
+            ra, rb = find(src), find(dst)
+            if ra != rb:
+                parent[ra] = rb
+    return {name: find(name) for name in parent}
+
+
+def analyse_path_bounds(classification: Classification, graph: CallGraph,
+                        method: str) -> PathBounds:
+    """Compute the certified bounds for one (classified module, method)."""
+    unit = RECORD_UNIT[method]
+    site_cost, loop_entry_cost = _site_costs(classification, method)
+    trips: Dict[int, Optional[int]] = {}
+    for loop in classification.loops:
+        trips[loop.header] = _loop_static_trips(classification, loop)
+
+    cycles = tuple(graph.recursion_cycles())
+
+    # weld goto-connected functions into units, then condense the
+    # unit-level graph so units are processed callees-first
+    root_of = _goto_units(graph)
+    unit_members: Dict[str, List[str]] = {}
+    for name in graph.functions:
+        unit_members.setdefault(root_of[name], []).append(name)
+    roots = sorted(unit_members)
+    uid = {root: i for i, root in enumerate(roots)}
+    usuccs: Dict[int, Set[int]] = {uid[r]: set() for r in roots}
+    self_recursive: Set[str] = set()
+    for root, members in unit_members.items():
+        for name in members:
+            if name in graph.recursive:
+                self_recursive.add(root)
+            for site in graph.functions[name].sites:
+                for t in site.targets:
+                    if t not in graph.functions:
+                        continue
+                    if root_of[t] == root:
+                        if not site.tail:
+                            # a frame-pushing call back into the unit:
+                            # recursion through the welded region
+                            self_recursive.add(root)
+                    else:
+                        usuccs[uid[root]].add(uid[root_of[t]])
+
+    cost: Dict[str, float] = {}
+    depth: Dict[str, float] = {}
+    unit_sccs, _ = _scc(set(uid.values()), usuccs)
+    for scc_members in unit_sccs:  # reverse topological: callees first
+        scc_roots = [roots[i] for i in scc_members]
+        recursive = len(scc_members) > 1 or any(
+            r in self_recursive for r in scc_roots)
+        for root in scc_roots:
+            members = unit_members[root]
+            if recursive:
+                for name in members:
+                    cost[name] = INF
+                    depth[name] = INF
+                continue
+            internal = set(members)
+            nodes = [graph.functions[n] for n in members]
+            member_start = {n: graph.functions[n].start for n in members}
+            # worst-case frame depth is shared by the whole unit
+            d = 0.0
+            for node in nodes:
+                for site in node.sites:
+                    external = [depth.get(t, 0.0) for t in site.targets
+                                if t not in internal]
+                    if site.tail and not external:
+                        continue  # jump within the unit: no frame
+                    frame = 0.0 if site.tail else 1.0
+                    d = max(d, frame + max(external, default=0.0))
+            for name in members:
+                depth[name] = d
+                cost[name] = _FunctionCost(
+                    classification, member_start[name], nodes, internal,
+                    site_cost, loop_entry_cost, cost, trips,
+                    member_start).compute()
+
+    entry = graph.entry
+    total_records = cost.get(entry, 0.0)
+    total_depth = depth.get(entry, 0.0)
+    depth_exact = method == "naive-mtb" and _no_call_to_next(classification)
+    return PathBounds(
+        method=method,
+        max_stack_depth=_finite(total_depth),
+        max_log_records=_finite(total_records),
+        max_log_bytes=_finite(
+            total_records * unit if total_records != INF else INF),
+        recursion_cycles=cycles,
+        depth_exact=depth_exact,
+    )
+
+
+def _no_call_to_next(classification: Classification) -> bool:
+    """True iff no ``bl`` targets its own fall-through (the one direct
+    call the naive baseline does *not* log — would blind the admission
+    depth inference)."""
+    flat = classification.flat
+    for idx, instr in enumerate(flat.instrs):
+        if instr.kind is InstrKind.CALL and flat.target_index(instr) == idx + 1:
+            return False
+    return True
+
+
+__all__ = [
+    "BOUNDED_METHODS",
+    "PathBounds",
+    "RECORD_UNIT",
+    "UNBOUNDED",
+    "analyse_path_bounds",
+]

@@ -1,0 +1,359 @@
+"""Interprocedural call graph over one module's classification.
+
+The graph's nodes are the functions :meth:`FlatProgram.function_starts`
+discovers (entry symbol, ``bl`` targets, address-taken labels); edges
+come in three precision tiers, worst first:
+
+1. **direct** — ``bl label`` (including trampolined LOGGED_CALL sites:
+   rewriting changes how a call is *logged*, never whether it happens);
+2. **devirt** — indirect transfers the PR 5 value-set analysis pinned
+   to a single label (the devirtualization license);
+3. **indirect** — unresolved ``blx rs`` / computed jumps, conservatively
+   over-approximated: the value-set lattice's finite target set when it
+   converged below TOP, otherwise *every address-taken function entry*
+   (the same legal-target universe the replay verifier enforces).
+
+Indirect *jumps* that leave their function (``bx rs`` / ``ldr pc``
+tails) are recorded as ``tail=True`` edges: they transfer control
+without pushing a return frame, so reachability follows them but the
+shadow-stack depth analysis does not add a frame for them. Direct
+branches that leave their function are captured the same way: a ``b``
+to another function's entry is a ``tail=True`` direct edge, and a
+branch into another function's *interior* (the switch-dispatch idiom,
+where address-taken case labels split one real function into several
+graph nodes) is recorded in :attr:`CallGraph.gotos` — the bound
+analysis merges goto-connected functions back into one unit so cycles
+threaded through them stay visible.
+
+Recursion is reported, never hidden: Tarjan SCCs over the call edges
+give the cycle report the `BNDS1` certificate embeds, and downstream
+bound analyses treat every recursive SCC as unbounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.classify import BranchClass, Classification
+from repro.core.dataflow.lattice import Addr
+from repro.isa.instructions import InstrKind
+from repro.isa.operands import Reg
+from repro.isa.registers import LR, PC
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One interprocedural transfer site inside a function."""
+
+    index: int  # instruction index in the flat program
+    kind: str  # "direct" | "devirt" | "indirect"
+    targets: Tuple[str, ...]  # possible callee names (function labels)
+    resolved: bool  # False iff targets is a conservative over-approx
+    tail: bool = False  # True: jump (no return frame), not a call
+
+
+@dataclass
+class FunctionNode:
+    """One function: its extent and every outgoing transfer."""
+
+    name: str
+    start: int  # first instruction index (inclusive)
+    end: int  # past-the-end instruction index
+    sites: List[CallSite] = field(default_factory=list)
+
+    @property
+    def callees(self) -> Set[str]:
+        return {t for site in self.sites for t in site.targets}
+
+
+@dataclass
+class CallGraph:
+    """Whole-program call graph plus its SCC condensation."""
+
+    entry: str
+    functions: Dict[str, FunctionNode]
+    #: maps each function to its SCC id (Tarjan order, reverse topological)
+    scc_of: Dict[str, int]
+    #: SCC id -> member functions
+    sccs: List[Tuple[str, ...]]
+    #: names of functions on a call cycle (member of a recursive SCC)
+    recursive: FrozenSet[str]
+    #: (src, dst) pairs: src direct-branches into dst's *interior* —
+    #: control flow the function partition cannot express; analyses
+    #: must treat goto-connected functions as one region
+    gotos: Tuple[Tuple[str, str], ...] = ()
+
+    def edges(self) -> List[Tuple[str, str, CallSite]]:
+        out = []
+        for node in self.functions.values():
+            for site in node.sites:
+                for target in site.targets:
+                    out.append((node.name, target, site))
+        return out
+
+    def reachable(self) -> Set[str]:
+        """Functions reachable from the entry point (over all edges)."""
+        seen: Set[str] = set()
+        stack = [self.entry] if self.entry in self.functions else []
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            node = self.functions.get(name)
+            if node is None:
+                continue
+            for callee in node.callees:
+                if callee in self.functions and callee not in seen:
+                    stack.append(callee)
+            for src, dst in self.gotos:
+                if src == name and dst in self.functions and dst not in seen:
+                    stack.append(dst)
+        return seen
+
+    def recursion_cycles(self) -> List[Tuple[str, ...]]:
+        """Every recursive SCC, members sorted, cycles in SCC order."""
+        out = []
+        for members in self.sccs:
+            if len(members) > 1:
+                out.append(tuple(sorted(members)))
+            elif members[0] in self.recursive:  # self-recursive
+                out.append(members)
+        return out
+
+    def topo_order(self) -> List[int]:
+        """SCC ids bottom-up: callees before callers (Tarjan order)."""
+        return list(range(len(self.sccs)))
+
+
+def _function_name(classification: Classification, start: int) -> str:
+    labels = classification.flat.labels_at[start]
+    if labels:
+        return labels[0]
+    return f"@{start}"
+
+
+def _conservative_targets(classification: Classification,
+                          entry_names: Set[str]) -> Tuple[str, ...]:
+    """The legal-target universe for an unresolved indirect transfer:
+    address-taken labels that start a function (falling back to every
+    function entry if the image takes no addresses at all)."""
+    taken = {
+        label for label in classification.flat.address_taken_labels()
+        if label in entry_names
+    }
+    if not taken:
+        taken = set(entry_names)
+    return tuple(sorted(taken))
+
+
+def _lattice_targets(classification: Classification, index: int,
+                     entry_names: Set[str]) -> Optional[Tuple[str, ...]]:
+    """The value-set lattice's finite target set, restricted to function
+    entries; None when the set is TOP/absent (caller falls back)."""
+    facts = classification.dataflow
+    if facts is None:
+        return None
+    values = facts.target_set(index)
+    if values.is_top or values.values is None:
+        return None
+    names: Set[str] = set()
+    for value in values.values:
+        if not isinstance(value, Addr) or value.offset != 0:
+            return None  # non-label or offset target: fall back
+        if value.label in entry_names:
+            names.add(value.label)
+        else:
+            return None  # mid-function target: over-approximate instead
+    if not names:
+        return None
+    return tuple(sorted(names))
+
+
+def _is_return(classification: Classification, index: int) -> bool:
+    """True for sites the classifier proved are returns (pops/bx lr),
+    which never leave the function sideways."""
+    site = classification.sites.get(index)
+    if site is not None and site.cls in (
+        BranchClass.RETURN_POP,
+        BranchClass.LEAF_RETURN,
+    ):
+        return True
+    instr = classification.flat.instrs[index]
+    if instr.kind is InstrKind.POP:
+        (reglist,) = instr.operands
+        return PC in reglist
+    if instr.kind is InstrKind.INDIRECT_BRANCH:
+        (target,) = instr.operands
+        return isinstance(target, Reg) and target.num == LR
+    return False
+
+
+def build_call_graph(classification: Classification) -> CallGraph:
+    """Build the interprocedural call graph for one classified module."""
+    flat = classification.flat
+    starts = flat.function_starts()
+    names: Dict[int, str] = {s: _function_name(classification, s)
+                             for s in starts}
+    entry_names = set(names.values())
+    conservative = _conservative_targets(classification, entry_names)
+
+    sorted_starts = sorted(starts)
+
+    def owner_of(index: int) -> Optional[str]:
+        best = None
+        for s in sorted_starts:
+            if s <= index:
+                best = s
+            else:
+                break
+        return names.get(best) if best is not None else None
+
+    gotos: Set[Tuple[str, str]] = set()
+    functions: Dict[str, FunctionNode] = {}
+    for start in starts:
+        lo, hi = flat.function_extent(start)
+        node = FunctionNode(name=names[start], start=lo, end=hi)
+        for idx in range(lo, hi):
+            instr = flat.instrs[idx]
+            kind = instr.kind
+            site = classification.sites.get(idx)
+            if kind in (InstrKind.BRANCH, InstrKind.COMPARE_BRANCH):
+                target = flat.target_index(instr)
+                if target is None or lo <= target < hi:
+                    continue  # intra-function: the CFG's business
+                if target in names:  # b <entry>: frameless tail call
+                    node.sites.append(CallSite(
+                        idx, "direct", (names[target],),
+                        resolved=True, tail=True))
+                else:  # branch into another function's interior
+                    owner = owner_of(target)
+                    if owner is not None and owner != node.name:
+                        gotos.add((node.name, owner))
+                continue
+            if kind is InstrKind.CALL:
+                target = flat.target_index(instr)
+                if target is None:
+                    continue
+                tname = names.get(target)
+                if tname is None:  # bl into a non-function label
+                    tname = _function_name(classification, target)
+                node.sites.append(CallSite(
+                    idx, "direct", (tname,), resolved=True))
+                continue
+            if site is not None and site.cls in (
+                BranchClass.DEVIRT_CALL, BranchClass.DEVIRT_JUMP
+            ) and site.devirt_target:
+                target_idx = flat.label_index.get(site.devirt_target)
+                tail = site.cls is BranchClass.DEVIRT_JUMP
+                if target_idx is not None and target_idx in names:
+                    node.sites.append(CallSite(
+                        idx, "devirt", (names[target_idx],),
+                        resolved=True, tail=tail))
+                continue
+            if kind is InstrKind.INDIRECT_CALL:
+                targets = _lattice_targets(classification, idx, entry_names)
+                node.sites.append(CallSite(
+                    idx, "indirect",
+                    targets if targets is not None else conservative,
+                    resolved=targets is not None))
+                continue
+            # computed jumps that may cross functions: bx rs (non-return)
+            # and ldr pc — returns stay intraprocedural by construction
+            is_jump = (
+                kind is InstrKind.INDIRECT_BRANCH
+                or (kind is InstrKind.LOAD and instr.writes_pc())
+            )
+            if is_jump and not _is_return(classification, idx):
+                targets = _lattice_targets(classification, idx, entry_names)
+                node.sites.append(CallSite(
+                    idx, "indirect",
+                    targets if targets is not None else conservative,
+                    resolved=targets is not None, tail=True))
+        functions[node.name] = node
+
+    entry = names.get(flat.label_index.get(flat.module.entry, -1),
+                      flat.module.entry)
+    sccs, scc_of = _tarjan(functions)
+    recursive: Set[str] = set()
+    for members in sccs:
+        if len(members) > 1:
+            recursive.update(members)
+        else:
+            name = members[0]
+            if name in functions and name in functions[name].callees:
+                recursive.add(name)
+    return CallGraph(entry=entry, functions=functions, scc_of=scc_of,
+                     sccs=sccs, recursive=frozenset(recursive),
+                     gotos=tuple(sorted(gotos)))
+
+
+def _tarjan(functions: Dict[str, FunctionNode]
+            ) -> Tuple[List[Tuple[str, ...]], Dict[str, int]]:
+    """Iterative Tarjan SCC; emitted SCCs are in reverse topological
+    order (every SCC appears after all SCCs it calls into)."""
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Tuple[str, ...]] = []
+    scc_of: Dict[str, int] = {}
+    counter = [0]
+
+    def adjacency(name: str) -> List[str]:
+        node = functions.get(name)
+        if node is None:
+            return []
+        return sorted(c for c in node.callees if c in functions)
+
+    for root in sorted(functions):
+        if root in index_of:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            name, child = work[-1]
+            if child == 0:
+                index_of[name] = low[name] = counter[0]
+                counter[0] += 1
+                stack.append(name)
+                on_stack.add(name)
+            adj = adjacency(name)
+            advanced = False
+            while child < len(adj):
+                succ = adj[child]
+                child += 1
+                if succ not in index_of:
+                    work[-1] = (name, child)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[name] = min(low[name], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[name] == index_of[name]:
+                members: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == name:
+                        break
+                sid = len(sccs)
+                sccs.append(tuple(members))
+                for member in members:
+                    scc_of[member] = sid
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[name])
+    return sccs, scc_of
+
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "build_call_graph",
+]

@@ -28,7 +28,7 @@ analysed under an unsound assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.asm.program import DataWord, Module
 from repro.core.cfg import CFG
@@ -72,7 +72,7 @@ class ConstMemory:
     and never constant-foldable.
     """
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module) -> None:
         self._label_pos: Dict[str, int] = {}
         self._word_at: Dict[int, Union[int, str]] = {}
         section = module.sections.get("rodata")
@@ -121,7 +121,7 @@ _FOLDABLE_ALU = {
 }
 
 
-def _fold_alu(mnemonic: str):
+def _fold_alu(mnemonic: str) -> Callable[[Value, Value], Optional[Value]]:
     """Concrete ``Value x Value -> Optional[Value]`` for one ALU op."""
     fold = _FOLDABLE_ALU.get(mnemonic)
 
@@ -146,13 +146,14 @@ def _fold_alu(mnemonic: str):
 class _ValueAnalysis:
     """Forward value-set propagation over basic blocks."""
 
-    def __init__(self, flat: FlatProgram, cfg: CFG, memory: ConstMemory):
+    def __init__(self, flat: FlatProgram, cfg: CFG,
+                 memory: ConstMemory) -> None:
         self.flat = flat
         self.cfg = cfg
         self.memory = memory
         self.equates = flat.module.equates
 
-    def _operand_set(self, op, state: RegState) -> ValueSet:
+    def _operand_set(self, op: object, state: RegState) -> ValueSet:
         if isinstance(op, Imm):
             return vs(Const(op.value & alu.MASK32))
         if isinstance(op, Reg):
@@ -200,7 +201,7 @@ class _ValueAnalysis:
             dest, src = instr.operands
             value = self._operand_set(src, state)
             if instr.mnemonic == "mvn":
-                def negate(v):
+                def negate(v: Value) -> Optional[Value]:
                     if isinstance(v, Const):
                         return Const((~v.value) & alu.MASK32)
                     return None
@@ -359,7 +360,7 @@ def def_use(instr: Instr) -> Tuple[FrozenSet[int], FrozenSet[int]]:
     defs: Set[int] = set()
     uses: Set[int] = set()
 
-    def use_op(op):
+    def use_op(op: object) -> None:
         if isinstance(op, Reg) and op.num in _DEFUSE_REGS:
             uses.add(op.num)
         elif isinstance(op, Mem):

@@ -16,7 +16,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generic, Hashable, Iterable, Mapping, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    TypeVar,
+)
 
 N = TypeVar("N", bound=Hashable)
 F = TypeVar("F")
@@ -35,7 +45,7 @@ class Solution(Generic[N, F]):
     in_facts: Dict[N, F] = field(default_factory=dict)
     iterations: int = 0
 
-    def fact(self, node: N):
+    def fact(self, node: N) -> Optional[F]:
         return self.in_facts.get(node)
 
 
@@ -44,8 +54,8 @@ def solve(graph: Mapping[N, Iterable[N]],
           transfer: Callable[[N, F], F],
           join: Callable[[F, F], F],
           *,
-          eq: Callable[[F, F], bool] = None,
-          max_passes: int = 256) -> Solution:
+          eq: Optional[Callable[[F, F], bool]] = None,
+          max_passes: int = 256) -> Solution[N, F]:
     """Run the worklist iteration to a fixpoint.
 
     ``roots`` maps each entry node to its boundary fact. ``transfer``
@@ -54,8 +64,8 @@ def solve(graph: Mapping[N, Iterable[N]],
     bounds how many times any single node may be re-processed before
     the solver declares divergence.
     """
-    eq = eq or (lambda a, b: a == b)
-    sol: Solution = Solution()
+    same = eq or (lambda a, b: bool(a == b))
+    sol: Solution[N, F] = Solution()
     sol.in_facts.update(roots)
     visits: Dict[N, int] = {}
     work = deque(roots)
@@ -75,7 +85,7 @@ def solve(graph: Mapping[N, Iterable[N]],
                 sol.in_facts[succ] = out
             else:
                 merged = join(sol.in_facts[succ], out)
-                if eq(merged, sol.in_facts[succ]):
+                if same(merged, sol.in_facts[succ]):
                     continue
                 sol.in_facts[succ] = merged
             if succ not in queued:
@@ -84,9 +94,9 @@ def solve(graph: Mapping[N, Iterable[N]],
     return sol
 
 
-def reverse_graph(graph: Mapping[N, Iterable[N]]) -> Dict[N, list]:
+def reverse_graph(graph: Mapping[N, Iterable[N]]) -> Dict[N, List[N]]:
     """Edge-reversed adjacency (for backward analyses)."""
-    out: Dict[N, list] = {n: [] for n in graph}
+    out: Dict[N, List[N]] = {n: [] for n in graph}
     for node, succs in graph.items():
         for succ in succs:
             out.setdefault(succ, []).append(node)

@@ -17,7 +17,7 @@ in the set iff some path can produce it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Union
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Union
 
 #: widest tracked value set; wider joins collapse to TOP
 MAX_WIDTH = 8
@@ -118,7 +118,8 @@ def vs_addr(label: str, offset: int = 0) -> ValueSet:
     return vs(Addr(label, offset))
 
 
-def lift_unary(op, a: ValueSet) -> ValueSet:
+def lift_unary(op: Callable[[Value], Optional[Value]],
+               a: ValueSet) -> ValueSet:
     """Apply a concrete unary op (``Value -> Optional[Value]``) setwise;
     any unrepresentable result poisons the whole set to TOP."""
     if a.is_top:
@@ -134,7 +135,8 @@ def lift_unary(op, a: ValueSet) -> ValueSet:
     return ValueSet(frozenset(out))
 
 
-def lift_binary(op, a: ValueSet, b: ValueSet) -> ValueSet:
+def lift_binary(op: Callable[[Value, Value], Optional[Value]],
+                a: ValueSet, b: ValueSet) -> ValueSet:
     """Apply a concrete binary op over the cross product, TOP-poisoning
     on unrepresentable results or width overflow."""
     if a.is_top or b.is_top:

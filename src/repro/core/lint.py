@@ -70,6 +70,10 @@ class LintReport:
     """Aggregated outcome over the linted workloads."""
 
     findings: List[LintFinding] = field(default_factory=list)
+    #: informational diagnostics that do not gate (``ok`` ignores them):
+    #: facts worth surfacing — e.g. a recursion cycle, which is legal
+    #: but makes the workload's path bounds uncertifiable
+    notes: List[LintFinding] = field(default_factory=list)
     workloads: int = 0
     configs_validated: int = 0
 
@@ -80,6 +84,9 @@ class LintReport:
     def flag(self, target: str, check: str, detail: str) -> None:
         self.findings.append(LintFinding(target, check, detail))
 
+    def note(self, target: str, check: str, detail: str) -> None:
+        self.notes.append(LintFinding(target, check, detail))
+
     def to_json(self) -> dict:
         return {
             "ok": self.ok,
@@ -88,6 +95,10 @@ class LintReport:
             "findings": [
                 {"target": f.target, "check": f.check, "detail": f.detail}
                 for f in self.findings
+            ],
+            "notes": [
+                {"target": f.target, "check": f.check, "detail": f.detail}
+                for f in self.notes
             ],
         }
 
@@ -180,6 +191,38 @@ def lint_hygiene(module: Module, target: str,
     return report
 
 
+# -- interprocedural hygiene --------------------------------------------------
+
+def lint_callgraph(module: Module, target: str,
+                   report: Optional[LintReport] = None) -> LintReport:
+    """Call-graph-aware checks the per-function passes cannot see.
+
+    * **unreachable-function** (gating): a function no call path from
+      the workload entry point reaches — dead weight in the image and
+      dead weight in every conservative indirect-target set;
+    * **recursion-cycle** (note, non-gating): a cycle in the call
+      graph. Recursion is legal, but it makes the shadow-stack depth
+      and CFLog bounds uncertifiable, so the `BNDS1` admission screen
+      degrades to signature-only for that image.
+    """
+    from repro.core.analysis.callgraph import build_call_graph
+    from repro.core.classify import classify_module
+
+    report = report if report is not None else LintReport()
+    classification = classify_module(module)
+    graph = build_call_graph(classification)
+    reachable = graph.reachable()
+    for name in sorted(set(graph.functions) - reachable):
+        report.flag(target, "unreachable-function",
+                    f"function {name} is unreachable from the entry "
+                    f"point {graph.entry}")
+    for cycle in graph.recursion_cycles():
+        report.note(target, "recursion-cycle",
+                    f"call cycle {' -> '.join(cycle + (cycle[0],))}: "
+                    f"path bounds for this image are uncertifiable")
+    return report
+
+
 # -- certification ------------------------------------------------------------
 
 def lint_workload(name: str, report: Optional[LintReport] = None,
@@ -190,6 +233,7 @@ def lint_workload(name: str, report: Optional[LintReport] = None,
     configs = configs if configs is not None else LINT_CONFIGS
     workload = load_workload(name)
     lint_hygiene(workload.module(), name, report)
+    lint_callgraph(workload.module(), name, report)
     for cfg_name, cfg in configs:
         result = transform(workload.module(), cfg)
         validation = validate_rewrite(workload.module(), result, cfg)

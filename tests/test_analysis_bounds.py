@@ -1,0 +1,134 @@
+"""Tests: the path-bound analyzer (`core/analysis/bounds`)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.analysis import analyse_path_bounds, build_call_graph
+from repro.core.analysis.bounds import BOUNDED_METHODS, RECORD_UNIT
+from repro.core.classify import classify_module
+from repro.workloads import load_workload
+from repro.workloads import vulnerable
+
+
+def bounds_for(name, method):
+    if name == "vulnerable":
+        module = vulnerable.make().module()
+    else:
+        module = load_workload(name).module()
+    classification = classify_module(module)
+    graph = build_call_graph(classification)
+    return analyse_path_bounds(classification, graph, method)
+
+
+class TestKnownBounds:
+    def test_loop_optimized_workload_logs_nothing(self):
+        # crc32's loops all fold into LoopRecords charged at loop entry
+        # or deterministic sites: rap-track's worst case is tiny while
+        # the per-branch baseline pays per iteration
+        rap = bounds_for("crc32", "rap-track")
+        naive = bounds_for("crc32", "naive-mtb")
+        assert rap.max_log_records == 0
+        assert naive.max_log_records == 128
+
+    def test_record_unit_scales_bytes(self):
+        for method in BOUNDED_METHODS:
+            b = bounds_for("temperature", method)
+            if b.max_log_records is not None:
+                assert b.max_log_bytes \
+                    == b.max_log_records * RECORD_UNIT[method]
+
+    def test_data_dependent_loops_bound_only_under_rap(self):
+        # geiger's sensor loop is data-dependent: rap-track logs one
+        # LoopRecord per entry (bounded), the naive baseline logs every
+        # iteration (bounded only via the loop's static trip ceiling)
+        rap = bounds_for("geiger", "rap-track")
+        assert rap.max_log_records == 180
+
+    def test_recursion_is_unbounded_and_reported(self):
+        for method in BOUNDED_METHODS:
+            b = bounds_for("fibcall", method)
+            assert b.max_stack_depth is None
+            assert b.max_log_records is None
+            assert b.recursion_cycles == (("fib",),)
+            assert not b.bounded
+
+    def test_attacker_fed_loop_is_unbounded_but_depth_is_not(self):
+        # vulnerable's copy loop runs off attacker input: no record
+        # bound exists, but the call tree is still statically 2 deep
+        b = bounds_for("vulnerable", "rap-track")
+        assert b.max_log_records is None
+        assert b.max_stack_depth == 2
+
+    def test_depth_exact_only_for_fully_logged_baseline(self):
+        # record-based depth inference is sound only when every call
+        # and return is logged — which rap-track precisely avoids
+        assert bounds_for("vulnerable", "naive-mtb").depth_exact
+        assert not bounds_for("vulnerable", "rap-track").depth_exact
+        assert not bounds_for("vulnerable", "traces").depth_exact
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises((KeyError, ValueError)):
+            bounds_for("crc32", "baseline")
+
+
+class TestSyntheticBounds:
+    def analyse(self, source, method="rap-track"):
+        classification = classify_module(assemble(".entry main\n" + source))
+        graph = build_call_graph(classification)
+        return analyse_path_bounds(classification, graph, method)
+
+    def test_straight_line_code_is_free(self):
+        b = self.analyse("""
+main:
+    mov r0, #1
+    add r0, r0, #2
+    bkpt
+""")
+        assert b.max_stack_depth == 0
+        assert b.max_log_records == 0
+        assert b.bounded
+
+    def test_call_chain_depth_counts_frames(self):
+        b = self.analyse("""
+main:
+    push {lr}
+    bl outer
+    pop {pc}
+outer:
+    push {lr}
+    bl inner
+    pop {pc}
+inner:
+    bx lr
+""")
+        assert b.max_stack_depth == 2
+
+    def test_constant_trip_loop_certifies_statically(self):
+        # counter with a constant init and a cmp-latch: the tier-2 trip
+        # analysis bounds the naive method's per-iteration records
+        b = self.analyse("""
+main:
+    mov r0, #0
+    mov r1, #0
+loop:
+    add r1, r1, r0
+    add r0, r0, #1
+    cmp r0, #7
+    blt loop
+    bkpt
+""", method="naive-mtb")
+        assert b.max_log_records == 7
+
+    def test_register_bounded_loop_is_unbounded(self):
+        # the latch compares against a register: no static trip bound
+        b = self.analyse("""
+main:
+    mov r0, #0
+    mov r2, #9
+loop:
+    add r0, r0, #1
+    cmp r0, r2
+    blt loop
+    bkpt
+""", method="naive-mtb")
+        assert b.max_log_records is None

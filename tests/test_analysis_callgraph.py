@@ -1,0 +1,115 @@
+"""Tests: the interprocedural call graph (`core/analysis/callgraph`)."""
+
+from repro.asm import assemble
+from repro.core.analysis import build_call_graph
+from repro.core.classify import classify_module
+from repro.workloads import WORKLOADS, load_workload
+from repro.workloads import vulnerable
+
+
+def graph_for(name):
+    return build_call_graph(classify_module(load_workload(name).module()))
+
+
+def graph_of(source):
+    return build_call_graph(classify_module(
+        assemble(".entry main\n" + source)))
+
+
+class TestWorkloadGraphs:
+    def test_direct_call_edges(self):
+        graph = graph_for("fibcall")
+        assert graph.entry == "main"
+        assert set(graph.functions) == {"main", "fib"}
+        kinds = {(f, t, s.kind) for f, t, s in graph.edges()}
+        assert ("main", "fib", "direct") in kinds
+        assert ("fib", "fib", "direct") in kinds
+
+    def test_self_recursion_reported(self):
+        graph = graph_for("fibcall")
+        assert graph.recursion_cycles() == [("fib",)]
+        assert "fib" in graph.recursive
+        assert "main" not in graph.recursive
+
+    def test_devirtualized_edge_is_resolved(self):
+        graph = graph_for("temperature")
+        edges = {(f, t): s for f, t, s in graph.edges()}
+        site = edges[("main", "settle")]
+        assert site.kind == "devirt" and site.resolved
+
+    def test_unresolved_indirect_over_approximates(self):
+        # gps dispatches through a data table of handlers: the indirect
+        # call must cover every address-taken handler, conservatively
+        graph = graph_for("gps")
+        targets = {t for f, t, s in graph.edges()
+                   if f == "dispatch_field" and s.kind == "indirect"}
+        assert {"field_lat", "field_lon", "field_alt", "field_time",
+                "field_talker"} <= targets
+        assert all(not s.resolved for f, t, s in graph.edges()
+                   if f == "dispatch_field" and s.kind == "indirect")
+
+    def test_leaf_program_has_single_function(self):
+        graph = graph_for("dijkstra")
+        assert set(graph.functions) == {"main"}
+        assert graph.edges() == []
+        assert graph.recursion_cycles() == []
+
+    def test_every_registry_workload_fully_reachable(self):
+        # pinned by the lint gate too: no registry workload ships
+        # functions its entry point cannot reach
+        for name in sorted(WORKLOADS):
+            graph = graph_for(name)
+            assert graph.reachable() == set(graph.functions), name
+
+    def test_vulnerable_hides_its_landing_pad(self):
+        # maintenance_unlock is neither called nor address-taken: it is
+        # invisible to the call graph (the gadget miner's job), while
+        # the functions on the honest path are all present
+        module = vulnerable.make().module()
+        graph = build_call_graph(classify_module(module))
+        assert "maintenance_unlock" not in graph.functions
+        assert {"main", "read_input", "read_word"} <= set(graph.functions)
+        assert graph.reachable() == set(graph.functions)
+
+
+class TestSyntheticGraphs:
+    def test_mutual_recursion_scc(self):
+        graph = graph_of("""
+main:
+    push {lr}
+    bl even
+    pop {pc}
+even:
+    push {lr}
+    bl odd
+    pop {pc}
+odd:
+    push {lr}
+    bl even
+    pop {pc}
+""")
+        assert graph.recursion_cycles() == [("even", "odd")]
+        assert graph.recursive == {"even", "odd"}
+
+    def test_sccs_emitted_callees_first(self):
+        graph = graph_of("""
+main:
+    push {lr}
+    bl helper
+    pop {pc}
+helper:
+    bx lr
+""")
+        # Tarjan emits reverse-topologically: helper's SCC before main's
+        assert graph.scc_of["helper"] < graph.scc_of["main"]
+
+    def test_address_taken_uncalled_function_is_a_node(self):
+        graph = graph_of("""
+main:
+    adr r0, orphan
+    bkpt
+orphan:
+    bx lr
+""")
+        assert "orphan" in graph.functions
+        assert "orphan" not in graph.reachable()

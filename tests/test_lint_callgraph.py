@@ -1,0 +1,83 @@
+"""Tests: call-graph-aware lint checks and the notes channel."""
+
+from repro.asm import assemble
+from repro.core.lint import LintReport, lint_callgraph, lint_workload
+
+
+def callgraph(source):
+    report = lint_callgraph(assemble(".entry main\n" + source), "t")
+    return {f.check for f in report.findings}, report
+
+
+class TestUnreachableFunction:
+    def test_clean_program(self):
+        checks, report = callgraph("""
+main:
+    push {lr}
+    bl helper
+    pop {pc}
+helper:
+    bx lr
+""")
+        assert checks == set() and report.ok
+
+    def test_uncalled_address_taken_function_flagged(self):
+        # address-taken (so it partitions as a function) but no call
+        # path reaches it: the vulnerable-image landing-pad shape
+        checks, report = callgraph("""
+main:
+    adr r0, orphan
+    bkpt
+orphan:
+    bx lr
+""")
+        assert "unreachable-function" in checks
+        assert any("orphan" in f.detail for f in report.findings)
+        assert not report.ok
+
+    def test_indirectly_reached_function_not_flagged(self):
+        # conservative indirect targets count as reachability: a
+        # jump-table handler is live even though nothing calls it by name
+        checks, _ = callgraph("""
+main:
+    push {lr}
+    ldr r3, =handler
+    blx r3
+    pop {pc}
+handler:
+    bx lr
+""")
+        assert "unreachable-function" not in checks
+
+
+class TestRecursionNotes:
+    def test_recursion_is_a_note_not_a_finding(self):
+        _, report = callgraph("""
+main:
+    push {lr}
+    bl spin
+    pop {pc}
+spin:
+    push {lr}
+    bl spin
+    pop {pc}
+""")
+        assert report.ok  # notes never gate
+        assert [f.check for f in report.notes] == ["recursion-cycle"]
+        assert "spin -> spin" in report.notes[0].detail
+
+    def test_fibcall_notes_its_cycle_but_stays_clean(self):
+        report = lint_workload("fibcall")
+        assert report.ok
+        notes = [f for f in report.notes if f.check == "recursion-cycle"]
+        assert len(notes) == 1
+        assert "fib -> fib" in notes[0].detail
+        assert "uncertifiable" in notes[0].detail
+
+    def test_notes_serialized_separately(self):
+        report = LintReport()
+        report.note("t", "recursion-cycle", "call cycle a -> a")
+        payload = report.to_json()
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["notes"][0]["check"] == "recursion-cycle"
